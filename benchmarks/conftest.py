@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+``paper_deployment`` is the paper-scale world (10,000 active users, 20
+NFS servers, one Hesiod server, one mail hub, three Zephyr servers) —
+built once per benchmark session.  Each experiment module writes the
+table/series it reproduces into ``benchmarks/results/<exp>.txt`` so the
+numbers survive pytest's output capture; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.workload import PopulationSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(exp_id: str, lines: list[str]) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{exp_id}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n{text}")
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_deployment():
+    """The production shape from §5.1 of the paper."""
+    return AthenaDeployment(DeploymentConfig(
+        population=PopulationSpec()))  # defaults = the paper's numbers
+
+
+@pytest.fixture()
+def small_deployment():
+    """A quick deployment for control-flow-heavy experiments."""
+    return AthenaDeployment(DeploymentConfig(
+        population=PopulationSpec(users=150, unregistered_users=20,
+                                  nfs_servers=4, maillists=20,
+                                  clusters=4, machines_per_cluster=3,
+                                  printers=8, network_services=20)))

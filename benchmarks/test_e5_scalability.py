@@ -1,0 +1,98 @@
+"""E5 — the 10,000-active-user design point (§5.1 A).
+
+"The system is designed optimally for 10,000 active users."  We sweep
+the population from 1k to 10k and measure the operations whose cost
+must *not* grow with the user count (indexed point queries through the
+full protocol stack) and the ones that legitimately scale linearly
+(full extracts).
+
+Shape expected: point-query latency roughly flat across the sweep;
+extract time linear in users; both comfortably fast at 10k.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.dcm.generators import get_generator
+from repro.dcm.generators.base import GenContext
+from repro.workload import PopulationSpec
+
+SCALES = (1_000, 4_000, 10_000)
+
+
+def build(users):
+    return AthenaDeployment(DeploymentConfig(
+        population=PopulationSpec(users=users, unregistered_users=0,
+                                  maillists=users // 70)))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {users: build(users) for users in SCALES}
+
+
+def point_query_us(d, samples=300):
+    client = d.direct_client()
+    login = d.handles.logins[len(d.handles.logins) // 2]
+    client.query("get_user_by_login", login)
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        client.query("get_user_by_login", login)
+    return (time.perf_counter() - t0) / samples * 1e6
+
+
+def extract_seconds(d):
+    generator = get_generator("HESIOD")
+    hosts = d.db.table("serverhosts").select({"service": "HESIOD"})
+    t0 = time.perf_counter()
+    generator.generate(GenContext(d.db, d.clock.now(), hosts=hosts))
+    return time.perf_counter() - t0
+
+
+class TestScalability:
+    def test_benchmark_point_query_at_10k(self, sweep, benchmark):
+        d = sweep[10_000]
+        client = d.direct_client()
+        login = d.handles.logins[5000]
+        benchmark(lambda: client.query("get_user_by_login", login))
+
+    def test_benchmark_extract_at_10k(self, sweep, benchmark):
+        d = sweep[10_000]
+        generator = get_generator("HESIOD")
+        hosts = d.db.table("serverhosts").select({"service": "HESIOD"})
+        benchmark.pedantic(
+            lambda: generator.generate(
+                GenContext(d.db, d.clock.now(), hosts=hosts)),
+            rounds=3, iterations=1)
+
+    def test_shape_and_emit(self, sweep, benchmark):
+        queries = {u: point_query_us(sweep[u]) for u in SCALES}
+        extracts = {u: extract_seconds(sweep[u]) for u in SCALES}
+
+        lines = ["E5: scaling from 1k to the 10k-user design point",
+                 f"{'users':>7s} {'point query (µs)':>18s} "
+                 f"{'hesiod extract (s)':>20s}"]
+        for users in SCALES:
+            lines.append(f"{users:>7d} {queries[users]:>18.1f} "
+                         f"{extracts[users]:>20.2f}")
+        q_ratio = queries[10_000] / queries[1_000]
+        x_ratio = extracts[10_000] / extracts[1_000]
+        lines.append(f"  query growth 1k->10k:   {q_ratio:5.1f}x "
+                     "(flat = indexed)")
+        lines.append(f"  extract growth 1k->10k: {x_ratio:5.1f}x "
+                     "(linear expected ~10x)")
+        write_result("e5_scalability", lines)
+
+        # point queries stay roughly flat (indexes, not scans)
+        assert q_ratio < 4
+        # extracts scale roughly linearly, not quadratically
+        assert x_ratio < 40
+        # and the design point itself is comfortable
+        assert queries[10_000] < 10_000   # well under 10 ms
+
+        benchmark(lambda: None)

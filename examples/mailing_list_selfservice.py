@@ -1,0 +1,75 @@
+"""The paper's second motivating example: self-service mailing lists.
+
+"Another example is for a user to run an application to add themselves
+to a public mailing list ... Sometime later, the mailing lists file on
+the central mail hub will be updated to show this change."
+
+Run with:  python examples/mailing_list_selfservice.py
+"""
+
+from repro.apps import ListMaint, MailMaint
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.errors import MoiraError
+from repro.workload import PopulationSpec
+
+
+def main() -> None:
+    deployment = AthenaDeployment(DeploymentConfig(
+        population=PopulationSpec(users=150, maillists=15)))
+
+    # an administrator creates a public list
+    admin = deployment.handles.logins[0]
+    deployment.make_admin(admin)
+    admin_client = deployment.client_for(admin, "pw", "listmaint")
+    ListMaint(admin_client).create(
+        "video-users", public=True,
+        description="Video hackers at Athena")
+    print("Created public mailing list 'video-users'.")
+
+    # a user joins it from any workstation
+    user = deployment.handles.logins[5]
+    user_client = deployment.client_for(user, "pw", "mailmaint")
+    mailmaint = MailMaint(user_client, user)
+
+    print(f"\n{user} browses the public lists "
+          f"({len(mailmaint.public_lists())} available) and joins:")
+    mailmaint.join("video-users")
+    print(f"  my lists: {mailmaint.my_lists()}")
+
+    # a different user cannot add someone *else*
+    other = deployment.handles.logins[6]
+    try:
+        user_client.query("add_member_to_list", "video-users", "USER",
+                          other)
+    except MoiraError as exc:
+        print(f"  (adding someone else is refused: {exc})")
+
+    # the mail hub still serves the OLD aliases file
+    hub = deployment.mailhub
+    print("\nBefore propagation, the mail hub has "
+          f"{len(hub.aliases.get('video-users', []))} members for "
+          "video-users.")
+
+    print("Advancing 25 simulated hours "
+          "(aliases propagate every 24)...")
+    deployment.run_hours(25)
+
+    members = hub.aliases.get("video-users", [])
+    print(f"After propagation the hub expands video-users -> {members}")
+    delivered = hub.deliver("video-users")
+    print(f"Mail to video-users is delivered to: {delivered.resolved}")
+    assert any(user in addr for addr in delivered.resolved)
+
+    # leaving works the same way
+    mailmaint.leave("video-users")
+    deployment.run_hours(25)
+    print(f"\nAfter {user} leaves and another day passes: "
+          f"{hub.aliases.get('video-users', [])}")
+
+    admin_client.close()
+    user_client.close()
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

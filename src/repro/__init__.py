@@ -1,0 +1,17 @@
+"""repro — a Python reproduction of Moira, the Athena Service
+Management System (USENIX 1988).
+
+The public surface:
+
+* :class:`repro.core.AthenaDeployment` — build a whole simulated campus.
+* :class:`repro.client.MoiraClient` — the application library (§5.6).
+* :mod:`repro.apps` — the administrative interface programs.
+* :mod:`repro.reg` — the registration server and userreg.
+* :mod:`repro.errors` — com_err codes (``MR_*``) and ``MoiraError``.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

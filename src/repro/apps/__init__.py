@@ -1,0 +1,35 @@
+"""Administrative application programs (paper §5.1 H).
+
+"For each service, there is at least one application interface.
+Currently there are twelve interface programs."  Each app here talks to
+Moira exclusively through the application library (never the database),
+pre-checks access with ``mr_access`` before prompting (the paper's
+stated purpose of the Access request), and returns structured results
+so both command-line wrappers and tests can drive it.
+
+The twelve: chsh, chfn, chpobox, mailmaint, listmaint, usermaint,
+machmaint, filsysmaint, printermaint, dcm_maint, mrtest, mrcheck —
+plus userreg, which lives in :mod:`repro.reg`.
+"""
+
+from repro.apps.chsh import Chsh
+from repro.apps.chfn import Chfn
+from repro.apps.chpobox import Chpobox
+from repro.apps.mailmaint import MailMaint
+from repro.apps.listmaint import ListMaint
+from repro.apps.usermaint import UserMaint
+from repro.apps.machmaint import MachMaint
+from repro.apps.filsysmaint import FilsysMaint
+from repro.apps.printermaint import PrinterMaint
+from repro.apps.dcm_maint import DcmMaint
+from repro.apps.mrtest import MrTest
+from repro.apps.mrcheck import MrCheck
+from repro.apps.workstation import Attach, WorkstationLogin
+from repro.apps.console import MoiraConsole
+
+ALL_APPS = [Chsh, Chfn, Chpobox, MailMaint, ListMaint, UserMaint,
+            MachMaint, FilsysMaint, PrinterMaint, DcmMaint, MrTest,
+            MrCheck]
+
+__all__ = [cls.__name__ for cls in ALL_APPS] + [
+    "ALL_APPS", "Attach", "WorkstationLogin", "MoiraConsole"]

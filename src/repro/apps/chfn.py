@@ -1,0 +1,61 @@
+"""chfn — change finger information.
+
+Finger fields are free-form (§7.0.1 update_finger_by_login: "the
+remaining fields are free-form, and may contain anything"); chfn's job
+is the read-modify-write cycle: fetch current values, overlay the
+changes, submit the full record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MoiraError, MR_PERM
+
+__all__ = ["Chfn", "FingerInfo"]
+
+_FIELDS = ("fullname", "nickname", "home_addr", "home_phone",
+           "office_addr", "office_phone", "department", "affiliation")
+
+
+@dataclass
+class FingerInfo:
+    """One user's finger record, field per prompt."""
+    login: str
+    fullname: str = ""
+    nickname: str = ""
+    home_addr: str = ""
+    home_phone: str = ""
+    office_addr: str = ""
+    office_phone: str = ""
+    department: str = ""
+    affiliation: str = ""
+
+
+class Chfn:
+    """Read-modify-write finger information editor."""
+    def __init__(self, client):
+        self.client = client
+
+    def get(self, login: str) -> FingerInfo:
+        """Fetch the current finger record for *login*."""
+        row = self.client.query("get_finger_by_login", login)[0]
+        return FingerInfo(login=row[0], fullname=row[1], nickname=row[2],
+                          home_addr=row[3], home_phone=row[4],
+                          office_addr=row[5], office_phone=row[6],
+                          department=row[7], affiliation=row[8])
+
+    def run(self, login: str, **changes: str) -> FingerInfo:
+        """Update selected finger fields, preserving the rest."""
+        unknown = set(changes) - set(_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown finger fields: {sorted(unknown)}")
+        if not self.client.access("update_finger_by_login", login,
+                                  *([""] * len(_FIELDS))):
+            raise MoiraError(MR_PERM, f"chfn {login}")
+        info = self.get(login)
+        for name, value in changes.items():
+            setattr(info, name, value)
+        self.client.query("update_finger_by_login", login,
+                          *(getattr(info, f) for f in _FIELDS))
+        return self.get(login)

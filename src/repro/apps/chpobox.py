@@ -1,0 +1,53 @@
+"""chpobox — inspect and move a user's post office box.
+
+The paper's input-checking example is exactly this program: "If,
+instead of typing e40-po (a valid post office server), the user typed
+in e40-p0 (a nonexistant machine), all the user's mail would be
+'returned to sender'".  The machine check happens server-side in
+set_pobox; chpobox surfaces the MR_MACHINE error to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Chpobox", "PoboxInfo"]
+
+
+@dataclass
+class PoboxInfo:
+    """A pobox assignment: type (POP/SMTP/NONE) and box."""
+    login: str
+    potype: str
+    box: str
+
+
+class Chpobox:
+    """Inspect and move post office boxes."""
+    def __init__(self, client):
+        self.client = client
+
+    def get(self, login: str) -> PoboxInfo:
+        """The user's current pobox assignment."""
+        row = self.client.query("get_pobox", login)[0]
+        return PoboxInfo(login=row[0], potype=row[1], box=row[2])
+
+    def set_pop(self, login: str, machine: str) -> PoboxInfo:
+        """Move the box to a POP server (validated by Moira)."""
+        self.client.query("set_pobox", login, "POP", machine)
+        return self.get(login)
+
+    def set_smtp(self, login: str, address: str) -> PoboxInfo:
+        """Forward mail to an arbitrary address."""
+        self.client.query("set_pobox", login, "SMTP", address)
+        return self.get(login)
+
+    def restore_pop(self, login: str) -> PoboxInfo:
+        """Back to the previous POP assignment (set_pobox_pop)."""
+        self.client.query("set_pobox_pop", login)
+        return self.get(login)
+
+    def remove(self, login: str) -> PoboxInfo:
+        """Delete the pobox (type becomes NONE)."""
+        self.client.query("delete_pobox", login)
+        return self.get(login)

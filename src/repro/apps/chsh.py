@@ -1,0 +1,38 @@
+"""chsh — change a user's login shell.
+
+§5.2.1: "Some checks are better done in applications programs; for
+example, the Moira server is not in a good position to tell if a user's
+new choice for a login shell exists."  chsh therefore validates the
+shell against the workstation's shell list before submitting, and uses
+``mr_access`` first so it can refuse early without prompting.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MoiraError, MR_PERM
+
+__all__ = ["Chsh"]
+
+# /etc/shells on an Athena workstation of the era
+KNOWN_SHELLS = ("/bin/csh", "/bin/sh", "/usr/athena/tcsh", "/bin/ksh")
+
+
+class Chsh:
+    """Change login shell: validate locally, pre-check, submit."""
+    def __init__(self, client, known_shells=KNOWN_SHELLS):
+        self.client = client
+        self.known_shells = tuple(known_shells)
+
+    def current_shell(self, login: str) -> str:
+        """The user's current shell, from their account record."""
+        rows = self.client.query("get_user_by_login", login)
+        return rows[0][2]
+
+    def run(self, login: str, shell: str) -> str:
+        """Change *login*'s shell; returns the new shell."""
+        if shell not in self.known_shells:
+            raise ValueError(f"{shell}: no such shell on this workstation")
+        if not self.client.access("update_user_shell", login, shell):
+            raise MoiraError(MR_PERM, f"chsh {login}")
+        self.client.query("update_user_shell", login, shell)
+        return shell

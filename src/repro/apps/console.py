@@ -1,0 +1,160 @@
+"""moira — the unified administrative console.
+
+The production system grew a single menu-driven program (later known as
+``moira``) that gathered the per-domain maintenance programs behind one
+hierarchical menu.  This console builds that tree from the twelve app
+classes over one authenticated client: users, lists, machines and
+clusters, filesystems and quotas, printers, DCM control, and the query
+tester — all driven through the §5.6.3 menu package, so it works both
+interactively and under test.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.chfn import Chfn
+from repro.apps.chpobox import Chpobox
+from repro.apps.chsh import Chsh
+from repro.apps.dcm_maint import DcmMaint
+from repro.apps.filsysmaint import FilsysMaint
+from repro.apps.listmaint import ListMaint
+from repro.apps.machmaint import MachMaint
+from repro.apps.mrtest import MrTest
+from repro.apps.printermaint import PrinterMaint
+from repro.apps.usermaint import UserMaint
+from repro.client.menu import Menu, MenuSession
+
+__all__ = ["MoiraConsole"]
+
+
+class MoiraConsole:
+    """All twelve admin programs behind one menu tree."""
+    def __init__(self, client):
+        self.client = client
+        self.users = UserMaint(client)
+        self.lists = ListMaint(client)
+        self.machines = MachMaint(client)
+        self.filesystems = FilsysMaint(client)
+        self.printers = PrinterMaint(client)
+        self.dcm = DcmMaint(client)
+        self.mrtest = MrTest(client)
+        self.chsh = Chsh(client)
+        self.chfn = Chfn(client)
+        self.chpobox = Chpobox(client)
+
+    # -- menu construction -----------------------------------------------------
+
+    def build_menu(self) -> Menu:
+        """Construct the full hierarchical admin menu."""
+        root = Menu("Moira Administrative Console")
+        root.add_submenu("1", "User accounts", self._user_menu())
+        root.add_submenu("2", "Lists and groups",
+                         self.lists.build_menu())
+        root.add_submenu("3", "Machines and clusters",
+                         self._machine_menu())
+        root.add_submenu("4", "Filesystems and quotas",
+                         self._filesys_menu())
+        root.add_submenu("5", "Printers", self._printer_menu())
+        root.add_submenu("6", "DCM control", self._dcm_menu())
+        root.add_action("7", "Run a raw query (mrtest)",
+                        lambda q, a: self.mrtest.run(
+                            q, *(a.split() if a else [])).render(),
+                        ["query name", "arguments (space separated)"])
+        return root
+
+    def _user_menu(self) -> Menu:
+        menu = Menu("User Accounts")
+        menu.add_action("1", "Look up a user",
+                        lambda login: self.users.lookup(login),
+                        ["login"])
+        menu.add_action("2", "Change shell",
+                        lambda login, shell: self.chsh.run(login, shell),
+                        ["login", "shell"])
+        menu.add_action("3", "Change finger info (nickname)",
+                        lambda login, nick: self.chfn.run(
+                            login, nickname=nick),
+                        ["login", "nickname"])
+        menu.add_action("4", "Move post office box",
+                        lambda login, machine: self.chpobox.set_pop(
+                            login, machine),
+                        ["login", "POP server"])
+        menu.add_action("5", "Change disk quota",
+                        lambda login, quota: self.users.set_quota(
+                            login, int(quota)),
+                        ["login", "new quota"])
+        menu.add_action("6", "Deactivate account",
+                        lambda login: self.users.deactivate(login),
+                        ["login"])
+        return menu
+
+    def _machine_menu(self) -> Menu:
+        menu = Menu("Machines and Clusters")
+        menu.add_action("1", "Show machine",
+                        lambda pat: self.machines.get_machine(pat),
+                        ["name or pattern"])
+        menu.add_action("2", "Add machine",
+                        lambda name, mtype: self.machines.add_machine(
+                            name, mtype),
+                        ["name", "type (VAX/RT)"])
+        menu.add_action("3", "Machine/cluster map",
+                        lambda: self.machines.map())
+        menu.add_action("4", "Assign machine to cluster",
+                        lambda m, c: self.machines.assign(m, c),
+                        ["machine", "cluster"])
+        return menu
+
+    def _filesys_menu(self) -> Menu:
+        menu = Menu("Filesystems and Quotas")
+        menu.add_action("1", "Show filesystem",
+                        lambda label: self.filesystems.get(label),
+                        ["label"])
+        menu.add_action("2", "Partitions and free space",
+                        lambda: self.filesystems.partitions())
+        menu.add_action("3", "Set quota",
+                        lambda fs, login, q: self.filesystems
+                        .update_quota(fs, login, int(q)),
+                        ["filesystem", "login", "quota"])
+        return menu
+
+    def _printer_menu(self) -> Menu:
+        menu = Menu("Printers")
+        menu.add_action("1", "Show printcap entries",
+                        lambda pat: self.printers.get(pat),
+                        ["name or pattern"])
+        menu.add_action("2", "Add printer",
+                        lambda name, host: self.printers.add(name, host),
+                        ["printer", "spool host"])
+        menu.add_action("3", "Delete printer",
+                        lambda name: self.printers.delete(name),
+                        ["printer"])
+        return menu
+
+    def _dcm_menu(self) -> Menu:
+        menu = Menu("DCM Control")
+        menu.add_action("1", "Service status",
+                        lambda: self.dcm.service_status("*"))
+        menu.add_action("2", "Host status for a service",
+                        lambda svc: self.dcm.host_status(svc),
+                        ["service"])
+        menu.add_action("3", "Force an update now",
+                        lambda svc, host: self.dcm.force_update(
+                            svc, host),
+                        ["service", "machine"])
+        menu.add_action("4", "Reset a host error",
+                        lambda svc, host: self.dcm.reset_host_error(
+                            svc, host),
+                        ["service", "machine"])
+        menu.add_action("5", "Services with hard errors",
+                        lambda: self.dcm.services_with_errors())
+        return menu
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, inputs: Sequence[str],
+            output=None) -> MenuSession:
+        """Drive the menu with scripted *inputs*; returns the session."""
+        session = MenuSession(self.build_menu(), inputs=inputs,
+                              output=output)
+        session.run()
+        return session

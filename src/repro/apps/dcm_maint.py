@@ -1,0 +1,119 @@
+"""dcm_maint — service and server-host control for the DCM (§7.0.4).
+
+Enable/disable services, force immediate updates with the override
+flag, reset hard errors after fixing the underlying problem, and fire
+the Trigger_DCM major request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DcmMaint", "ServiceStatus", "HostStatus"]
+
+
+@dataclass
+class ServiceStatus:
+    """One row of get_server_info, decoded."""
+    service: str
+    interval: int
+    target: str
+    type: str
+    enabled: bool
+    inprogress: bool
+    harderror: bool
+    errmsg: str
+    dfgen: int
+    dfcheck: int
+
+
+@dataclass
+class HostStatus:
+    """One row of get_server_host_info, decoded."""
+    service: str
+    machine: str
+    enabled: bool
+    override: bool
+    success: bool
+    hosterror: int
+    errmsg: str
+    lasttry: int
+    lastsuccess: int
+
+
+class DcmMaint:
+    """Operator control of DCM services and server hosts."""
+    def __init__(self, client):
+        self.client = client
+
+    # -- services --------------------------------------------------------------
+
+    def service_status(self, pattern: str = "*") -> list[ServiceStatus]:
+        """Decoded get_server_info for matching services."""
+        out = []
+        for r in self.client.query("get_server_info", pattern):
+            out.append(ServiceStatus(
+                service=r[0], interval=int(r[1]), target=r[2], type=r[6],
+                enabled=r[7] == "1", inprogress=r[8] == "1",
+                harderror=r[9] != "0", errmsg=r[10], dfgen=int(r[4]),
+                dfcheck=int(r[5])))
+        return out
+
+    def _set_service(self, service: str, enable: bool) -> None:
+        info = self.service_status(service)[0]
+        r = self.client.query("get_server_info", service)[0]
+        self.client.query("update_server_info", service, info.interval,
+                          info.target, r[3], info.type, int(enable),
+                          r[11], r[12])
+
+    def enable_service(self, service: str) -> None:
+        """Turn DCM updates on for a service."""
+        self._set_service(service, True)
+
+    def disable_service(self, service: str) -> None:
+        """Turn DCM updates off for a service."""
+        self._set_service(service, False)
+
+    def reset_service_error(self, service: str) -> None:
+        """Clear a service's hard error after a fix."""
+        self.client.query("reset_server_error", service)
+
+    def services_with_errors(self) -> list[str]:
+        """Names of services with hard errors."""
+        return [r[0] for r in self.client.query_maybe(
+            "qualified_get_server", "DONTCARE", "DONTCARE", "TRUE")]
+
+    # -- server hosts -------------------------------------------------------------
+
+    def host_status(self, service: str = "*",
+                    machine: str = "*") -> list[HostStatus]:
+        """Decoded get_server_host_info for matching pairs."""
+        out = []
+        for r in self.client.query_maybe("get_server_host_info", service,
+                                   machine):
+            out.append(HostStatus(
+                service=r[0], machine=r[1], enabled=r[2] == "1",
+                override=r[3] == "1", success=r[4] == "1",
+                hosterror=int(r[6]), errmsg=r[7], lasttry=int(r[8]),
+                lastsuccess=int(r[9])))
+        return out
+
+    def force_update(self, service: str, machine: str) -> None:
+        """Set the override flag and fire an immediate DCM run."""
+        self.client.query("set_server_host_override", service, machine)
+        self.client.mr_trigger_dcm()
+
+    def reset_host_error(self, service: str, machine: str) -> None:
+        """Clear a host's hard error after a fix."""
+        self.client.query("reset_server_host_error", service, machine)
+
+    def failed_hosts(self, service: str = "*") -> list[tuple[str, str]]:
+        """(service, machine) pairs whose last update failed."""
+        return [(r[0], r[1]) for r in self.client.query_maybe(
+            "qualified_get_server_host", service, "DONTCARE", "DONTCARE",
+            "FALSE", "DONTCARE", "DONTCARE")]
+
+    def locations(self, service: str) -> list[str]:
+        """Machines supporting a service (get_server_locations)."""
+        return [r[1] for r in self.client.query_maybe("get_server_locations",
+                                                service)]

@@ -1,0 +1,82 @@
+"""filsysmaint — filesystems, NFS partitions, and quotas (§7.0.5)."""
+
+from __future__ import annotations
+
+__all__ = ["FilsysMaint"]
+
+
+class FilsysMaint:
+    """Filesystems, NFS partitions, and quota administration."""
+    def __init__(self, client):
+        self.client = client
+
+    # -- logical filesystems ---------------------------------------------------
+
+    def get(self, label: str) -> list[dict]:
+        """Decoded filesystem records matching *label*."""
+        out = []
+        for r in self.client.query_maybe("get_filesys_by_label", label):
+            out.append({"label": r[0], "type": r[1], "machine": r[2],
+                        "name": r[3], "mount": r[4], "access": r[5],
+                        "owner": r[7], "owners": r[8],
+                        "create": r[9] == "1", "lockertype": r[10]})
+        return out
+
+    def by_machine(self, machine: str) -> list[str]:
+        """Labels of every filesystem on one machine."""
+        return [r[0] for r in
+                self.client.query_maybe("get_filesys_by_machine", machine)]
+
+    def add(self, label: str, machine: str, packname: str, mount: str,
+            owner: str, owners: str, *, fstype: str = "NFS",
+            access: str = "w", lockertype: str = "PROJECT",
+            create: bool = True, comments: str = "") -> None:
+        """Create a filesystem (defaults suit a project locker)."""
+        self.client.query("add_filesys", label, fstype, machine, packname,
+                          mount, access, comments, owner, owners,
+                          int(create), lockertype)
+
+    def delete(self, label: str) -> None:
+        """Delete a filesystem (quota allocation is returned)."""
+        self.client.query("delete_filesys", label)
+
+    # -- physical partitions --------------------------------------------------------
+
+    def partitions(self) -> list[dict]:
+        """Every exported partition with allocation and size."""
+        return [{"machine": r[0], "dir": r[1], "device": r[2],
+                 "status": int(r[3]), "allocated": int(r[4]),
+                 "size": int(r[5])}
+                for r in self.client.query_maybe("get_all_nfsphys")]
+
+    def add_partition(self, machine: str, directory: str, device: str,
+                      status: int, size: int) -> None:
+        """Export a new physical partition."""
+        self.client.query("add_nfsphys", machine, directory, device,
+                          status, 0, size)
+
+    def free_space(self, machine: str, directory: str) -> int:
+        """size - allocated for one partition, in quota units."""
+        r = self.client.query("get_nfsphys", machine, directory)[0]
+        return int(r[5]) - int(r[4])
+
+    # -- quotas --------------------------------------------------------------------------
+
+    def add_quota(self, filesystem: str, login: str, quota: int) -> None:
+        """Grant a quota on a filesystem."""
+        self.client.query("add_nfs_quota", filesystem, login, quota)
+
+    def update_quota(self, filesystem: str, login: str,
+                     quota: int) -> None:
+        """Change an existing quota."""
+        self.client.query("update_nfs_quota", filesystem, login, quota)
+
+    def delete_quota(self, filesystem: str, login: str) -> None:
+        """Revoke a quota."""
+        self.client.query("delete_nfs_quota", filesystem, login)
+
+    def quotas_on_partition(self, machine: str,
+                            directory: str) -> list[tuple[str, int]]:
+        """(login, quota) pairs on one partition."""
+        return [(r[1], int(r[2])) for r in self.client.query_maybe(
+            "get_nfs_quotas_by_partition", machine, directory)]

@@ -1,0 +1,129 @@
+"""listmaint — full list administration, menu-driven.
+
+The original presented a hierarchical menu (the §5.6.3 menu package);
+:meth:`build_menu` reproduces that interface on top of the same
+operations the programmatic API exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.menu import Menu
+
+__all__ = ["ListMaint", "ListInfo"]
+
+
+@dataclass
+class ListInfo:
+    """One list's attributes, decoded from get_list_info."""
+    name: str
+    active: bool
+    public: bool
+    hidden: bool
+    maillist: bool
+    group: bool
+    gid: int
+    ace_type: str
+    ace_name: str
+    description: str
+
+
+class ListMaint:
+    """Full list administration (programmatic + menu)."""
+    def __init__(self, client):
+        self.client = client
+
+    # -- operations ---------------------------------------------------------
+
+    def info(self, name: str) -> ListInfo:
+        """Decoded attributes of one list."""
+        r = self.client.query("get_list_info", name)[0]
+        return ListInfo(name=r[0], active=r[1] == "1", public=r[2] == "1",
+                        hidden=r[3] == "1", maillist=r[4] == "1",
+                        group=r[5] == "1", gid=int(r[6]), ace_type=r[7],
+                        ace_name=r[8], description=r[9])
+
+    def create(self, name: str, *, active=True, public=False, hidden=False,
+               maillist=True, group=False, gid=-1, ace_type="NONE",
+               ace_name="NONE", description="") -> ListInfo:
+        """Create a list and return its attributes."""
+        self.client.query("add_list", name, int(active), int(public),
+                          int(hidden), int(maillist), int(group), gid,
+                          ace_type, ace_name, description)
+        return self.info(name)
+
+    def rename(self, name: str, newname: str) -> ListInfo:
+        """Rename a list, preserving members and references."""
+        info = self.info(name)
+        self.client.query("update_list", name, newname, int(info.active),
+                          int(info.public), int(info.hidden),
+                          int(info.maillist), int(info.group), info.gid,
+                          info.ace_type, info.ace_name, info.description)
+        return self.info(newname)
+
+    def set_flags(self, name: str, **flags: bool) -> ListInfo:
+        """Flip named boolean attributes on a list."""
+        info = self.info(name)
+        for flag, value in flags.items():
+            if not hasattr(info, flag):
+                raise ValueError(f"unknown flag {flag!r}")
+            setattr(info, flag, value)
+        self.client.query("update_list", name, name, int(info.active),
+                          int(info.public), int(info.hidden),
+                          int(info.maillist), int(info.group), info.gid,
+                          info.ace_type, info.ace_name, info.description)
+        return self.info(name)
+
+    def delete(self, name: str) -> None:
+        """Delete an (empty, unreferenced) list."""
+        self.client.query("delete_list", name)
+
+    def add_member(self, name: str, mtype: str, member: str) -> None:
+        """Add a USER/LIST/STRING member."""
+        self.client.query("add_member_to_list", name, mtype, member)
+
+    def remove_member(self, name: str, mtype: str, member: str) -> None:
+        """Remove a member."""
+        self.client.query("delete_member_from_list", name, mtype, member)
+
+    def members(self, name: str) -> list[tuple[str, str]]:
+        """(type, name) members of a list; empty list if none."""
+        return [(r[0], r[1]) for r in
+                self.client.query_maybe("get_members_of_list", name)]
+
+    def count(self, name: str) -> int:
+        """Number of members on a list."""
+        return int(self.client.query("count_members_of_list", name)[0][0])
+
+    def expand(self, pattern: str) -> list[str]:
+        """Visible list names matching a wildcard pattern."""
+        return [r[0] for r in
+                self.client.query_maybe("expand_list_names", pattern)]
+
+    # -- the menu interface ----------------------------------------------------------
+
+    def build_menu(self) -> Menu:
+        """The hierarchical listmaint menu."""
+        root = Menu("List Maintenance")
+        root.add_action("1", "Show list information",
+                        lambda name: self.info(name), ["list name"])
+        root.add_action("2", "Create a list",
+                        lambda name, desc: self.create(
+                            name, description=desc),
+                        ["list name", "description"])
+        root.add_action("3", "Delete a list",
+                        lambda name: self.delete(name), ["list name"])
+        member = Menu("Membership")
+        member.add_action("1", "Show members",
+                          lambda name: self.members(name), ["list name"])
+        member.add_action("2", "Add member",
+                          lambda name, mtype, who: self.add_member(
+                              name, mtype, who),
+                          ["list name", "member type", "member"])
+        member.add_action("3", "Remove member",
+                          lambda name, mtype, who: self.remove_member(
+                              name, mtype, who),
+                          ["list name", "member type", "member"])
+        root.add_submenu("4", "Membership operations", member)
+        return root

@@ -1,0 +1,83 @@
+"""machmaint — machines, clusters, and cluster service data.
+
+Wraps the §7.0.2 queries, including the save_cluster_info flow that
+feeds cluster.db: machines join clusters, clusters carry (label, data)
+service records.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MachMaint"]
+
+
+class MachMaint:
+    """Machines, clusters, and cluster service data."""
+    def __init__(self, client):
+        self.client = client
+
+    # -- machines ----------------------------------------------------------
+
+    def add_machine(self, name: str, mtype: str) -> None:
+        """Register a machine (name uppercased, type checked)."""
+        self.client.query("add_machine", name, mtype)
+
+    def get_machine(self, pattern: str) -> list[dict]:
+        """Machines matching a pattern, decoded."""
+        return [{"name": r[0], "type": r[1]}
+                for r in self.client.query("get_machine", pattern)]
+
+    def rename_machine(self, name: str, newname: str) -> None:
+        """Rename a machine, keeping its type."""
+        mtype = self.get_machine(name)[0]["type"]
+        self.client.query("update_machine", name, newname, mtype)
+
+    def delete_machine(self, name: str) -> None:
+        """Delete an unreferenced machine."""
+        self.client.query("delete_machine", name)
+
+    # -- clusters --------------------------------------------------------------
+
+    def add_cluster(self, name: str, description: str = "",
+                    location: str = "") -> None:
+        """Create a cluster."""
+        self.client.query("add_cluster", name, description, location)
+
+    def get_cluster(self, pattern: str) -> list[dict]:
+        """Clusters matching a pattern, decoded."""
+        return [{"name": r[0], "description": r[1], "location": r[2]}
+                for r in self.client.query("get_cluster", pattern)]
+
+    def delete_cluster(self, name: str) -> None:
+        """Delete a machine-less cluster."""
+        self.client.query("delete_cluster", name)
+
+    def assign(self, machine: str, cluster: str) -> None:
+        """Put a machine into a cluster."""
+        self.client.query("add_machine_to_cluster", machine, cluster)
+
+    def unassign(self, machine: str, cluster: str) -> None:
+        """Take a machine out of a cluster."""
+        self.client.query("delete_machine_from_cluster", machine, cluster)
+
+    def map(self, machine: str = "*", cluster: str = "*") -> list[tuple]:
+        """Machine/cluster pairs matching both patterns."""
+        return [(r[0], r[1]) for r in self.client.query_maybe(
+            "get_machine_to_cluster_map", machine, cluster)]
+
+    # -- cluster service data (save_cluster_info) ----------------------------------
+
+    def add_cluster_data(self, cluster: str, label: str,
+                         data: str) -> None:
+        """Attach (label, data) service info to a cluster."""
+        self.client.query("add_cluster_data", cluster, label, data)
+
+    def get_cluster_data(self, cluster: str = "*",
+                         label: str = "*") -> list[tuple]:
+        """Service data rows for matching clusters/labels."""
+        return [(r[0], r[1], r[2]) for r in self.client.query_maybe(
+            "get_cluster_data", cluster, label)]
+
+    def delete_cluster_data(self, cluster: str, label: str,
+                            data: str) -> None:
+        """Remove one exact service-data row."""
+        self.client.query("delete_cluster_data", cluster, label, data)

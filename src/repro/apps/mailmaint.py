@@ -1,0 +1,51 @@
+"""mailmaint — self-service mailing list membership.
+
+The paper's second motivating example: "a user [runs] an application to
+add themselves to a public mailing list ... Sometime later, the mailing
+lists file on the central mail hub will be updated to show this
+change."  mailmaint lists the public lists, joins/leaves them, and
+shows the caller's memberships.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MoiraError, MR_PERM
+
+__all__ = ["MailMaint"]
+
+
+class MailMaint:
+    """Self-service mailing-list membership for one user."""
+    def __init__(self, client, login: str):
+        self.client = client
+        self.login = login
+
+    def public_lists(self) -> list[str]:
+        """Active, public, visible mailing lists (qualified_get_lists)."""
+        rows = self.client.query_maybe("qualified_get_lists", "TRUE", "TRUE",
+                                 "FALSE", "TRUE", "DONTCARE")
+        return sorted(r[0] for r in rows)
+
+    def my_lists(self) -> list[str]:
+        """Mailing lists the caller belongs to."""
+        rows = self.client.query_maybe("get_lists_of_member", "USER", self.login)
+        return sorted(r[0] for r in rows if r[4] == "1")  # maillist flag
+
+    def join(self, list_name: str) -> None:
+        """Add the caller to a public list (pre-checked)."""
+        if not self.client.access("add_member_to_list", list_name, "USER",
+                                  self.login):
+            raise MoiraError(MR_PERM, f"{list_name} is not public")
+        self.client.query("add_member_to_list", list_name, "USER",
+                          self.login)
+
+    def leave(self, list_name: str) -> None:
+        """Remove the caller from a list."""
+        self.client.query("delete_member_from_list", list_name, "USER",
+                          self.login)
+
+    def members(self, list_name: str) -> list[tuple[str, str]]:
+        """(type, name) members of a list."""
+        return [(r[0], r[1])
+                for r in self.client.query_maybe("get_members_of_list",
+                                           list_name)]

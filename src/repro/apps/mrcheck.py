@@ -1,0 +1,158 @@
+"""mrcheck — database consistency checker.
+
+"What is important is that the database remain internally consistant"
+(§5.2.2).  mrcheck audits the referential invariants the query layer is
+supposed to maintain; a clean run returns an empty list.  The test
+suite uses it as an oracle after random query workloads.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+
+__all__ = ["MrCheck"]
+
+
+class MrCheck:
+    """Referential-integrity auditor over a database."""
+    def __init__(self, db: Database):
+        self.db = db
+
+    def run(self) -> list[str]:
+        """Audit every invariant; returns problem strings (empty=clean)."""
+        problems: list[str] = []
+        problems += self._check_members()
+        problems += self._check_aces()
+        problems += self._check_filesys()
+        problems += self._check_quota_allocation()
+        problems += self._check_poboxes()
+        problems += self._check_serverhosts()
+        problems += self._check_unique_ids()
+        return problems
+
+    def _user_ids(self) -> set[int]:
+        return {u["users_id"] for u in self.db.table("users").rows}
+
+    def _list_ids(self) -> set[int]:
+        return {l["list_id"] for l in self.db.table("list").rows}
+
+    def _check_members(self) -> list[str]:
+        problems = []
+        users = self._user_ids()
+        lists = self._list_ids()
+        strings = {s["string_id"] for s in self.db.table("strings").rows}
+        for m in self.db.table("members").rows:
+            if m["list_id"] not in lists:
+                problems.append(
+                    f"members: row references missing list {m['list_id']}")
+            target = {"USER": users, "LIST": lists,
+                      "STRING": strings}.get(m["member_type"])
+            if target is None:
+                problems.append(
+                    f"members: bad member_type {m['member_type']!r}")
+            elif m["member_id"] not in target:
+                problems.append(
+                    f"members: dangling {m['member_type']} member "
+                    f"{m['member_id']} on list {m['list_id']}")
+        return problems
+
+    def _check_aces(self) -> list[str]:
+        problems = []
+        users = self._user_ids()
+        lists = self._list_ids()
+        for table, what in [("list", "name"), ("servers", "name"),
+                            ("hostaccess", "mach_id")]:
+            for row in self.db.table(table).rows:
+                ace_type, ace_id = row["acl_type"], row["acl_id"]
+                if ace_type == "USER" and ace_id not in users:
+                    problems.append(
+                        f"{table} {row[what]}: dangling USER ace {ace_id}")
+                elif ace_type == "LIST" and ace_id not in lists:
+                    problems.append(
+                        f"{table} {row[what]}: dangling LIST ace {ace_id}")
+                elif ace_type not in ("USER", "LIST", "NONE"):
+                    problems.append(
+                        f"{table} {row[what]}: bad ace type {ace_type!r}")
+        return problems
+
+    def _check_filesys(self) -> list[str]:
+        problems = []
+        users = self._user_ids()
+        lists = self._list_ids()
+        machines = {m["mach_id"] for m in self.db.table("machine").rows}
+        phys = {p["nfsphys_id"] for p in self.db.table("nfsphys").rows}
+        for fs in self.db.table("filesys").rows:
+            if fs["mach_id"] not in machines:
+                problems.append(
+                    f"filesys {fs['label']}: missing machine "
+                    f"{fs['mach_id']}")
+            if fs["owner"] and fs["owner"] not in users:
+                problems.append(
+                    f"filesys {fs['label']}: dangling owner {fs['owner']}")
+            if fs["owners"] and fs["owners"] not in lists:
+                problems.append(
+                    f"filesys {fs['label']}: dangling owners "
+                    f"{fs['owners']}")
+            if fs["type"] == "NFS" and fs["phys_id"] not in phys:
+                problems.append(
+                    f"filesys {fs['label']}: dangling nfsphys "
+                    f"{fs['phys_id']}")
+        return problems
+
+    def _check_quota_allocation(self) -> list[str]:
+        """nfsphys.allocated must equal the sum of quotas on it."""
+        problems = []
+        sums: dict[int, int] = {}
+        for q in self.db.table("nfsquota").rows:
+            sums[q["phys_id"]] = sums.get(q["phys_id"], 0) + q["quota"]
+        for p in self.db.table("nfsphys").rows:
+            expect = sums.get(p["nfsphys_id"], 0)
+            if p["allocated"] != expect:
+                problems.append(
+                    f"nfsphys {p['nfsphys_id']}: allocated "
+                    f"{p['allocated']} != quota sum {expect}")
+        return problems
+
+    def _check_poboxes(self) -> list[str]:
+        problems = []
+        machines = {m["mach_id"] for m in self.db.table("machine").rows}
+        strings = {s["string_id"] for s in self.db.table("strings").rows}
+        for u in self.db.table("users").rows:
+            if u["potype"] == "POP" and u["pop_id"] not in machines:
+                problems.append(
+                    f"user {u['login']}: POP box on missing machine "
+                    f"{u['pop_id']}")
+            if u["potype"] == "SMTP" and u["box_id"] not in strings:
+                problems.append(
+                    f"user {u['login']}: SMTP box missing string "
+                    f"{u['box_id']}")
+        return problems
+
+    def _check_serverhosts(self) -> list[str]:
+        problems = []
+        machines = {m["mach_id"] for m in self.db.table("machine").rows}
+        services = {s["name"] for s in self.db.table("servers").rows}
+        for sh in self.db.table("serverhosts").rows:
+            if sh["mach_id"] not in machines:
+                problems.append(
+                    f"serverhosts {sh['service']}: missing machine "
+                    f"{sh['mach_id']}")
+            if sh["service"] not in services:
+                problems.append(
+                    f"serverhosts: orphan service {sh['service']}")
+        return problems
+
+    def _check_unique_ids(self) -> list[str]:
+        problems = []
+        for table, column in [("users", "users_id"), ("users", "uid"),
+                              ("list", "list_id"), ("machine", "mach_id"),
+                              ("filesys", "filsys_id")]:
+            seen: dict[int, int] = {}
+            for row in self.db.table(table).rows:
+                value = row[column]
+                seen[value] = seen.get(value, 0) + 1
+            dupes = {v: c for v, c in seen.items() if c > 1}
+            if dupes:
+                problems.append(
+                    f"{table}.{column}: duplicate values {sorted(dupes)}")
+        return problems

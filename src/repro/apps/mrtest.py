@@ -1,0 +1,73 @@
+"""mrtest — the interactive query exerciser.
+
+The original mrtest let operators type any query by long or short name
+with arguments and see the raw tuples, plus the built-in specials
+(_help, _list_queries, _list_users).  Invaluable for debugging and for
+verifying the access story: mrtest shows MR_PERM where a query is
+denied rather than hiding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import error_message
+
+__all__ = ["MrTest", "MrTestResult"]
+
+
+@dataclass
+class MrTestResult:
+    """One query invocation: code, tuples, renderer."""
+    query: str
+    args: tuple[str, ...]
+    code: int
+    tuples: list[tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the query returned zero."""
+        return self.code == 0
+
+    def render(self) -> str:
+        """Human-readable form: the tuples plus the status line."""
+        lines = [f"moira query {self.query} {' '.join(self.args)}"]
+        for t in self.tuples:
+            lines.append("  " + ", ".join(t))
+        status = "ok" if self.ok else error_message(self.code)
+        lines.append(f"{len(self.tuples)} tuple(s); {status}")
+        return "\n".join(lines)
+
+
+class MrTest:
+    """Interactive query exerciser over a client."""
+    def __init__(self, client):
+        self.client = client
+        self.history: list[MrTestResult] = []
+
+    def run(self, query: str, *args: str) -> MrTestResult:
+        """Execute a query by name; records and returns the result."""
+        tuples: list[tuple[str, ...]] = []
+        code = self.client.mr_query(
+            query, [str(a) for a in args],
+            lambda argc, argv, arg: tuples.append(argv))
+        result = MrTestResult(query=query, args=tuple(map(str, args)),
+                              code=code, tuples=tuples)
+        self.history.append(result)
+        return result
+
+    def help(self, query: str) -> str:
+        """The _help text for one query."""
+        return self.run("_help", query).tuples[0][0]
+
+    def list_queries(self) -> list[tuple[str, str]]:
+        """Every (long, short) query name pair."""
+        return [(t[0], t[1]) for t in self.run("_list_queries").tuples]
+
+    def list_users(self) -> list[tuple[str, ...]]:
+        """Live server connections via _list_users."""
+        return self.run("_list_users").tuples
+
+    def check_access(self, query: str, *args: str) -> bool:
+        """Would this query be permitted? (Access request)."""
+        return self.client.access(query, *args)

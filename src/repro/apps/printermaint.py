@@ -1,0 +1,30 @@
+"""printermaint — printcap administration (§7.0.7)."""
+
+from __future__ import annotations
+
+__all__ = ["PrinterMaint"]
+
+
+class PrinterMaint:
+    """Printcap administration."""
+    def __init__(self, client):
+        self.client = client
+
+    def get(self, pattern: str = "*") -> list[dict]:
+        """Decoded printcap entries matching a pattern."""
+        return [{"printer": r[0], "spool_host": r[1], "spool_dir": r[2],
+                 "rprinter": r[3], "comments": r[4]}
+                for r in self.client.query_maybe("get_printcap", pattern)]
+
+    def add(self, printer: str, spool_host: str, *,
+            spool_dir: str = "", rprinter: str = "",
+            comments: str = "") -> None:
+        """Register a printer (spool dir/rprinter defaulted)."""
+        self.client.query(
+            "add_printcap", printer, spool_host,
+            spool_dir or f"/usr/spool/printer/{printer}",
+            rprinter or printer, comments)
+
+    def delete(self, printer: str) -> None:
+        """Remove a printer."""
+        self.client.query("delete_printcap", printer)

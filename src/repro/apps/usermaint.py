@@ -1,0 +1,76 @@
+"""usermaint — the user accounts administrator's interface.
+
+The paper's first motivating example: "the user accounts administrator
+... change[s] the disk quota assigned to a user.  She doesn't need to
+log in to any other machine to do this, and the change will
+automatically take place on the proper server a short time later."
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import UNIQUE_LOGIN, UNIQUE_UID
+
+__all__ = ["UserMaint"]
+
+
+class UserMaint:
+    """The user-accounts administrator's interface."""
+    def __init__(self, client):
+        self.client = client
+
+    # -- accounts -------------------------------------------------------------
+
+    def lookup(self, login: str) -> dict:
+        """Decoded account record for one login."""
+        r = self.client.query("get_user_by_login", login)[0]
+        return {"login": r[0], "uid": int(r[1]), "shell": r[2],
+                "last": r[3], "first": r[4], "middle": r[5],
+                "status": int(r[6]), "class": r[8]}
+
+    def lookup_by_name(self, first: str, last: str) -> list[dict]:
+        """Accounts matching first/last (wildcards ok)."""
+        rows = self.client.query_maybe("get_user_by_name", first, last)
+        return [{"login": r[0], "uid": int(r[1]), "status": int(r[6])}
+                for r in rows]
+
+    def preregister(self, first: str, last: str, mitid_hash: str,
+                    year: str) -> None:
+        """Add a registerable (status 0) account from the registrar's
+        data: no login, auto-assigned uid."""
+        self.client.query("add_user", UNIQUE_LOGIN, UNIQUE_UID, "/bin/csh",
+                          last, first, "", 0, mitid_hash, year)
+
+    def add_account(self, login: str, first: str, last: str, year: str,
+                    shell: str = "/bin/csh") -> dict:
+        """Create an active account with an auto-assigned uid."""
+        self.client.query("add_user", login, UNIQUE_UID, shell, last,
+                          first, "", 1, "", year)
+        return self.lookup(login)
+
+    def activate(self, login: str) -> None:
+        """Set status 1 (active)."""
+        self.client.query("update_user_status", login, 1)
+
+    def deactivate(self, login: str) -> None:
+        """Mark for deletion (status 3): drops out of all extracts."""
+        self.client.query("update_user_status", login, 3)
+
+    def remove(self, login: str) -> None:
+        """Zero the status and delete the account."""
+        self.client.query("update_user_status", login, 0)
+        self.client.query("delete_user", login)
+
+    # -- quotas (the motivating example) ----------------------------------------------
+
+    def get_quota(self, login: str, filesystem: str | None = None) -> int:
+        """The user's quota on their (or a named) filesystem."""
+        rows = self.client.query("get_nfs_quota", filesystem or login,
+                                 login)
+        return int(rows[0][2])
+
+    def set_quota(self, login: str, quota: int,
+                  filesystem: str | None = None) -> int:
+        """Change a user's disk quota; the DCM propagates it later."""
+        self.client.query("update_nfs_quota", filesystem or login, login,
+                          quota)
+        return self.get_quota(login, filesystem)

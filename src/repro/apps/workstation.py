@@ -1,0 +1,141 @@
+"""Workstation-side programs that consume Moira-fed services.
+
+The paper names the client programs of each Hesiod file: ``attach``
+(filsys.db), ``login`` (passwd.db, grplist.db), ``inc``/``movemail``
+(pobox.db), ``lpr`` (printcap.db), ``zhm``/``chpobox`` (sloc.db).
+These are not Moira clients — they never talk to the Moira server — but
+they are the reason the whole pipeline exists, so the reproduction
+includes the two central ones:
+
+* :class:`Attach` — resolve a filesystem by name through Hesiod and
+  mount it from the NFS server, honouring the credentials file.
+* :class:`WorkstationLogin` — the Athena login sequence: Hesiod passwd
+  lookup, Kerberos password check, group list, home-directory attach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import MoiraError
+from repro.kerberos.kdc import KDC
+from repro.servers.hesiod import HesiodError, HesiodServer
+from repro.servers.nfs import NFSServer
+
+__all__ = ["Attach", "AttachError", "WorkstationLogin", "LoginSession"]
+
+
+class AttachError(Exception):
+    """attach(1) failure: unknown filesys, no credentials..."""
+    pass
+
+
+@dataclass
+class Mount:
+    """An established NFS mount."""
+    filesystem: str
+    server: str
+    remote_path: str
+    mountpoint: str
+    mode: str
+
+
+class Attach:
+    """The ``attach`` command: filsys.db -> NFS mount."""
+
+    def __init__(self, hesiod: HesiodServer,
+                 nfs_servers: dict[str, NFSServer]):
+        self.hesiod = hesiod
+        # map short lowercase server name -> NFSServer
+        self._nfs = {}
+        for name, server in nfs_servers.items():
+            self._nfs[name.split(".")[0].lower()] = server
+        self.mounts: dict[str, Mount] = {}
+
+    def attach(self, filesystem: str, login: str,
+               mountpoint: Optional[str] = None) -> Mount:
+        """Attach *filesystem* for *login*; returns the mount."""
+        try:
+            fs = self.hesiod.get_filsys(filesystem)
+        except HesiodError as exc:
+            raise AttachError(f"{filesystem}: {exc}") from exc
+        if fs["fstype"] != "NFS":
+            raise AttachError(
+                f"{filesystem}: {fs['fstype']} attach not supported "
+                "on this workstation")
+        server = self._nfs.get(fs["server"])
+        if server is None:
+            raise AttachError(f"{filesystem}: no NFS server "
+                              f"{fs['server']!r}")
+        # "The credentials file determines access permissions"
+        if not server.access_allowed(login):
+            raise AttachError(
+                f"{filesystem}: {login} has no credentials on "
+                f"{fs['server']}")
+        mount = Mount(filesystem=filesystem, server=fs["server"],
+                      remote_path=fs["name"],
+                      mountpoint=mountpoint or fs["mount"],
+                      mode=fs["access"])
+        self.mounts[mount.mountpoint] = mount
+        return mount
+
+    def detach(self, mountpoint: str) -> None:
+        """Remove a mount established by attach()."""
+        if mountpoint not in self.mounts:
+            raise AttachError(f"nothing attached at {mountpoint}")
+        del self.mounts[mountpoint]
+
+
+@dataclass
+class LoginSession:
+    """The result of a successful workstation login."""
+    login: str
+    uid: int
+    home: str
+    shell: str
+    groups: list[tuple[str, int]] = field(default_factory=list)
+    home_mount: Optional[Mount] = None
+
+
+class WorkstationLogin:
+    """The Athena workstation login sequence."""
+
+    def __init__(self, hesiod: HesiodServer, kdc: KDC, attach: Attach):
+        self.hesiod = hesiod
+        self.kdc = kdc
+        self.attach = attach
+
+    def login(self, username: str, password: str) -> LoginSession:
+        """Authenticate and set up a session; raises on any failure."""
+        # 1. Kerberos password check (tickets for the session)
+        cache = self.kdc.kinit(username, password)  # MoiraError on fail
+
+        # 2. hesiod passwd entry (the workstation has no local accounts)
+        try:
+            pw = self.hesiod.getpwnam(username)
+        except HesiodError as exc:
+            raise MoiraError(
+                0, f"no hesiod passwd entry for {username}: {exc}"
+            ) from exc
+
+        # 3. group list from grplist.db
+        groups: list[tuple[str, int]] = []
+        try:
+            entry = self.hesiod.resolve(username, "grplist")[0]
+            parts = entry.split(":")
+            groups = [(parts[i], int(parts[i + 1]))
+                      for i in range(0, len(parts) - 1, 2)]
+        except HesiodError:
+            pass  # a user with no groups can still log in
+
+        session = LoginSession(login=cache.principal, uid=pw["uid"],
+                               home=pw["home"], shell=pw["shell"],
+                               groups=groups)
+
+        # 4. attach the home directory
+        try:
+            session.home_mount = self.attach.attach(username, username)
+        except AttachError:
+            session.home_mount = None  # degraded login, like the real one
+        return session

@@ -1,0 +1,36 @@
+"""The Moira application library (paper §5.6).
+
+Provides the C API's calls — ``mr_connect``, ``mr_auth``,
+``mr_disconnect``, ``mr_noop``, ``mr_access``, ``mr_query`` — returning
+integer error codes exactly as documented, a pythonic wrapper that
+raises :class:`~repro.errors.MoiraError` instead, the direct "glue"
+variant that bypasses the server (§5.6: used by the DCM "for
+performance reasons"), and the utility routines of §5.6.3 (hostname
+canonicalisation, string trimming, hash table, queue, menus).
+"""
+
+from repro.client.lib import DirectClient, MoiraClient
+from repro.client.utils import (
+    HashTable,
+    Queue,
+    canonicalize_hostname,
+    format_flags,
+    parse_flags,
+    strsave,
+    strtrim,
+)
+from repro.client.menu import Menu, MenuItem
+
+__all__ = [
+    "MoiraClient",
+    "DirectClient",
+    "HashTable",
+    "Queue",
+    "canonicalize_hostname",
+    "format_flags",
+    "parse_flags",
+    "strsave",
+    "strtrim",
+    "Menu",
+    "MenuItem",
+]

@@ -1,0 +1,287 @@
+"""mr_* application library calls (paper §5.6.2) and the direct glue library.
+
+Two client classes:
+
+* :class:`MoiraClient` — goes through the protocol (in-process or TCP),
+  authenticating with Kerberos.  Its ``mr_*`` methods return integer
+  error codes like the C library ("By convention, zero indicates
+  success"); the ``query``/``access``/``auth`` convenience methods
+  raise :class:`MoiraError` instead and return parsed tuples.
+
+* :class:`DirectClient` — "a version of the library which does direct
+  calls ... rather than going through the server.  Use of this library
+  should result in significantly higher throughput ... it does not use
+  Kerberos authentication."  The DCM and backup programs use it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.db.engine import Database
+from repro.db.journal import Journal
+from repro.errors import (
+    MoiraError,
+    MR_ABORTED,
+    MR_ALREADY_CONNECTED,
+    MR_MORE_DATA,
+    MR_NOT_CONNECTED,
+)
+from repro.kerberos.kdc import KDC, CredentialCache
+from repro.protocol.transport import (
+    ClientConnection,
+    connect_inproc,
+    connect_tcp,
+)
+from repro.protocol.wire import MajorRequest, pack_authenticator
+from repro.queries.base import QueryContext, execute_query
+from repro.sim.clock import Clock
+
+__all__ = ["MoiraClient", "DirectClient"]
+
+QueryCallback = Callable[[int, tuple[str, ...], object], None]
+
+
+class MoiraClient:
+    """A client of the Moira server, speaking the Moira protocol."""
+
+    def __init__(
+        self,
+        *,
+        dispatcher=None,
+        tcp_address: Optional[tuple[str, int]] = None,
+        kdc: Optional[KDC] = None,
+        credentials: Optional[CredentialCache] = None,
+        clock: Optional[Clock] = None,
+        service_principal: str = "moira",
+    ):
+        if (dispatcher is None) == (tcp_address is None):
+            raise ValueError("give exactly one of dispatcher/tcp_address")
+        self._dispatcher = dispatcher
+        self._tcp_address = tcp_address
+        self.kdc = kdc
+        self.credentials = credentials
+        self.clock = clock
+        self.service_principal = service_principal
+        self._conn: Optional[ClientConnection] = None
+
+    # -- C-style API: integer return codes ------------------------------------
+
+    def mr_connect(self) -> int:
+        """Connect to the Moira server.  Does not authenticate (§5.6.2:
+        "for simple read-only queries ... the overhead of authentication
+        can be comparable to that of the query")."""
+        if self._conn is not None:
+            return MR_ALREADY_CONNECTED
+        try:
+            if self._dispatcher is not None:
+                self._conn = connect_inproc(self._dispatcher)
+            else:
+                host, port = self._tcp_address
+                self._conn = connect_tcp(host, port)
+        except MoiraError as exc:
+            return exc.code
+        return 0
+
+    def mr_disconnect(self) -> int:
+        """Drop the connection; MR_NOT_CONNECTED if none."""
+        if self._conn is None:
+            return MR_NOT_CONNECTED
+        self._conn.close()
+        self._conn = None
+        return 0
+
+    def mr_noop(self) -> int:
+        """Handshake with Moira, for testing and performance measurement."""
+        if self._conn is None:
+            return MR_NOT_CONNECTED
+        try:
+            replies = self._conn.call(MajorRequest.NOOP, [])
+        except MoiraError:
+            self._abort()
+            return MR_ABORTED
+        return replies[-1].code
+
+    def mr_auth(self, clientname: str) -> int:
+        """Authenticate the user to the system.
+
+        *clientname* is "the name of the program acting on behalf of the
+        user"; it becomes modwith in audit fields.
+        """
+        if self._conn is None:
+            return MR_NOT_CONNECTED
+        if self.kdc is None or self.credentials is None:
+            return MR_ABORTED
+        try:
+            ticket = self.credentials.tickets.get(self.service_principal)
+            if ticket is None:
+                ticket = self.kdc.get_service_ticket(
+                    self.credentials, self.service_principal)
+            now = (self.clock or self.kdc.clock).now()
+            auth = self.kdc.make_authenticator(ticket, now)
+            replies = self._conn.call(
+                MajorRequest.AUTHENTICATE,
+                [clientname.encode(), pack_authenticator(auth)])
+        except MoiraError as exc:
+            return exc.code
+        return replies[-1].code
+
+    def mr_access(self, name: str, args: Sequence[str]) -> int:
+        """Check access to a query without running it."""
+        if self._conn is None:
+            return MR_NOT_CONNECTED
+        try:
+            replies = self._conn.call(
+                MajorRequest.ACCESS, [name, *map(str, args)])
+        except MoiraError as exc:
+            return exc.code
+        return replies[-1].code
+
+    def mr_query(self, name: str, args: Sequence[str],
+                 callproc: Optional[QueryCallback] = None,
+                 callarg: object = None) -> int:
+        """Run a query; *callproc* receives each returned tuple.
+
+        The callback signature matches the paper: (number of elements,
+        the tuple data, callarg).
+        """
+        if self._conn is None:
+            return MR_NOT_CONNECTED
+        try:
+            final = 0
+            for reply in self._conn.stream(
+                    MajorRequest.QUERY, [name, *map(str, args)]):
+                if reply.code == MR_MORE_DATA:
+                    fields = reply.str_fields()
+                    if callproc is not None:
+                        callproc(len(fields), fields, callarg)
+                else:
+                    final = reply.code
+            return final
+        except MoiraError as exc:
+            self._abort()
+            return exc.code
+
+    def mr_trigger_dcm(self) -> int:
+        """Request an immediate DCM run (the Trigger_DCM major request)."""
+        if self._conn is None:
+            return MR_NOT_CONNECTED
+        try:
+            replies = self._conn.call(MajorRequest.TRIGGER_DCM, [])
+        except MoiraError as exc:
+            return exc.code
+        return replies[-1].code
+
+    def _abort(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- pythonic API: exceptions and return values ------------------------------
+
+    def connect(self) -> "MoiraClient":
+        """mr_connect, raising MoiraError on failure."""
+        code = self.mr_connect()
+        if code:
+            raise MoiraError(code, "mr_connect")
+        return self
+
+    def auth(self, clientname: str = "python") -> "MoiraClient":
+        """mr_auth, raising MoiraError on failure."""
+        code = self.mr_auth(clientname)
+        if code:
+            raise MoiraError(code, "mr_auth")
+        return self
+
+    def query(self, name: str, *args: str) -> list[tuple[str, ...]]:
+        """Run a query, returning tuples; raises MoiraError."""
+        rows: list[tuple[str, ...]] = []
+        code = self.mr_query(
+            name, [str(a) for a in args],
+            lambda argc, argv, arg: rows.append(argv))
+        if code:
+            raise MoiraError(code, name)
+        return rows
+
+    def query_maybe(self, name: str, *args: str) -> list[tuple[str, ...]]:
+        """Like :meth:`query`, but an empty retrieval (MR_NO_MATCH)
+        returns [] instead of raising — for listings that may be empty."""
+        from repro.errors import MR_NO_MATCH
+        try:
+            return self.query(name, *args)
+        except MoiraError as exc:
+            if exc.code == MR_NO_MATCH:
+                return []
+            raise
+
+    def access(self, name: str, *args: str) -> bool:
+        """True if the caller may run the query with these args."""
+        return self.mr_access(name, [str(a) for a in args]) == 0
+
+    def noop(self) -> None:
+        """mr_noop, raising MoiraError on failure."""
+        code = self.mr_noop()
+        if code:
+            raise MoiraError(code, "mr_noop")
+
+    def close(self) -> None:
+        """Disconnect (idempotent)."""
+        self.mr_disconnect()
+
+    def __enter__(self) -> "MoiraClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DirectClient:
+    """The direct "glue" library: same interface, no server, no Kerberos.
+
+    Used where the paper uses it — the DCM and backup utilities running
+    on the Moira host itself.  The caller identity defaults to root.
+    """
+
+    def __init__(self, db: Database, clock: Clock, *,
+                 journal: Optional[Journal] = None, caller: str = "root",
+                 client: str = "dcm"):
+        self._ctx = QueryContext(db=db, clock=clock, caller=caller,
+                                 client=client, journal=journal,
+                                 privileged=True)
+
+    def mr_query(self, name: str, args: Sequence[str],
+                 callproc: Optional[QueryCallback] = None,
+                 callarg: object = None) -> int:
+        """Run a query via the direct context; returns an error code."""
+        try:
+            rows = execute_query(self._ctx, name, [str(a) for a in args])
+        except MoiraError as exc:
+            return exc.code
+        if callproc is not None:
+            for row in rows:
+                fields = tuple(str(f) for f in row)
+                callproc(len(fields), fields, callarg)
+        return 0
+
+    def query(self, name: str, *args: str) -> list[tuple[str, ...]]:
+        """Run a query, returning tuples; raises MoiraError."""
+        rows = execute_query(self._ctx, name, [str(a) for a in args])
+        return [tuple(str(f) for f in row) for row in rows]
+
+    def query_maybe(self, name: str, *args: str) -> list[tuple[str, ...]]:
+        """Like query(), but MR_NO_MATCH yields []."""
+        from repro.errors import MR_NO_MATCH
+        try:
+            return self.query(name, *args)
+        except MoiraError as exc:
+            if exc.code == MR_NO_MATCH:
+                return []
+            raise
+
+    def access(self, name: str, *args: str) -> bool:
+        """True if the caller may run the query with these args."""
+        return True  # direct library bypasses the server's access layer
+
+    def noop(self) -> None:
+        """mr_noop, raising MoiraError on failure."""
+        return None

@@ -1,0 +1,137 @@
+"""The menu package used by some of the clients (paper §5.6.3).
+
+The original was a curses-style hierarchical menu driver; admin
+programs like listmaint presented numbered choices, prompted for
+arguments, and dispatched to handler functions.  This reproduction is
+I/O-agnostic: it renders menus to strings and consumes scripted input,
+so interactive applications and tests share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["Menu", "MenuItem", "MenuSession"]
+
+
+@dataclass
+class MenuItem:
+    """One selectable entry: either an action or a submenu."""
+
+    key: str                    # what the user types to select it
+    title: str
+    action: Optional[Callable[..., object]] = None
+    argument_names: tuple[str, ...] = ()
+    submenu: Optional["Menu"] = None
+
+    def __post_init__(self) -> None:
+        if (self.action is None) == (self.submenu is None):
+            raise ValueError("item needs exactly one of action/submenu")
+
+
+@dataclass
+class Menu:
+    """A titled collection of selectable items."""
+    title: str
+    items: list[MenuItem] = field(default_factory=list)
+
+    def add_action(self, key: str, title: str,
+                   action: Callable[..., object],
+                   argument_names: Sequence[str] = ()) -> MenuItem:
+        """Append an action item; returns it."""
+        item = MenuItem(key=key, title=title, action=action,
+                        argument_names=tuple(argument_names))
+        self.items.append(item)
+        return item
+
+    def add_submenu(self, key: str, title: str, submenu: "Menu") -> MenuItem:
+        """Append a submenu item; returns it."""
+        item = MenuItem(key=key, title=title, submenu=submenu)
+        self.items.append(item)
+        return item
+
+    def render(self) -> str:
+        """The menu as display text."""
+        lines = [self.title, "=" * len(self.title)]
+        for item in self.items:
+            marker = ">" if item.submenu else " "
+            lines.append(f" {item.key}{marker} {item.title}")
+        lines.append(" q  (return/quit)")
+        return "\n".join(lines)
+
+    def find(self, key: str) -> Optional[MenuItem]:
+        """The item with selection key *key*, or None."""
+        for item in self.items:
+            if item.key == key:
+                return item
+        return None
+
+
+class MenuSession:
+    """Drives a menu tree from a supply of input lines.
+
+    ``run`` consumes inputs (selection keys and prompted argument
+    values) until the input is exhausted or the user quits the root
+    menu; every piece of rendered output is collected in ``transcript``
+    so callers can display or assert on it.
+    """
+
+    def __init__(self, root: Menu, inputs: Sequence[str] = (),
+                 output: Optional[Callable[[str], None]] = None):
+        self.root = root
+        self._inputs = list(inputs)
+        self._output = output
+        self.transcript: list[str] = []
+        self.results: list[object] = []
+
+    def _emit(self, text: str) -> None:
+        self.transcript.append(text)
+        if self._output is not None:
+            self._output(text)
+
+    def _next_input(self) -> Optional[str]:
+        if not self._inputs:
+            return None
+        return self._inputs.pop(0)
+
+    def run(self) -> list[object]:
+        """Consume inputs until exhausted or the root menu is quit."""
+        stack = [self.root]
+        while stack:
+            menu = stack[-1]
+            self._emit(menu.render())
+            choice = self._next_input()
+            if choice is None:
+                break
+            choice = choice.strip()
+            if choice == "q":
+                stack.pop()
+                continue
+            item = menu.find(choice)
+            if item is None:
+                self._emit(f"?? unknown selection {choice!r}")
+                continue
+            if item.submenu is not None:
+                stack.append(item.submenu)
+                continue
+            args = []
+            aborted = False
+            for name in item.argument_names:
+                self._emit(f"{name}: ")
+                value = self._next_input()
+                if value is None:
+                    aborted = True
+                    break
+                args.append(value)
+            if aborted:
+                break
+            try:
+                result = item.action(*args)
+            except Exception as exc:
+                self._emit(f"error: {exc}")
+                continue
+            if result is not None:
+                self._emit(str(result))
+            self.results.append(result)
+        return self.results

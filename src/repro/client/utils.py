@@ -1,0 +1,142 @@
+"""Utility routines from the Moira library (paper §5.6.3).
+
+"convert between flags integer and human-readable string; canonicalize
+hostname; string utility routines — trim whitespace, save a copy; hash
+table abstraction; simple queue abstraction" — all reproduced here with
+their original shapes (the hash table and queue mirror the C library's
+iteration-centric interfaces).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "strtrim",
+    "strsave",
+    "canonicalize_hostname",
+    "parse_flags",
+    "format_flags",
+    "HashTable",
+    "Queue",
+]
+
+
+def strtrim(value: str) -> str:
+    """Trim leading and trailing whitespace."""
+    return value.strip()
+
+
+def strsave(value: str) -> str:
+    """Save a copy of a string.
+
+    In C this malloc'ed a duplicate; Python strings are immutable so
+    the value itself suffices — kept for API parity with the manpage.
+    """
+    return str(value)
+
+
+def canonicalize_hostname(name: str, domain: str = "MIT.EDU") -> str:
+    """Canonical machine name: uppercase, fully qualified, no trailing dot.
+
+    Moira stores "the canonical hostname" and compares machine names
+    case-insensitively; short names get the local domain appended.
+    """
+    name = strtrim(name).rstrip(".").upper()
+    if not name:
+        return name
+    if "." not in name and domain:
+        name = f"{name}.{domain.upper()}"
+    return name
+
+
+# The list-flag bits, in display order (matches get_list_info layout).
+_FLAG_NAMES = ("active", "public", "hidden", "maillist", "group")
+
+
+def parse_flags(text: str, names: tuple[str, ...] = _FLAG_NAMES) -> int:
+    """Parse a human-readable flags string ("active,maillist") to bits."""
+    bits = 0
+    for part in text.split(","):
+        part = strtrim(part).lower()
+        if not part:
+            continue
+        try:
+            bits |= 1 << names.index(part)
+        except ValueError:
+            raise ValueError(f"unknown flag {part!r}") from None
+    return bits
+
+
+def format_flags(bits: int, names: tuple[str, ...] = _FLAG_NAMES) -> str:
+    """Inverse of :func:`parse_flags`; returns "none" for zero."""
+    parts = [name for i, name in enumerate(names) if bits & (1 << i)]
+    return ",".join(parts) if parts else "none"
+
+
+class HashTable:
+    """The C library's hash-table abstraction: store/lookup/step.
+
+    Keys are strings; values are arbitrary.  ``step`` iterates in
+    insertion order calling a visitor, like the original hash_step.
+    """
+
+    def __init__(self, size: int = 64):
+        # size kept for signature parity; Python dicts self-size
+        self._data: dict[str, Any] = {}
+
+    def store(self, key: str, value: Any) -> None:
+        """Insert or replace *key* -> *value*."""
+        self._data[key] = value
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """The value for *key*, or None."""
+        return self._data.get(key)
+
+    def remove(self, key: str) -> Optional[Any]:
+        """Delete and return the value for *key* (None if absent)."""
+        return self._data.pop(key, None)
+
+    def step(self, visitor: Callable[[str, Any], None]) -> None:
+        """Visit every (key, value) pair in insertion order."""
+        for key, value in list(self._data.items()):
+            visitor(key, value)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+class Queue:
+    """The C library's simple queue abstraction (FIFO)."""
+
+    def __init__(self) -> None:
+        self._items: list[Any] = []
+
+    def enqueue(self, item: Any) -> None:
+        """Append an item to the tail."""
+        self._items.append(item)
+
+    def dequeue(self) -> Any:
+        """Pop and return the head (IndexError if empty)."""
+        if not self._items:
+            raise IndexError("queue is empty")
+        return self._items.pop(0)
+
+    def peek(self) -> Any:
+        """The head without removing it (IndexError if empty)."""
+        if not self._items:
+            raise IndexError("queue is empty")
+        return self._items[0]
+
+    def empty(self) -> bool:
+        """True when the queue has no items."""
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(list(self._items))

@@ -1,0 +1,11 @@
+"""Top-level orchestration: build and run a whole Athena deployment.
+
+:class:`AthenaDeployment` assembles every component the paper
+describes — database, Moira server, Kerberos, DCM, managed hosts and
+their services, cron — into one coherent simulated campus that tests,
+examples, and benchmarks drive.
+"""
+
+from repro.core.deployment import AthenaDeployment, DeploymentConfig
+
+__all__ = ["AthenaDeployment", "DeploymentConfig"]

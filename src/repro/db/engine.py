@@ -1,0 +1,447 @@
+"""In-memory relational engine with Moira-flavoured query semantics.
+
+Design notes
+------------
+
+*Tables* hold rows as dicts keyed by column name.  Columns are typed
+(``int`` or ``str``) and may be declared case-insensitive (Moira machine
+and service names compare case-insensitively and are stored uppercase) or
+size-limited (the original schema has fixed-width INGRES ``c`` fields and
+over-long arguments yield ``MR_ARG_TOO_LONG``).
+
+*Wildcards* follow the paper's query semantics: ``*`` matches any run of
+characters and ``?`` a single character, anywhere in a string argument.
+
+*Indexes* are plain hash indexes maintained on insert/update/delete; the
+query layer requests them on the columns its handles filter by, which is
+what keeps the 10,000-user design point fast.
+
+*Statistics* reproduce the TBLSTATS relation: per-table append/update/
+delete counters plus a modtime, maintained automatically.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import threading
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import (
+    MoiraError,
+    MR_ARG_TOO_LONG,
+    MR_BAD_CHAR,
+    MR_EXISTS,
+    MR_INTEGER,
+    MR_INTERNAL,
+    MR_NO_ID,
+)
+
+Row = dict  # rows are plain dicts; Table owns their lifecycle
+
+__all__ = ["Column", "Table", "Database", "Row", "WildcardPattern"]
+
+_WILDCARD_CHARS = ("*", "?")
+
+# Characters Moira rejects in checked string fields (names, logins...).
+# The paper's MR_BAD_CHAR covers control characters and the backup
+# format's reserved separators.
+_BAD_CHAR_RE = re.compile(r"[\x00-\x1f\x7f]")
+
+
+class WildcardPattern:
+    """A compiled Moira wildcard pattern (``*`` and ``?``).
+
+    ``fnmatch.translate`` gives exactly the star/question-mark semantics
+    the paper's queries describe; character classes are not part of the
+    Moira language, so ``[`` is escaped before translation.
+    """
+
+    def __init__(self, pattern: str, fold_case: bool = False):
+        self.pattern = pattern
+        self.fold_case = fold_case
+        escaped = pattern.replace("[", "[[]")
+        flags = re.IGNORECASE if fold_case else 0
+        self._regex = re.compile(fnmatch.translate(escaped), flags)
+
+    @staticmethod
+    def is_wild(value: str) -> bool:
+        """Does *value* contain a Moira wildcard character?"""
+        return any(ch in value for ch in _WILDCARD_CHARS)
+
+    def matches(self, value: str) -> bool:
+        """Does *value* match this pattern?"""
+        return bool(self._regex.match(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WildcardPattern({self.pattern!r})"
+
+
+class Column:
+    """A typed column in a relation."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: type = str,
+        *,
+        max_len: Optional[int] = None,
+        fold_case: bool = False,
+        default: Any = None,
+        checked: bool = False,
+    ):
+        if kind not in (int, str):
+            raise ValueError("columns are int or str")
+        self.name = name
+        self.kind = kind
+        self.max_len = max_len
+        self.fold_case = fold_case
+        self.default = default if default is not None else (0 if kind is int else "")
+        self.checked = checked
+
+    def coerce(self, value: Any) -> Any:
+        """Validate and normalise *value* for storage in this column.
+
+        String→int parse failures raise ``MR_INTEGER``; over-long strings
+        raise ``MR_ARG_TOO_LONG``; control characters in *checked*
+        columns raise ``MR_BAD_CHAR`` — matching the paper's general
+        query error list.
+        """
+        if self.kind is int:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            try:
+                return int(str(value).strip())
+            except ValueError:
+                raise MoiraError(MR_INTEGER, f"{self.name}={value!r}") from None
+        value = str(value)
+        if self.max_len is not None and len(value) > self.max_len:
+            raise MoiraError(MR_ARG_TOO_LONG, f"{self.name} ({len(value)} chars)")
+        if self.checked and _BAD_CHAR_RE.search(value):
+            raise MoiraError(MR_BAD_CHAR, self.name)
+        return value
+
+    def equal(self, a: str, b: str) -> bool:
+        """Column-typed equality (case-folded where declared)."""
+        if self.kind is int:
+            return a == b
+        if self.fold_case:
+            return str(a).lower() == str(b).lower()
+        return a == b
+
+
+class _Index:
+    """Hash index on one column, maintained by the owning table."""
+
+    def __init__(self, column: Column):
+        self.column = column
+        self.buckets: dict[Any, list[Row]] = {}
+
+    def _key(self, value: Any) -> Any:
+        if self.column.kind is str and self.column.fold_case:
+            return str(value).lower()
+        return value
+
+    def add(self, row: Row) -> None:
+        """Index *row* under its column value."""
+        self.buckets.setdefault(self._key(row[self.column.name]), []).append(row)
+
+    def remove(self, row: Row) -> None:
+        """Drop *row* from its bucket."""
+        key = self._key(row[self.column.name])
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            raise MoiraError(MR_INTERNAL, f"index missing bucket {key!r}")
+        bucket.remove(row)
+        if not bucket:
+            del self.buckets[key]
+
+    def lookup(self, value: Any) -> list[Row]:
+        """All rows indexed under *value*."""
+        return self.buckets.get(self._key(value), [])
+
+
+class TableStats:
+    """Reproduction of the TBLSTATS relation's per-table counters."""
+
+    __slots__ = ("appends", "updates", "deletes", "retrieves", "modtime")
+
+    def __init__(self) -> None:
+        self.appends = 0
+        self.updates = 0
+        self.deletes = 0
+        self.retrieves = 0  # "obsolete ... unused now for performance reasons"
+        self.modtime = 0
+
+    def as_tuple(self, table: str) -> tuple:
+        """The TBLSTATS row for *table*."""
+        return (table, self.retrieves, self.appends, self.updates,
+                self.deletes, self.modtime)
+
+
+class Table:
+    """One relation: schema, rows, indexes, uniqueness, statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        *,
+        unique: Iterable[tuple[str, ...]] = (),
+        indexes: Iterable[str] = (),
+    ):
+        self.name = name
+        self.columns: dict[str, Column] = {c.name: c for c in columns}
+        if len(self.columns) != len(columns):
+            raise ValueError(f"duplicate column in {name}")
+        self.rows: list[Row] = []
+        self.unique_keys: list[tuple[str, ...]] = [tuple(u) for u in unique]
+        self._indexes: dict[str, _Index] = {}
+        self.stats = TableStats()
+        for col in indexes:
+            self.add_index(col)
+        # every unique key's first column gets an index so uniqueness
+        # checks don't scan
+        for key in self.unique_keys:
+            if key[0] not in self._indexes:
+                self.add_index(key[0])
+
+    # -- schema helpers -----------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """The Column named *name* (MR_INTERNAL if unknown)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise MoiraError(MR_INTERNAL,
+                             f"no column {name!r} in {self.name}") from None
+
+    def add_index(self, column_name: str) -> None:
+        """Create (and backfill) a hash index on a column."""
+        column = self.column(column_name)
+        index = _Index(column)
+        for row in self.rows:
+            index.add(row)
+        self._indexes[column_name] = index
+
+    def _normalise(self, values: dict, *, partial: bool = False) -> Row:
+        row: Row = {}
+        for name, column in self.columns.items():
+            if name in values:
+                row[name] = column.coerce(values[name])
+            elif not partial:
+                row[name] = column.default
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise MoiraError(MR_INTERNAL,
+                             f"unknown columns {sorted(unknown)} in {self.name}")
+        return row
+
+    def _violates_unique(self, candidate: Row, *, ignore: Optional[Row] = None) -> bool:
+        for key in self.unique_keys:
+            first = key[0]
+            probe = self._indexes[first].lookup(candidate[first])
+            for row in probe:
+                if row is ignore:
+                    continue
+                if all(self.columns[col].equal(row[col], candidate[col])
+                       for col in key):
+                    return True
+        return False
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, values: dict, *, now: int = 0) -> Row:
+        """Add a row; enforces uniqueness, fills defaults."""
+        row = self._normalise(values)
+        if self._violates_unique(row):
+            raise MoiraError(MR_EXISTS, f"{self.name}: {values}")
+        self.rows.append(row)
+        for index in self._indexes.values():
+            index.add(row)
+        self.stats.appends += 1
+        self.stats.modtime = now
+        return row
+
+    def update_rows(self, rows: list[Row], changes: dict, *, now: int = 0,
+                    touch_stats: bool = True) -> int:
+        """Apply *changes* to each row in *rows* (rows must belong here).
+
+        ``touch_stats=False`` suppresses the TBLSTATS modtime bump for
+        DCM bookkeeping writes — the paper is explicit that those "refer
+        only to modification by a user, not by the DCM", and counting
+        them as data changes would make every DCM cycle look like new
+        data for the generators' no-change check.
+        """
+        coerced = self._normalise(changes, partial=True)
+        for row in rows:
+            candidate = dict(row)
+            candidate.update(coerced)
+            if self._violates_unique(candidate, ignore=row):
+                raise MoiraError(MR_EXISTS, f"{self.name}: {changes}")
+        touched_indexes = [idx for name, idx in self._indexes.items()
+                           if name in coerced]
+        for row in rows:
+            for index in touched_indexes:
+                index.remove(row)
+            row.update(coerced)
+            for index in touched_indexes:
+                index.add(row)
+        if touch_stats:
+            self.stats.updates += len(rows)
+            self.stats.modtime = now
+        return len(rows)
+
+    def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
+        """Remove the given rows, maintaining indexes."""
+        for row in rows:
+            for index in self._indexes.values():
+                index.remove(row)
+            self.rows.remove(row)
+        self.stats.deletes += len(rows)
+        self.stats.modtime = now
+        return len(rows)
+
+    def clear(self) -> None:
+        """Drop every row (and index contents)."""
+        self.rows.clear()
+        for index in self._indexes.values():
+            index.buckets.clear()
+
+    # -- retrieval ----------------------------------------------------------
+
+    def select(
+        self,
+        where: Optional[dict] = None,
+        *,
+        predicate: Optional[Callable[[Row], bool]] = None,
+    ) -> list[Row]:
+        """Return rows matching *where* (exact/wildcard per column) and
+        *predicate*.
+
+        String values containing ``*``/``?`` match as Moira wildcards;
+        integer columns and exact strings use index lookups when one is
+        available on that column.
+        """
+        return list(self.iter_select(where, predicate=predicate))
+
+    def iter_select(
+        self,
+        where: Optional[dict] = None,
+        *,
+        predicate: Optional[Callable[[Row], bool]] = None,
+    ) -> Iterator[Row]:
+        """Yield matching rows (see select())."""
+        where = where or {}
+        exact: dict[str, Any] = {}
+        wild: dict[str, WildcardPattern] = {}
+        for name, value in where.items():
+            column = self.column(name)
+            if column.kind is str and WildcardPattern.is_wild(str(value)):
+                wild[name] = WildcardPattern(str(value), column.fold_case)
+            else:
+                exact[name] = column.coerce(value)
+
+        candidates: Iterable[Row] = self.rows
+        # pick the most selective available index
+        best: Optional[tuple[str, list[Row]]] = None
+        for name, value in exact.items():
+            index = self._indexes.get(name)
+            if index is None:
+                continue
+            bucket = index.lookup(value)
+            if best is None or len(bucket) < len(best[1]):
+                best = (name, bucket)
+        if best is not None:
+            candidates = best[1]
+
+        for row in candidates:
+            ok = True
+            for name, value in exact.items():
+                if not self.columns[name].equal(row[name], value):
+                    ok = False
+                    break
+            if ok:
+                for name, pattern in wild.items():
+                    if not pattern.matches(str(row[name])):
+                        ok = False
+                        break
+            if ok and predicate is not None and not predicate(row):
+                ok = False
+            if ok:
+                yield row
+
+    def count(self, where: Optional[dict] = None) -> int:
+        """Number of rows matching *where*."""
+        if not where:
+            return len(self.rows)
+        return sum(1 for _ in self.iter_select(where))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A collection of relations plus the ID allocator and values helpers.
+
+    The server holds exactly one Database (the paper's "one backend at
+    daemon start-up").  A coarse re-entrant lock serialises mutations —
+    INGRES gave Moira serialised transactions; concurrency control at
+    the *service/host* level is the DCM LockManager's job, not ours.
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.lock = threading.RLock()
+
+    def create_table(self, table: Table) -> Table:
+        """Register a new relation."""
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name} already exists")
+        self.tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """The relation named *name* (MR_INTERNAL if unknown)."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise MoiraError(MR_INTERNAL, f"no relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    # -- the "values" relation helpers ---------------------------------------
+    # IDs are allocated from hint variables stored in the values relation
+    # ("hints for the next ID number to assign"), exactly as the paper
+    # describes.  MR_NO_ID is raised if a hint is missing.
+
+    def get_value(self, name: str) -> int:
+        """Integer value of a values-relation variable."""
+        rows = self.table("values").select({"name": name})
+        if not rows:
+            raise MoiraError(MR_NO_ID, name)
+        return int(rows[0]["value"])
+
+    def set_value(self, name: str, value: int, *, now: int = 0) -> None:
+        """Insert or update a values-relation variable."""
+        table = self.table("values")
+        rows = table.select({"name": name})
+        if rows:
+            table.update_rows(rows, {"value": value}, now=now)
+        else:
+            table.insert({"name": name, "value": value}, now=now)
+
+    def next_id(self, hint_name: str, *, now: int = 0) -> int:
+        """Allocate the next unique internal ID from a hint variable."""
+        with self.lock:
+            value = self.get_value(hint_name)
+            self.set_value(hint_name, value + 1, now=now)
+            return value
+
+    def table_stats(self) -> list[tuple]:
+        """TBLSTATS rows for every relation, sorted by name."""
+        return [table.stats.as_tuple(name)
+                for name, table in sorted(self.tables.items())]

@@ -1,0 +1,111 @@
+"""Shared/exclusive lock manager for DCM service and host locking.
+
+The paper's DCM "will lock it exclusively if the service type is
+replicated, otherwise it will acquire a shared lock", and takes an
+exclusive per-host lock while an update is in flight.  This module gives
+named objects ("service:HESIOD", "host:HESIOD/SUOMI.MIT.EDU") classic
+reader/writer semantics with non-blocking try-acquire, which is what the
+DCM needs: a service already locked by another update is *skipped*, not
+waited on (InProgress "is not relied upon for locking").
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from enum import Enum
+from typing import Iterator
+
+__all__ = ["LockMode", "LockManager", "LockHeld"]
+
+
+class LockMode(Enum):
+    """Reader (SHARED) or writer (EXCLUSIVE)."""
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class LockHeld(Exception):
+    """Raised by ``acquire`` when the lock cannot be granted."""
+
+    def __init__(self, name: str, mode: LockMode):
+        self.name = name
+        self.mode = mode
+        super().__init__(f"{name} is locked ({mode.value} requested)")
+
+
+class _LockState:
+    __slots__ = ("shared_holders", "exclusive_holder")
+
+    def __init__(self) -> None:
+        self.shared_holders: set[int] = set()
+        self.exclusive_holder: int | None = None
+
+    @property
+    def free(self) -> bool:
+        """No holders at all."""
+        return not self.shared_holders and self.exclusive_holder is None
+
+
+class LockManager:
+    """Named reader/writer locks with try-acquire semantics."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._locks: dict[str, _LockState] = {}
+        self._next_token = 1
+
+    def try_acquire(self, name: str, mode: LockMode) -> int | None:
+        """Attempt to take *name* in *mode*; returns a token or None."""
+        with self._mutex:
+            state = self._locks.setdefault(name, _LockState())
+            if mode is LockMode.EXCLUSIVE:
+                if not state.free:
+                    return None
+                token = self._next_token
+                self._next_token += 1
+                state.exclusive_holder = token
+                return token
+            if state.exclusive_holder is not None:
+                return None
+            token = self._next_token
+            self._next_token += 1
+            state.shared_holders.add(token)
+            return token
+
+    def acquire(self, name: str, mode: LockMode) -> int:
+        """Take the lock or raise LockHeld."""
+        token = self.try_acquire(name, mode)
+        if token is None:
+            raise LockHeld(name, mode)
+        return token
+
+    def release(self, name: str, token: int) -> None:
+        """Give back a lock held under *token*."""
+        with self._mutex:
+            state = self._locks.get(name)
+            if state is None:
+                raise KeyError(name)
+            if state.exclusive_holder == token:
+                state.exclusive_holder = None
+            elif token in state.shared_holders:
+                state.shared_holders.remove(token)
+            else:
+                raise KeyError(f"token {token} does not hold {name}")
+            if state.free:
+                del self._locks[name]
+
+    @contextmanager
+    def held(self, name: str, mode: LockMode) -> Iterator[int]:
+        """Context manager: acquire (raising LockHeld if busy) and release."""
+        token = self.acquire(name, mode)
+        try:
+            yield token
+        finally:
+            self.release(name, token)
+
+    def is_locked(self, name: str) -> bool:
+        """Any holder present?"""
+        with self._mutex:
+            state = self._locks.get(name)
+            return state is not None and not state.free

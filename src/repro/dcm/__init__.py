@@ -1,0 +1,21 @@
+"""The Data Control Manager (paper §5.7) and its file generators (§5.8).
+
+The DCM is "a program responsible for distributing information to
+servers": invoked by cron, it scans the servers relation for services
+due for an update, runs each service's generator to extract Moira data
+into server-specific formats, and pushes the files to every enabled
+server host with the reliable update protocol of §5.9.
+"""
+
+from repro.dcm.dcm import DCM, DCMReport
+from repro.dcm.generators import GeneratorResult, get_generator
+from repro.dcm.update import UpdateOutcome, push_update
+
+__all__ = [
+    "DCM",
+    "DCMReport",
+    "GeneratorResult",
+    "get_generator",
+    "UpdateOutcome",
+    "push_update",
+]

@@ -1,0 +1,394 @@
+"""The Data Control Manager proper — the §5.7.1 scan algorithm.
+
+On each invocation (cron or the Trigger_DCM request) the DCM:
+
+1. exits quietly if the disable file ``/etc/nodcm`` exists on the Moira
+   host, or (logging it) if the ``dcm_enable`` database value is zero;
+2. scans the servers relation for services that are enabled, have no
+   hard error, a non-zero interval, and a registered generator;
+3. for each such service due for an update, takes an exclusive service
+   lock, sets InProgress, and runs the generator — recording success
+   (dfgen+dfcheck), MR_NO_CHANGE (dfcheck only), soft errors (errmsg),
+   or hard errors (harderror + errmsg + a zephyrgram to MOIRA/DCM);
+4. for each such service — "regardless of the result of attempting to
+   build data files" — scans its serverhosts: enabled, no host error,
+   not successfully updated since dfgen (or override), pushing files
+   with the §5.9 update protocol under per-host exclusive locks;
+5. on replicated services, a hard host failure also poisons the
+   service record "so that no more updates will be attempted".
+
+The DCM talks to the database through the direct glue library
+(:class:`DirectClient`) as the paper specifies, authenticating as root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.client.lib import DirectClient
+from repro.db.engine import Database
+from repro.db.journal import Journal
+from repro.db.locks import LockHeld, LockManager, LockMode
+from repro.dcm.generators.base import GenContext, GeneratorResult, get_generator
+from repro.dcm.update import (
+    UpdateOutcome,
+    build_payload,
+    default_script,
+    push_update,
+)
+from repro.errors import error_message
+from repro.hosts.host import SimulatedHost
+from repro.hosts.update_daemon import UpdateDaemon
+from repro.sim.clock import Clock
+from repro.sim.network import Network
+
+__all__ = ["DCM", "DCMReport", "ServiceBinding"]
+
+
+@dataclass
+class ServiceBinding:
+    """Where a service's hosts live and how installs finish."""
+
+    host: SimulatedHost
+    daemon: UpdateDaemon
+    # name of the registered UpdateDaemon command run after install
+    # (e.g. "restart_hesiod"); empty = no post-command
+    post_command: str = ""
+
+
+@dataclass
+class DCMReport:
+    """What one DCM invocation did (the paper's log, structured)."""
+
+    ran: bool = False
+    disabled_reason: str = ""
+    services_scanned: int = 0
+    services_due: int = 0
+    generations: int = 0
+    generations_no_change: int = 0
+    generation_errors: list[tuple[str, str]] = field(default_factory=list)
+    propagations_attempted: int = 0
+    propagations_succeeded: int = 0
+    soft_failures: int = 0
+    hard_failures: int = 0
+    bytes_propagated: int = 0
+    files_generated: int = 0
+    skipped_locked: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+class DCM:
+    """The Data Control Manager process."""
+    def __init__(
+        self,
+        db: Database,
+        clock: Clock,
+        *,
+        network: Optional[Network] = None,
+        moira_host: Optional[SimulatedHost] = None,
+        journal: Optional[Journal] = None,
+        lock_manager: Optional[LockManager] = None,
+        zephyr_notify: Optional[Callable[[str, str, str], None]] = None,
+        mail_notify: Optional[Callable[[str, str], None]] = None,
+        always_regenerate: bool = False,
+    ):
+        self.db = db
+        self.clock = clock
+        self.network = network or Network()
+        self.moira_host = moira_host
+        self.client = DirectClient(db, clock, journal=journal,
+                                   caller="root", client="dcm")
+        self.locks = lock_manager or LockManager()
+        self.zephyr_notify = zephyr_notify
+        self.mail_notify = mail_notify
+        # E1 ablation: disable the dfcheck/MR_NO_CHANGE optimisation
+        self.always_regenerate = always_regenerate
+        self._bindings: dict[tuple[str, str], ServiceBinding] = {}
+        self._generated: dict[str, GeneratorResult] = {}
+        self.runs = 0
+        # cumulative counters across all invocations (for reporting)
+        self.total_generations = 0
+        self.total_no_change = 0
+        self.total_propagations = 0
+        self.total_bytes = 0
+
+    # -- deployment wiring ----------------------------------------------------
+
+    def bind_host(self, service: str, machine: str,
+                  binding: ServiceBinding) -> None:
+        """Associate a service/machine pair with a simulated host."""
+        self._bindings[(service.upper(), machine.upper())] = binding
+
+    def binding_for(self, service: str,
+                    machine: str) -> Optional[ServiceBinding]:
+        """The binding for a service/machine pair, or None."""
+        return self._bindings.get((service.upper(), machine.upper()))
+
+    # -- one invocation ------------------------------------------------------------
+
+    def run_once(self) -> DCMReport:
+        """One §5.7.1 invocation; returns the structured report."""
+        report = DCMReport()
+        now = self.clock.now()
+        # 1. the disable file
+        if self.moira_host is not None and \
+                self.moira_host.fs.exists("/etc/nodcm"):
+            report.disabled_reason = "/etc/nodcm exists"
+            return report
+        # 2. the dcm_enable value ("if this value is zero, it will exit,
+        #    logging this action")
+        if not self.db.get_value("dcm_enable"):
+            report.disabled_reason = "dcm_enable is 0"
+            report.log.append("dcm: updates disabled in database")
+            return report
+        report.ran = True
+        self.runs += 1
+
+        services = self._eligible_services(report)
+        for service in services:
+            self._maybe_generate(service, now, report)
+        for service in services:
+            self._host_scan(service, now, report)
+        self.total_generations += report.generations
+        self.total_no_change += report.generations_no_change
+        self.total_propagations += report.propagations_succeeded
+        self.total_bytes += report.bytes_propagated
+        return report
+
+    # -- service scan ------------------------------------------------------------
+
+    def _eligible_services(self, report: DCMReport) -> list[dict]:
+        rows = self.db.table("servers").rows
+        report.services_scanned = len(rows)
+        eligible = []
+        for row in rows:
+            if not row["enable"] or row["harderror"]:
+                continue
+            if row["update_int"] <= 0:
+                continue
+            if get_generator(row["name"]) is None:
+                continue
+            eligible.append(dict(row))
+        return eligible
+
+    def _maybe_generate(self, service: dict, now: int,
+                        report: DCMReport) -> None:
+        name = service["name"]
+        interval_seconds = service["update_int"] * 60
+        if now < service["dfcheck"] + interval_seconds and \
+                not self._any_override(name):
+            # not yet time for another update — unless an operator set
+            # a host override, which makes the service immediately due
+            # (the no-change check below still avoids wasted extracts)
+            return
+        report.services_due += 1
+        try:
+            with self.locks.held(f"service:{name}", LockMode.EXCLUSIVE):
+                self._set_service_flags(name, inprogress=1,
+                                        dfgen=service["dfgen"],
+                                        dfcheck=service["dfcheck"])
+                generator = get_generator(name)
+                if not self.always_regenerate and \
+                        service["dfgen"] and \
+                        not generator.changed_since(self.db,
+                                                    service["dfgen"]):
+                    # MR_NO_CHANGE: only dfcheck moves forward
+                    report.generations_no_change += 1
+                    report.log.append(f"dcm: {name}: no change")
+                    self._set_service_flags(name, inprogress=0,
+                                            dfgen=service["dfgen"],
+                                            dfcheck=now)
+                    service["dfcheck"] = now
+                    return
+                try:
+                    hosts = self.db.table("serverhosts").select(
+                        {"service": name})
+                    ctx = GenContext(self.db, now, hosts=hosts)
+                    result = generator.generate(ctx)
+                except Exception as exc:  # a generator hard error
+                    message = f"generator failed: {exc!r}"
+                    report.generation_errors.append((name, message))
+                    self._set_service_flags(
+                        name, inprogress=0, dfgen=service["dfgen"],
+                        dfcheck=service["dfcheck"], harderror=1,
+                        errmsg=message)
+                    service["harderror"] = 1
+                    self._notify_hard_error(name, message)
+                    return
+                self._generated[name] = result
+                report.generations += 1
+                report.files_generated += result.file_count()
+                report.log.append(
+                    f"dcm: {name}: generated {result.file_count()} files")
+                self._set_service_flags(name, inprogress=0, dfgen=now,
+                                        dfcheck=now)
+                service["dfgen"] = now
+                service["dfcheck"] = now
+        except LockHeld:
+            report.skipped_locked += 1
+            report.log.append(f"dcm: {name}: locked, skipping")
+
+    def _any_override(self, service_name: str) -> bool:
+        return any(row["override"]
+                   for row in self.db.table("serverhosts").select(
+                       {"service": service_name}))
+
+    def _set_service_flags(self, name: str, *, inprogress: int,
+                           dfgen: int, dfcheck: int, harderror: int = 0,
+                           errmsg: str = "") -> None:
+        self.client.query("set_server_internal_flags", name, str(dfgen),
+                          str(dfcheck), str(inprogress), str(harderror),
+                          errmsg)
+
+    # -- host scan -----------------------------------------------------------------
+
+    def _host_scan(self, service: dict, now: int,
+                   report: DCMReport) -> None:
+        name = service["name"]
+        if service.get("harderror"):
+            return
+        mode = (LockMode.EXCLUSIVE if service["type"] == "REPLICAT"
+                else LockMode.SHARED)
+        try:
+            with self.locks.held(f"service:{name}", mode):
+                self._update_hosts(service, now, report)
+        except LockHeld:
+            report.skipped_locked += 1
+            report.log.append(f"dcm: {name}: locked for host scan")
+
+    def _hosts_needing_update(self, service: dict) -> list[dict]:
+        rows = self.db.table("serverhosts").select(
+            {"service": service["name"]})
+        out = []
+        for row in rows:
+            if not row["enable"] or row["hosterror"]:
+                continue
+            if row["lts"] >= service["dfgen"] and not row["override"]:
+                continue  # already successfully updated since generation
+            out.append(dict(row))
+        return out
+
+    def _update_hosts(self, service: dict, now: int,
+                      report: DCMReport) -> None:
+        name = service["name"]
+        result = self._generated.get(name)
+        pending = self._hosts_needing_update(service)
+        if result is None and (
+                service["dfgen"]
+                or any(h["override"] for h in pending)):
+            # Either a previous DCM process generated these files (on
+            # the real system they'd still be on the Moira disk), or an
+            # operator's override demands files that were never built —
+            # regenerate in place.
+            generator = get_generator(name)
+            hosts = self.db.table("serverhosts").select({"service": name})
+            result = generator.generate(GenContext(self.db, now,
+                                                   hosts=hosts))
+            self._generated[name] = result
+            if not service["dfgen"]:
+                self._set_service_flags(name, inprogress=0, dfgen=now,
+                                        dfcheck=now)
+                service["dfgen"] = service["dfcheck"] = now
+        if result is None:
+            return  # nothing has ever been generated
+
+        for host_row in self._hosts_needing_update(service):
+            machine = self.db.table("machine").select(
+                {"mach_id": host_row["mach_id"]})
+            if not machine:
+                continue
+            machine_name = machine[0]["name"]
+            try:
+                with self.locks.held(
+                        f"host:{name}/{machine_name}",
+                        LockMode.EXCLUSIVE):
+                    self._set_host_flags(name, machine_name, host_row,
+                                         inprogress=1)
+                    outcome = self._push_one(service, machine_name,
+                                             result, now, report)
+                    self._record_host_outcome(service, machine_name,
+                                              host_row, outcome, now,
+                                              report)
+            except LockHeld:
+                report.skipped_locked += 1
+            if service.get("harderror"):
+                break  # replicated service poisoned: stop updating hosts
+
+    def _push_one(self, service: dict, machine_name: str,
+                  result: GeneratorResult, now: int, report: DCMReport):
+        binding = self.binding_for(service["name"], machine_name)
+        if binding is None:
+            from repro.dcm.update import UpdateResult
+            return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                                message="no binding for host")
+        files = result.payload_for(machine_name)
+        payload = build_payload(files, mtime=now)
+        script = default_script(files, binding.post_command or None)
+        report.propagations_attempted += 1
+        return push_update(
+            host=binding.host, daemon=binding.daemon,
+            network=self.network, target=service["target_file"],
+            payload=payload, script=script)
+
+    def _record_host_outcome(self, service: dict, machine_name: str,
+                             host_row: dict, outcome, now: int,
+                             report: DCMReport) -> None:
+        name = service["name"]
+        if outcome.ok:
+            report.propagations_succeeded += 1
+            report.bytes_propagated += outcome.bytes_sent
+            self._set_host_flags(name, machine_name, host_row,
+                                 inprogress=0, success=1, override=0,
+                                 ltt=now, lts=now, hosterror=0, errmsg="")
+            report.log.append(f"dcm: {name}/{machine_name}: updated")
+            return
+        message = outcome.message or error_message(outcome.error)
+        if outcome.outcome is UpdateOutcome.SOFT_FAILURE:
+            report.soft_failures += 1
+            self._set_host_flags(name, machine_name, host_row,
+                                 inprogress=0, success=0, ltt=now,
+                                 errmsg=message)
+            report.log.append(
+                f"dcm: {name}/{machine_name}: soft failure: {message}")
+            return
+        # hard failure
+        report.hard_failures += 1
+        self._set_host_flags(name, machine_name, host_row, inprogress=0,
+                             success=0, ltt=now, hosterror=outcome.error,
+                             errmsg=message)
+        report.log.append(
+            f"dcm: {name}/{machine_name}: HARD failure: {message}")
+        self._notify_hard_error(f"{name}/{machine_name}", message)
+        if self.mail_notify is not None:
+            self.mail_notify("moira-maintainers",
+                             f"{name}/{machine_name}: {message}")
+        if service["type"] == "REPLICAT":
+            # "no more updates will be attempted to hosts supporting
+            # this service"
+            self._set_service_flags(name, inprogress=0,
+                                    dfgen=service["dfgen"],
+                                    dfcheck=service["dfcheck"],
+                                    harderror=1, errmsg=message)
+            service["harderror"] = 1
+
+    def _set_host_flags(self, service: str, machine: str, host_row: dict,
+                        *, inprogress: int, success: int | None = None,
+                        override: int | None = None,
+                        ltt: int | None = None, lts: int | None = None,
+                        hosterror: int | None = None,
+                        errmsg: str | None = None) -> None:
+        self.client.query(
+            "set_server_host_internal", service, machine,
+            str(host_row["override"] if override is None else override),
+            str(host_row["success"] if success is None else success),
+            str(inprogress),
+            str(host_row["hosterror"] if hosterror is None else hosterror),
+            host_row["hosterrmsg"] if errmsg is None else errmsg,
+            str(host_row["ltt"] if ltt is None else ltt),
+            str(host_row["lts"] if lts is None else lts))
+
+    def _notify_hard_error(self, what: str, message: str) -> None:
+        """Hard errors zephyr class MOIRA instance DCM (§5.7.1)."""
+        if self.zephyr_notify is not None:
+            self.zephyr_notify("MOIRA", "DCM", f"{what}: {message}")

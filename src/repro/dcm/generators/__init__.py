@@ -1,0 +1,36 @@
+"""Generator modules: one per service, converting Moira data to
+server-specific file formats (§5.7.1, §5.8).
+
+"The generator is a sub-program that does the actual extract" — here a
+:class:`Generator` with a ``generate`` method returning the files to
+ship.  Generators also declare which relations they depend on, which is
+how the DCM implements the MR_NO_CHANGE optimisation ("a common 'error'
+for a generator is MR_NO_CHANGE, indicating that nothing in the
+database has changed and the data files were not re-built").
+"""
+
+from repro.dcm.generators.base import (
+    GenContext,
+    Generator,
+    GeneratorResult,
+    get_generator,
+    register_generator,
+)
+
+# importing registers the production generators (the paper's four plus
+# the KLOGIN extension built on the hostaccess relation)
+from repro.dcm.generators import (  # noqa: F401,E402
+    hesiod,
+    klogin,
+    mail,
+    nfs,
+    zephyr,
+)
+
+__all__ = [
+    "GenContext",
+    "Generator",
+    "GeneratorResult",
+    "get_generator",
+    "register_generator",
+]

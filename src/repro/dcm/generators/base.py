@@ -1,0 +1,214 @@
+"""Generator plumbing and the shared data-extraction snapshot.
+
+Generators run on the Moira host with direct database access — the
+paper's DCM uses the direct "glue" library precisely because extraction
+touches most of the database and must not clog the server.  The
+:class:`GenContext` builds the cross-relation maps every generator
+needs (active users, group membership closures, machine names) once per
+DCM cycle so the four generators don't each re-derive them.
+"""
+
+from __future__ import annotations
+
+import io
+import tarfile
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
+
+from repro.db.engine import Database, Row
+from repro.db.schema import USER_STATE_ACTIVE
+
+__all__ = [
+    "GenContext",
+    "Generator",
+    "GeneratorResult",
+    "register_generator",
+    "get_generator",
+    "make_tar",
+]
+
+_GENERATORS: dict[str, "Generator"] = {}
+
+
+@dataclass
+class GeneratorResult:
+    """Files produced by one generator run.
+
+    ``files`` go to every host of the service; ``host_files`` adds or
+    overrides per-machine content (NFS partitions differ per server;
+    a serverhost's value3 selects a restricted credentials file).
+    """
+
+    files: dict[str, bytes] = field(default_factory=dict)
+    host_files: dict[str, dict[str, bytes]] = field(default_factory=dict)
+
+    def payload_for(self, machine: str) -> dict[str, bytes]:
+        """The files one machine should receive."""
+        merged = dict(self.files)
+        merged.update(self.host_files.get(machine.upper(), {}))
+        return merged
+
+    def total_bytes(self) -> int:
+        """Total size of every produced file."""
+        total = sum(len(v) for v in self.files.values())
+        for extra in self.host_files.values():
+            total += sum(len(v) for v in extra.values())
+        return total
+
+    def file_count(self) -> int:
+        """Number of files produced (per-host files counted)."""
+        return len(self.files) + sum(len(v)
+                                     for v in self.host_files.values())
+
+
+def make_tar(files: dict[str, bytes], mtime: int = 0) -> bytes:
+    """Deterministic tar of *files* (the §5.8 "tar file of several
+    BIND files" / "tar file of ASCII acl files" data format)."""
+    buf = io.BytesIO()
+    with tarfile.open(fileobj=buf, mode="w") as tar:
+        for name in sorted(files):
+            data = files[name]
+            info = tarfile.TarInfo(name=name)
+            info.size = len(data)
+            info.mtime = mtime
+            tar.addfile(info, io.BytesIO(data))
+    return buf.getvalue()
+
+
+class GenContext:
+    """One DCM cycle's view of the database, with memoised extracts."""
+
+    def __init__(self, db: Database, now: int,
+                 hosts: Optional[list[Row]] = None):
+        self.db = db
+        self.now = now
+        # serverhosts rows for the service being generated (value1..3)
+        self.hosts = hosts or []
+
+    # -- memoised cross-relation maps ------------------------------------------
+
+    @cached_property
+    def active_users(self) -> list[Row]:
+        """Users with status 1, memoised."""
+        return self.db.table("users").select({"status": USER_STATE_ACTIVE})
+
+    @cached_property
+    def users_by_id(self) -> dict[int, Row]:
+        """users_id -> user row, memoised."""
+        return {u["users_id"]: u for u in self.db.table("users").rows}
+
+    @cached_property
+    def machine_names(self) -> dict[int, str]:
+        """mach_id -> canonical name, memoised."""
+        return {m["mach_id"]: m["name"]
+                for m in self.db.table("machine").rows}
+
+    @cached_property
+    def active_groups(self) -> list[Row]:
+        """Active unix-group lists, memoised."""
+        return self.db.table("list").select(
+            predicate=lambda r: r["grouplist"] and r["active"])
+
+    @cached_property
+    def lists_by_id(self) -> dict[int, Row]:
+        """list_id -> list row, memoised."""
+        return {l["list_id"]: l for l in self.db.table("list").rows}
+
+    @cached_property
+    def members_by_list(self) -> dict[int, list[Row]]:
+        """list_id -> member rows, memoised."""
+        out: dict[int, list[Row]] = {}
+        for row in self.db.table("members").rows:
+            out.setdefault(row["list_id"], []).append(row)
+        return out
+
+    @cached_property
+    def strings_by_id(self) -> dict[int, str]:
+        """string_id -> text, memoised."""
+        return {s["string_id"]: s["string"]
+                for s in self.db.table("strings").rows}
+
+    def expand_list_users(self, list_id: int) -> set[int]:
+        """Recursive closure of USER members (sub-lists expanded)."""
+        found: set[int] = set()
+        seen: set[int] = set()
+        stack = [list_id]
+        while stack:
+            lid = stack.pop()
+            if lid in seen:
+                continue
+            seen.add(lid)
+            for member in self.members_by_list.get(lid, ()):
+                if member["member_type"] == "USER":
+                    found.add(member["member_id"])
+                elif member["member_type"] == "LIST":
+                    stack.append(member["member_id"])
+        return found
+
+    @cached_property
+    def _groups_of_user(self) -> dict[int, list[Row]]:
+        out: dict[int, list[Row]] = {}
+        active_ids = {g["list_id"]: g for g in self.active_groups}
+        for row in self.db.table("members").rows:
+            if row["member_type"] != "USER":
+                continue
+            group = active_ids.get(row["list_id"])
+            if group is not None:
+                out.setdefault(row["member_id"], []).append(group)
+        return out
+
+    def groups_of_user(self) -> dict[int, list[Row]]:
+        """users_id -> active group rows (direct membership only, as in
+        the grplist extract)."""
+        return self._groups_of_user
+
+    def short_host(self, mach_id: int) -> str:
+        """Lowercase unqualified hostname for a mach_id."""
+        name = self.machine_names.get(mach_id, "???")
+        return name.split(".")[0].lower()
+
+    @cached_property
+    def _home_dirs(self) -> dict[int, str]:
+        out: dict[int, str] = {}
+        for fs in self.db.table("filesys").rows:
+            if fs["lockertype"] == "HOMEDIR":
+                out.setdefault(fs["owner"], fs["mount"])
+        return out
+
+    def home_dirs(self) -> dict[int, str]:
+        """users_id -> home directory (mount point of their HOMEDIR)."""
+        return self._home_dirs
+
+
+class Generator:
+    """One service's extract sub-program (the *.gen of §5.7.1)."""
+
+    #: service name in the servers relation
+    service: str = ""
+    #: relations whose modification implies regeneration is needed
+    tables: tuple[str, ...] = ()
+
+    def generate(self, ctx: GenContext) -> GeneratorResult:
+        """Produce this service's files from the database."""
+        raise NotImplementedError
+
+    def changed_since(self, db: Database, since: int) -> bool:
+        """Has any dependent relation changed since *since*?
+
+        This is the check behind MR_NO_CHANGE: "there is no effect on
+        system resources unless the information relevant to [the
+        service] has changed during the previous ... interval."
+        """
+        return any(db.table(t).stats.modtime > since for t in self.tables)
+
+
+def register_generator(gen: Generator) -> Generator:
+    """Install a generator under its service name."""
+    _GENERATORS[gen.service.upper()] = gen
+    return gen
+
+
+def get_generator(service: str) -> Optional[Generator]:
+    """The generator for *service*, or None."""
+    return _GENERATORS.get(service.upper())

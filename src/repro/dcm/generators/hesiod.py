@@ -1,0 +1,199 @@
+"""hesiod.gen — the eleven BIND-format .db files (§5.8.2).
+
+"With hesiod, all target machines receive identical files.  The DCM
+will prepare only one set of files and then will propagate to several
+target hosts."  Every record format below copies the paper's example
+contents exactly (field orders, ``HS UNSPECA``/``HS CNAME`` records,
+the ``.passwd``/``.uid`` CNAME pairing, pseudo-clusters for machines in
+more than one cluster, and so on).
+"""
+
+from __future__ import annotations
+
+from repro.dcm.generators.base import (
+    GenContext,
+    Generator,
+    GeneratorResult,
+    register_generator,
+)
+
+__all__ = ["HesiodGenerator"]
+
+DEFAULT_USERS_GID = 101  # the "users" group in the paper's passwd lines
+
+
+def _record(name: str, data: str) -> str:
+    return f'{name} HS UNSPECA "{data}"'
+
+
+def _cname(name: str, target: str) -> str:
+    return f"{name} HS CNAME {target}"
+
+
+class HesiodGenerator(Generator):
+    """The eleven .db files, formats per §5.8.2."""
+    service = "HESIOD"
+    tables = ("users", "machine", "cluster", "mcmap", "svc", "list",
+              "members", "filesys", "printcap", "services", "serverhosts",
+              "strings")
+
+    def generate(self, ctx: GenContext) -> GeneratorResult:
+        """Extract all eleven BIND-format files."""
+        files = {
+            "cluster.db": self._cluster_db(ctx),
+            "filsys.db": self._filsys_db(ctx),
+            "gid.db": self._gid_db(ctx),
+            "group.db": self._group_db(ctx),
+            "grplist.db": self._grplist_db(ctx),
+            "passwd.db": self._passwd_db(ctx),
+            "pobox.db": self._pobox_db(ctx),
+            "printcap.db": self._printcap_db(ctx),
+            "service.db": self._service_db(ctx),
+            "sloc.db": self._sloc_db(ctx),
+            "uid.db": self._uid_db(ctx),
+        }
+        # members carry their install path on the target host — the
+        # hesiod daemon reads /etc/hesiod/*.db
+        return GeneratorResult(
+            files={f"/etc/hesiod/{name}":
+                   (text + "\n").encode("utf-8") if text else b""
+                   for name, text in files.items()})
+
+    # -- per-file extracts ----------------------------------------------------
+
+    def _cluster_db(self, ctx: GenContext) -> str:
+        lines = [
+            "; cluster data: per-cluster UNSPECA lines and per-machine",
+            "; CNAMEs (machines in several clusters get a pseudo-cluster)",
+        ]
+        svc_by_cluster: dict[int, list] = {}
+        for svc in ctx.db.table("svc").rows:
+            svc_by_cluster.setdefault(svc["clu_id"], []).append(svc)
+        cluster_names = {c["clu_id"]: c["name"]
+                         for c in ctx.db.table("cluster").rows}
+        for clu_id, name in sorted(cluster_names.items(),
+                                   key=lambda kv: kv[1]):
+            for svc in svc_by_cluster.get(clu_id, ()):
+                lines.append(_record(
+                    f"{name}.cluster",
+                    f"{svc['serv_label']} {svc['serv_cluster']}"))
+        # machine memberships
+        clusters_of: dict[int, list[int]] = {}
+        for row in ctx.db.table("mcmap").rows:
+            clusters_of.setdefault(row["mach_id"], []).append(row["clu_id"])
+        for mach_id, clu_ids in sorted(clusters_of.items()):
+            machine = ctx.machine_names.get(mach_id)
+            if machine is None:
+                continue
+            if len(clu_ids) == 1:
+                lines.append(_cname(f"{machine}.cluster",
+                                    f"{cluster_names[clu_ids[0]]}.cluster"))
+            else:
+                # pseudo-cluster holding the union of the cluster data
+                pseudo = f"{machine.split('.')[0].lower()}-pseudo"
+                for clu_id in sorted(clu_ids,
+                                     key=lambda c: cluster_names[c]):
+                    for svc in svc_by_cluster.get(clu_id, ()):
+                        lines.append(_record(
+                            f"{pseudo}.cluster",
+                            f"{svc['serv_label']} {svc['serv_cluster']}"))
+                lines.append(_cname(f"{machine}.cluster",
+                                    f"{pseudo}.cluster"))
+        return "\n".join(lines)
+
+    def _filsys_db(self, ctx: GenContext) -> str:
+        lines = []
+        for fs in sorted(ctx.db.table("filesys").rows,
+                         key=lambda r: (r["label"], r["fsorder"])):
+            server = ctx.short_host(fs["mach_id"])
+            lines.append(_record(
+                f"{fs['label']}.filsys",
+                f"{fs['type']} {fs['name']} {server} {fs['access']} "
+                f"{fs['mount']}"))
+        return "\n".join(lines)
+
+    def _active_group_rows(self, ctx: GenContext):
+        return sorted(ctx.active_groups, key=lambda g: g["gid"])
+
+    def _gid_db(self, ctx: GenContext) -> str:
+        return "\n".join(
+            _cname(f"{g['gid']}.gid", f"{g['name']}.group")
+            for g in self._active_group_rows(ctx))
+
+    def _group_db(self, ctx: GenContext) -> str:
+        return "\n".join(
+            _record(f"{g['name']}.group", f"{g['name']}:*:{g['gid']}:")
+            for g in self._active_group_rows(ctx))
+
+    def _grplist_db(self, ctx: GenContext) -> str:
+        groups_of = ctx.groups_of_user()
+        lines = []
+        for user in sorted(ctx.active_users, key=lambda u: u["login"]):
+            groups = groups_of.get(user["users_id"], [])
+            if not groups:
+                continue
+            pairs = ":".join(f"{g['name']}:{g['gid']}"
+                             for g in sorted(groups,
+                                             key=lambda g: g["gid"]))
+            lines.append(_record(f"{user['login']}.grplist", pairs))
+        return "\n".join(lines)
+
+    def _passwd_line(self, ctx: GenContext, user) -> str:
+        home = ctx.home_dirs().get(user["users_id"],
+                                   f"/mit/{user['login']}")
+        gecos = f"{user['fullname']},,,,"
+        return (f"{user['login']}:*:{user['uid']}:{DEFAULT_USERS_GID}:"
+                f"{gecos}:{home}:{user['shell']}")
+
+    def _passwd_db(self, ctx: GenContext) -> str:
+        return "\n".join(
+            _record(f"{user['login']}.passwd",
+                    self._passwd_line(ctx, user))
+            for user in sorted(ctx.active_users, key=lambda u: u["login"]))
+
+    def _pobox_db(self, ctx: GenContext) -> str:
+        lines = []
+        for user in sorted(ctx.active_users, key=lambda u: u["login"]):
+            if user["potype"] != "POP":
+                continue
+            machine = ctx.machine_names.get(user["pop_id"], "???")
+            lines.append(_record(
+                f"{user['login']}.pobox",
+                f"POP {machine} {user['login']}"))
+        return "\n".join(lines)
+
+    def _printcap_db(self, ctx: GenContext) -> str:
+        lines = []
+        for printer in sorted(ctx.db.table("printcap").rows,
+                              key=lambda r: r["name"]):
+            machine = ctx.machine_names.get(printer["mach_id"], "???")
+            lines.append(_record(
+                f"{printer['name']}.pcap",
+                f"{printer['name']}:rp={printer['rp']}:rm={machine}:"
+                f"sd={printer['dir']}"))
+        return "\n".join(lines)
+
+    def _service_db(self, ctx: GenContext) -> str:
+        lines = []
+        for svc in sorted(ctx.db.table("services").rows,
+                          key=lambda r: (r["name"], r["protocol"])):
+            lines.append(_record(
+                f"{svc['name']}.service",
+                f"{svc['name']} {svc['protocol'].lower()} {svc['port']}"))
+        return "\n".join(lines)
+
+    def _sloc_db(self, ctx: GenContext) -> str:
+        lines = []
+        for sh in sorted(ctx.db.table("serverhosts").rows,
+                         key=lambda r: (r["service"], r["mach_id"])):
+            machine = ctx.machine_names.get(sh["mach_id"], "???")
+            lines.append(f"{sh['service']}.sloc HS UNSPECA {machine}")
+        return "\n".join(lines)
+
+    def _uid_db(self, ctx: GenContext) -> str:
+        return "\n".join(
+            _cname(f"{user['uid']}.uid", f"{user['login']}.passwd")
+            for user in sorted(ctx.active_users, key=lambda u: u["login"]))
+
+
+register_generator(HesiodGenerator())

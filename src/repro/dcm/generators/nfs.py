@@ -1,0 +1,121 @@
+"""nfs.gen — credentials, quotas, and directories files (§5.8.2).
+
+"A master credentials file is generated which contains all active
+users.  In addition, smaller credentials files may be produced if
+necessary, with their membership taken from an Moira list" — the
+serverhost's *value3* field names that list.  The quotas and
+directories files are per-host: each contains only the filesystems
+residing on that server's partitions.
+"""
+
+from __future__ import annotations
+
+from repro.dcm.generators.base import (
+    GenContext,
+    Generator,
+    GeneratorResult,
+    register_generator,
+)
+
+__all__ = ["NFSGenerator"]
+
+
+class NFSGenerator(Generator):
+    """credentials + per-host quotas/directories files."""
+    service = "NFS"
+    tables = ("users", "list", "members", "filesys", "nfsphys", "nfsquota",
+              "serverhosts")
+
+    def generate(self, ctx: GenContext) -> GeneratorResult:
+        """Extract NFS files; value3 restricts credentials."""
+        result = GeneratorResult()
+        master_credentials = self._credentials(ctx, None)
+        result.files["/etc/nfs/credentials"] = master_credentials
+        per_host = self._per_host_files(ctx)
+        for host_row in ctx.hosts:
+            machine = ctx.machine_names.get(host_row["mach_id"])
+            if machine is None:
+                continue
+            extra = per_host.get(host_row["mach_id"],
+                                 {"quotas": b"", "directories": b""})
+            files = {f"/etc/nfs/{name}": data
+                     for name, data in extra.items()}
+            # "Which credentials file is loaded on a particular server is
+            # determined by the value3 field of the serverhost relation."
+            if host_row.get("value3"):
+                files["/etc/nfs/credentials"] = self._credentials(
+                    ctx, host_row["value3"])
+            result.host_files[machine.upper()] = files
+        return result
+
+    # -- credentials ---------------------------------------------------------
+
+    def _credentials(self, ctx: GenContext, list_name) -> bytes:
+        """login:uid:gid... — personal group first, then other groups."""
+        groups_of = ctx.groups_of_user()
+        if list_name:
+            lists = ctx.db.table("list").select({"name": list_name})
+            allowed = (ctx.expand_list_users(lists[0]["list_id"])
+                       if lists else set())
+            users = [u for u in ctx.active_users
+                     if u["users_id"] in allowed]
+        else:
+            users = list(ctx.active_users)
+        lines = []
+        for user in sorted(users, key=lambda u: u["login"]):
+            gids = []
+            for group in groups_of.get(user["users_id"], []):
+                if group["name"] == user["login"]:
+                    gids.insert(0, group["gid"])  # personal group first
+                else:
+                    gids.append(group["gid"])
+            entry = ":".join([user["login"], str(user["uid"]),
+                              *map(str, gids)])
+            lines.append(entry)
+        return ("\n".join(lines) + "\n").encode() if lines else b""
+
+    # -- per-host quotas and directories ----------------------------------------
+
+    def _per_host_files(self, ctx: GenContext) -> dict[int, dict[str, bytes]]:
+        phys_host = {p["nfsphys_id"]: p["mach_id"]
+                     for p in ctx.db.table("nfsphys").rows}
+        fs_by_id = {f["filsys_id"]: f for f in ctx.db.table("filesys").rows}
+
+        quota_lines: dict[int, list[str]] = {}
+        for quota in ctx.db.table("nfsquota").rows:
+            mach_id = phys_host.get(quota["phys_id"])
+            if mach_id is None:
+                continue
+            user = ctx.users_by_id.get(quota["users_id"])
+            if user is None or user["status"] != 1:
+                continue
+            quota_lines.setdefault(mach_id, []).append(
+                f"{user['uid']} {quota['quota']}")
+
+        dir_lines: dict[int, list[str]] = {}
+        for fs in fs_by_id.values():
+            # "Only lockers with the autocreate flag set will be output."
+            if fs["type"] != "NFS" or not fs["createflg"]:
+                continue
+            mach_id = fs["mach_id"]
+            owner = ctx.users_by_id.get(fs["owner"])
+            owner_uid = owner["uid"] if owner else 0
+            owners = ctx.lists_by_id.get(fs["owners"])
+            gid = owners["gid"] if owners else 0
+            dir_lines.setdefault(mach_id, []).append(
+                f"{fs['name']} {owner_uid} {gid} {fs['lockertype']}")
+
+        out: dict[int, dict[str, bytes]] = {}
+        for mach_id in set(quota_lines) | set(dir_lines):
+            quotas = sorted(quota_lines.get(mach_id, ()))
+            dirs = sorted(dir_lines.get(mach_id, ()))
+            out[mach_id] = {
+                "quotas": ("\n".join(quotas) + "\n").encode()
+                if quotas else b"",
+                "directories": ("\n".join(dirs) + "\n").encode()
+                if dirs else b"",
+            }
+        return out
+
+
+register_generator(NFSGenerator())

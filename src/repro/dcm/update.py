@@ -1,0 +1,143 @@
+"""The DCM side of the Moira-to-server update protocol (§5.9).
+
+``push_update`` performs one complete update of one host:
+
+A. Transfer phase — reachability + authentication, ship the tar file
+   with a checksum, ship the install script, flush the server's disk.
+B. Execution phase — one command starts the staged instruction
+   sequence on the server.
+C. Confirmation — the script's exit status comes back; zero is success.
+
+Failures are classified the way the DCM's tables need them:
+*soft* (host down, network loss, checksum mismatch, timeout — retry
+later) versus *hard* (the install script itself failed — needs human
+attention, sets hosterror).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.dcm.generators.base import make_tar
+from repro.errors import (
+    MR_CHECKSUM,
+    MR_HOST_UNREACHABLE,
+    MR_UPDATE_TIMEOUT,
+    MoiraError,
+)
+from repro.hosts.host import HostDown, SimulatedHost
+from repro.hosts.update_daemon import InstallScript, UpdateDaemon, checksum
+from repro.sim.network import Network, NetworkError
+
+__all__ = ["push_update", "UpdateOutcome", "UpdateResult", "build_payload"]
+
+
+class UpdateOutcome(Enum):
+    """Success, retry-later (soft), or needs-a-human (hard)."""
+    SUCCESS = "success"
+    SOFT_FAILURE = "soft"
+    HARD_FAILURE = "hard"
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one push: classification, code, message."""
+    outcome: UpdateOutcome
+    error: int = 0
+    message: str = ""
+    bytes_sent: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True on success."""
+        return self.outcome is UpdateOutcome.SUCCESS
+
+
+def build_payload(files: dict[str, bytes], mtime: int = 0) -> bytes:
+    """One tar file containing the service's data files (§5.9 A.2:
+    "Only one file is transferred, although it may be a tar file
+    containing many more")."""
+    return make_tar(files, mtime=mtime)
+
+
+def default_script(files: dict[str, bytes],
+                   post_command: Optional[str] = None) -> InstallScript:
+    """The standard install sequence: extract + atomically install each
+    member, then run the service's restart/convergence command."""
+    script = InstallScript()
+    for name in sorted(files):
+        script.extract(name)
+        script.install(name)
+    if post_command:
+        script.execute(post_command)
+    return script
+
+
+def push_update(
+    *,
+    host: SimulatedHost,
+    daemon: UpdateDaemon,
+    network: Network,
+    target: str,
+    payload: bytes,
+    script: InstallScript,
+    principal: str = "moira",
+    timeout: int = 120,
+) -> UpdateResult:
+    """Run the full three-phase update against one host.
+
+    *timeout* is the per-operation ceiling of §5.9 A: "If any single
+    operation takes longer than a reasonable amount of time, the
+    connection is closed, and the installation assumed to have failed
+    ... so that the installation will be attempted again later."  A
+    host whose daemon is wedged (``response_delay`` exceeding it) is a
+    soft failure even though the machine is up.
+    """
+    if daemon.response_delay > timeout:
+        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                            error=MR_UPDATE_TIMEOUT,
+                            message=f"{host.name}: operation exceeded "
+                                    f"{timeout}s")
+    # -- A. transfer phase -----------------------------------------------------
+    try:
+        network.check_reachable(host.name)
+        host.check_alive()
+        daemon.authenticate(principal)
+        # a fresh update invalidates any stale staged file (§5.9 B)
+        daemon.cleanup_stale_update(target)
+        received = network.deliver(host.name, payload)
+        daemon.receive_file(target, received, checksum(payload))
+        script_blob = script.serialize()
+        received_script = network.deliver(host.name, script_blob)
+        daemon.receive_script(received_script)
+        daemon.flush()
+    except (HostDown, NetworkError) as exc:
+        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                            error=MR_HOST_UNREACHABLE, message=str(exc))
+    except MoiraError as exc:
+        if exc.code == MR_CHECKSUM:
+            # damaged in transit; valid data files still exist on Moira,
+            # so retrying later is safe and sufficient
+            return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                                error=exc.code, message=str(exc))
+        return UpdateResult(UpdateOutcome.HARD_FAILURE,
+                            error=exc.code, message=str(exc))
+
+    # -- B. execution phase -------------------------------------------------------
+    try:
+        status = daemon.execute(target)
+    except HostDown as exc:
+        # crash during installation: "either the file will have been
+        # installed or it will not" — both converge on retry/reboot,
+        # and the DCM sees it as a timeout (soft).
+        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                            error=MR_UPDATE_TIMEOUT, message=str(exc))
+
+    # -- C. confirmation -------------------------------------------------------------
+    if status == 0:
+        return UpdateResult(UpdateOutcome.SUCCESS,
+                            bytes_sent=len(payload))
+    return UpdateResult(UpdateOutcome.HARD_FAILURE, error=status,
+                        message=f"install script exited {status}")

@@ -1,0 +1,350 @@
+"""com_err-style error handling, reproducing Moira's libcom_err usage.
+
+The paper (section 5.6.1) describes Ken Raeburn's ``com_err`` library:
+every error code is an integer, each *error table* reserves a subrange of
+the integers based on a hash of the table name, UNIX errno values are
+included, and zero means success.  ``error_message`` maps a code back to
+its text, and ``com_err`` formats "whoami: message text" with an optional
+hook for rerouting (e.g. to syslog or a dialogue box).
+
+This module reimplements that scheme faithfully:
+
+* :class:`ErrorTable` registers a named table of messages and computes its
+  base code with the classic com_err base-64ish hash of the table name.
+* :func:`error_message` resolves any registered code (or errno) to text.
+* :func:`com_err` formats and emits an error, honouring the hook installed
+  by :func:`set_com_err_hook`.
+* The ``MR_*`` codes from section 7.1 of the paper are defined in the
+  ``sms`` error table (the paper notes the string "sms" still crops up).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Callable, Optional
+
+__all__ = [
+    "ErrorTable",
+    "MoiraError",
+    "error_message",
+    "error_table_name",
+    "com_err",
+    "set_com_err_hook",
+    "reset_com_err_hook",
+]
+
+# ---------------------------------------------------------------------------
+# The com_err base-code hash.
+#
+# The original com_err packs up to 4 characters of the table name into a
+# 32-bit quantity using a 6-bit character code ("base 64"), then shifts
+# left 8 bits so each table owns 256 consecutive codes.  We reproduce that
+# exactly so that error codes are stable integers, just as in the paper.
+# ---------------------------------------------------------------------------
+
+_CHAR_SET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_"
+)
+
+
+def _char_to_num(ch: str) -> int:
+    idx = _CHAR_SET.find(ch)
+    if idx < 0:
+        raise ValueError(f"illegal character {ch!r} in error table name")
+    return idx + 1
+
+
+def _error_table_base(name: str) -> int:
+    if not 1 <= len(name) <= 4:
+        raise ValueError("error table name must be 1-4 characters")
+    num = 0
+    for ch in name:
+        num = (num << 6) + _char_to_num(ch)
+    return num << 8
+
+
+def _base_to_name(base: int) -> str:
+    num = base >> 8
+    chars = []
+    while num:
+        chars.append(_CHAR_SET[(num & 0o77) - 1])
+        num >>= 6
+    return "".join(reversed(chars))
+
+
+# ---------------------------------------------------------------------------
+# Error table registry
+# ---------------------------------------------------------------------------
+
+_tables: dict[int, "ErrorTable"] = {}
+_tables_lock = threading.Lock()
+
+
+class ErrorTable:
+    """A registered table of error messages occupying a code subrange.
+
+    Each message in *messages* is assigned ``base + index``.  Attribute
+    access by symbolic name is provided for convenience:
+    ``table.MR_PERM`` returns the integer code for that name.
+    """
+
+    def __init__(self, name: str, messages: list[tuple[str, str]]):
+        self.name = name
+        self.base = _error_table_base(name)
+        self._by_name: dict[str, int] = {}
+        self._messages: list[str] = []
+        for offset, (symbol, text) in enumerate(messages):
+            self._by_name[symbol] = self.base + offset
+            self._messages.append(text)
+        with _tables_lock:
+            if self.base in _tables:
+                raise ValueError(
+                    f"error table base collision for {name!r}"
+                )
+            _tables[self.base] = self
+
+    def __getattr__(self, symbol: str) -> int:
+        try:
+            return self._by_name[symbol]
+        except KeyError:
+            raise AttributeError(symbol) from None
+
+    def __contains__(self, code: int) -> bool:
+        return self.base <= code < self.base + len(self._messages)
+
+    def code(self, symbol: str) -> int:
+        """Return the integer code for *symbol* (KeyError if unknown)."""
+        return self._by_name[symbol]
+
+    def message(self, code: int) -> str:
+        """The text for a code inside this table."""
+        return self._messages[code - self.base]
+
+    def name_of(self, code: int) -> str:
+        """Return the symbolic name for *code* within this table."""
+        for symbol, value in self._by_name.items():
+            if value == code:
+                return symbol
+        raise KeyError(code)
+
+    def symbols(self) -> list[str]:
+        """The symbolic names defined by this table."""
+        return list(self._by_name)
+
+
+def error_message(code: int) -> str:
+    """Return the error message string associated with *code*.
+
+    Zero is success; small positive codes fall back to ``os.strerror``
+    (UNIX system call error codes are "included in this system"); codes
+    inside a registered table resolve to the table's text; anything else
+    gets a generic unknown-code message naming the owning table if the
+    hash is decodable.
+    """
+    if code == 0:
+        return "Success"
+    base = code & ~0xFF
+    with _tables_lock:
+        table = _tables.get(base)
+    if table is not None and code in table:
+        return table.message(code)
+    if 0 < code < 256:
+        try:
+            return os.strerror(code)
+        except (ValueError, OverflowError):  # pragma: no cover
+            pass
+    if base:
+        try:
+            name = _base_to_name(base)
+        except Exception:  # pragma: no cover - defensive
+            name = "?"
+        return f"Unknown code {name} {code - base}"
+    return f"Unknown code {code}"
+
+
+def error_table_name(code: int) -> str:
+    """Return the name of the error table owning *code*."""
+    return _base_to_name(code & ~0xFF)
+
+
+# ---------------------------------------------------------------------------
+# com_err and its hook
+# ---------------------------------------------------------------------------
+
+ComErrHook = Callable[[str, int, str], None]
+
+_hook: Optional[ComErrHook] = None
+
+
+def set_com_err_hook(hook: Optional[ComErrHook]) -> Optional[ComErrHook]:
+    """Install *hook* to receive future com_err calls; returns the old hook.
+
+    The hook receives ``(whoami, code, message)``.  Passing ``None``
+    restores the default behaviour (printing to stderr).
+    """
+    global _hook
+    old, _hook = _hook, hook
+    return old
+
+
+def reset_com_err_hook() -> None:
+    """Restore the default com_err behaviour."""
+    set_com_err_hook(None)
+
+
+def com_err(whoami: str, code: int, message: str = "") -> None:
+    """Report an error in the classic ``whoami: <code text> message`` form.
+
+    If *code* is zero, nothing is printed for the error-message part.
+    If a hook is installed it receives the call instead of stderr.
+    """
+    if _hook is not None:
+        _hook(whoami, code, message)
+        return
+    parts = [f"{whoami}:"]
+    if code:
+        parts.append(error_message(code))
+    if message:
+        parts.append(message)
+    print(" ".join(parts), file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# The Moira ("sms") error table — section 7.1 of the paper.
+# ---------------------------------------------------------------------------
+
+MOIRA_ERRORS = ErrorTable(
+    "sms",
+    [
+        ("MR_SUCCESS", "Success"),
+        # General errors (may be returned by all queries)
+        ("MR_ARG_TOO_LONG", "An argument contains too many characters"),
+        ("MR_ARGS", "Incorrect number of arguments"),
+        ("MR_DEADLOCK", "Database deadlock; try again later"),
+        ("MR_INGRES_ERR",
+         "An unexpected error occurred in the underlying DBMS"),
+        ("MR_INTERNAL", "Internal consistency failure"),
+        ("MR_NO_HANDLE", "Unknown query specified"),
+        ("MR_NO_MEM", "Server ran out of memory"),
+        ("MR_PERM",
+         "Insufficient permission to perform requested database access"),
+        # Retrieval
+        ("MR_NO_MATCH", "No records in database match query"),
+        # Add / update
+        ("MR_BAD_CHAR", "Illegal character in argument"),
+        ("MR_EXISTS",
+         "New object conflicts with object already in the database"),
+        ("MR_INTEGER", "String could not be parsed as an integer"),
+        ("MR_NO_ID", "Cannot allocate new ID"),
+        ("MR_NOT_UNIQUE", "Arguments not unique"),
+        # Delete
+        ("MR_IN_USE", "Object is in use"),
+        # Query specific
+        ("MR_ACE", "No such access control entity"),
+        ("MR_BAD_CLASS", "Specified class is not known"),
+        ("MR_BAD_GROUP", "Invalid group ID"),
+        ("MR_CLUSTER", "Unknown cluster"),
+        ("MR_DATE", "Invalid date"),
+        ("MR_FILESYS", "Named file system does not exist"),
+        ("MR_FILESYS_EXISTS", "Named file system already exists"),
+        ("MR_FILESYS_ACCESS", "Invalid filesys access"),
+        ("MR_FSTYPE", "Invalid filesys type"),
+        ("MR_LIST", "No such list"),
+        ("MR_MACHINE", "Unknown machine"),
+        ("MR_NFS", "Specified directory not exported"),
+        ("MR_NFSPHYS", "Machine/device pair not in nfsphys relation"),
+        ("MR_NO_FILESYS", "Cannot find space for filesys"),
+        ("MR_NO_POBOX", "Cannot find space for a new pobox"),
+        ("MR_POBOX", "Invalid post office box"),
+        ("MR_QUOTA", "Invalid quota"),
+        ("MR_SERVICE", "Unknown service"),
+        ("MR_STRING", "No such string"),
+        ("MR_TYPE", "Invalid type"),
+        ("MR_USER", "No such user"),
+        ("MR_WILDCARD", "Wildcards not allowed here"),
+        # Protocol / library errors (section 5.6.2)
+        ("MR_ALREADY_CONNECTED", "Already connected to the Moira server"),
+        ("MR_NOT_CONNECTED", "Not connected to the Moira server"),
+        ("MR_ABORTED", "The connection to the Moira server was aborted"),
+        ("MR_VERSION_MISMATCH", "Protocol version mismatch"),
+        ("MR_AUTH_FAILED", "Authentication to the Moira server failed"),
+        ("MR_MORE_DATA", "More data follows"),
+        ("MR_CONT", "Continuation of a previous operation"),
+        # DCM / update protocol errors (sections 5.7, 5.9)
+        ("MR_NO_CHANGE", "No change to the database since last update"),
+        ("MR_OCONFIG", "Host configuration error during update"),
+        ("MR_TAR_FAIL", "Failure unpacking update archive"),
+        ("MR_CHECKSUM", "Checksum mismatch transferring update file"),
+        ("MR_HOST_UNREACHABLE", "Cannot contact server host"),
+        ("MR_UPDATE_TIMEOUT", "Server update operation timed out"),
+        ("MR_SCRIPT_FAILED", "Install script failed on server host"),
+        ("MR_DISABLED", "Updates are disabled for this service"),
+        ("MR_SERVICE_LOCKED", "Service is locked by another update"),
+        # Registration server errors (section 5.10)
+        ("MR_NOT_FOUND", "Student not found in registration database"),
+        ("MR_ALREADY_REGISTERED", "Student is already registered"),
+        ("MR_LOGIN_TAKEN", "Login name already taken"),
+        ("MR_BAD_AUTHENTICATOR", "Registration authenticator did not verify"),
+        ("MR_HALF_REGISTERED", "Account is half registered"),
+    ],
+)
+
+# Re-export every MR_* symbol at module level for ergonomic imports:
+# ``from repro.errors import MR_PERM``.
+for _symbol in MOIRA_ERRORS.symbols():
+    globals()[_symbol] = MOIRA_ERRORS.code(_symbol)
+    __all__.append(_symbol)
+del _symbol
+
+# MR_SUCCESS must be the conventional zero for "no error" comparisons to
+# read naturally; the table assigns it base+0 which is non-zero, so we
+# keep both: MR_SUCCESS the table code is not used, plain 0 is success.
+MR_SUCCESS = 0
+
+
+class MoiraError(Exception):
+    """Exception carrying a Moira error code.
+
+    Server-side query implementations raise this; the protocol layer maps
+    it to the wire error code, and the client library maps codes back to
+    exceptions or return values as the original C API did.
+    """
+
+    def __init__(self, code: int, detail: str = ""):
+        self.code = code
+        self.detail = detail
+        text = error_message(code)
+        super().__init__(f"{text} ({detail})" if detail else text)
+
+    @property
+    def symbol(self) -> str:
+        """Symbolic name (e.g. ``"MR_PERM"``) if the code is a Moira code."""
+        try:
+            return MOIRA_ERRORS.name_of(self.code)
+        except KeyError:
+            return str(self.code)
+
+
+# Kerberos error table (simulated Kerberos failures surface through the
+# same com_err mechanism, as the paper notes for mr_auth).
+KRB_ERRORS = ErrorTable(
+    "krb",
+    [
+        ("KRB_SUCCESS", "Kerberos success"),
+        ("KRB_NO_TICKET", "Can't find ticket"),
+        ("KRB_TICKET_EXPIRED", "Ticket expired"),
+        ("KRB_UNKNOWN_PRINCIPAL", "Principal unknown to Kerberos"),
+        ("KRB_BAD_PASSWORD", "Incorrect password"),
+        ("KRB_REPLAY", "Authenticator replay detected"),
+        ("KRB_SKEW", "Clock skew too great"),
+        ("KRB_PRINCIPAL_EXISTS", "Principal already exists"),
+        ("KRB_BAD_INTEGRITY", "Decrypt integrity check failed"),
+    ],
+)
+
+for _symbol in KRB_ERRORS.symbols():
+    globals()[_symbol] = KRB_ERRORS.code(_symbol)
+    __all__.append(_symbol)
+del _symbol

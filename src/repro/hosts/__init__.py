@@ -1,0 +1,22 @@
+"""Simulated server hosts — the machines the DCM pushes files to.
+
+Each :class:`SimulatedHost` has a virtual filesystem with crash
+semantics (unflushed writes are lost on crash; atomic renames are
+atomic), simple processes that can be signalled, and an
+:class:`UpdateDaemon` implementing the server side of the
+Moira-to-server update protocol (§5.9): receive files with checksums,
+stage them as ``<target>.moira_update``, and on command execute the
+installation instruction sequence with atomic filesystem renames.
+"""
+
+from repro.hosts.vfs import VirtualFileSystem
+from repro.hosts.host import HostDown, SimulatedHost
+from repro.hosts.update_daemon import InstallScript, UpdateDaemon
+
+__all__ = [
+    "VirtualFileSystem",
+    "SimulatedHost",
+    "HostDown",
+    "UpdateDaemon",
+    "InstallScript",
+]

@@ -1,0 +1,251 @@
+"""The server side of the Moira-to-server update protocol (§5.9).
+
+Strategy, as the paper specifies:
+
+A. **Transfer phase** — authenticate, receive the data file (with
+   checksum) stored as ``<target>.moira_update``, receive the install
+   script into a temporary file, flush everything to disk.
+
+B. **Execution phase** — on a single command, run the instruction
+   sequence: extract needed members from the tar file one at a time,
+   swap files in with atomic renames, optionally revert, signal a
+   process via its pid file, or execute a supplied command.
+
+C. **Confirm** — report success or the error number back to the DCM.
+
+The install *script* is an :class:`InstallScript` — an ordered list of
+the five instruction kinds from §5.9 B.  Scripts are serialised to a
+plain-text format so they really are "transferred to the server" and
+"stored in a temporary file" rather than passed as live objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import tarfile
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import (
+    MoiraError,
+    MR_CHECKSUM,
+    MR_OCONFIG,
+    MR_SCRIPT_FAILED,
+    MR_TAR_FAIL,
+)
+from repro.hosts.host import HostDown, SimulatedHost
+
+__all__ = ["UpdateDaemon", "InstallScript", "checksum"]
+
+
+def checksum(data: bytes) -> str:
+    """The file-transfer integrity check (§5.9 A.2)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class InstallScript:
+    """§5.9 B: the installation instruction sequence.
+
+    Each step is ``(op, args...)``:
+
+    * ``("extract", member)`` — pull one member out of the tar file
+    * ``("install", filename)`` — atomically rename
+      ``filename.moira_update`` over ``filename``
+    * ``("revert", filename)`` — put the saved old file back
+    * ``("signal", pid_file, signum)`` — signal the process whose pid
+      is recorded in *pid_file*
+    * ``("exec", command)`` — run a registered command by name
+    """
+
+    steps: list[tuple] = field(default_factory=list)
+
+    def extract(self, member: str) -> "InstallScript":
+        """Append an extract step."""
+        self.steps.append(("extract", member))
+        return self
+
+    def install(self, filename: str) -> "InstallScript":
+        """Append an atomic-install step."""
+        self.steps.append(("install", filename))
+        return self
+
+    def revert(self, filename: str) -> "InstallScript":
+        """Append a revert step."""
+        self.steps.append(("revert", filename))
+        return self
+
+    def signal(self, pid_file: str, signum: int = 1) -> "InstallScript":
+        """Append a signal-via-pid-file step."""
+        self.steps.append(("signal", pid_file, str(signum)))
+        return self
+
+    def execute(self, command: str) -> "InstallScript":
+        """Append an execute-command step."""
+        self.steps.append(("exec", command))
+        return self
+
+    def serialize(self) -> bytes:
+        """The script as the on-the-wire text format."""
+        lines = ["\t".join(step) for step in self.steps]
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "InstallScript":
+        """Parse a script serialised by serialize()."""
+        script = cls()
+        for line in blob.decode("utf-8").splitlines():
+            if line.strip():
+                script.steps.append(tuple(line.split("\t")))
+        return script
+
+
+class UpdateDaemon:
+    """Runs on each managed host; executes DCM updates."""
+
+    SCRIPT_TEMP = "/tmp/moira_install_script"
+
+    def __init__(self, host: SimulatedHost):
+        self.host = host
+        self.authenticated_peer: Optional[str] = None
+        # "Execute a supplied command" — commands are registered by the
+        # services living on this host (e.g. restart_hesiod).
+        self.commands: dict[str, Callable[[], int]] = {}
+        self.updates_received = 0
+        self.installs_executed = 0
+        # simulated per-operation response time in seconds; a wedged
+        # host answers slowly without being down (§5.9 A: "a timeout is
+        # used in both sides of the connection")
+        self.response_delay = 0
+        host.spawn("moira_update_daemon")
+
+    def register_command(self, name: str, fn: Callable[[], int]) -> None:
+        """Expose *fn* to install scripts under *name*."""
+        self.commands[name] = fn
+
+    # -- transfer phase -----------------------------------------------------------
+
+    def authenticate(self, principal: str) -> None:
+        """§5.9.2: Kerberos verifies both ends at connection set-up."""
+        self.host.check_alive()
+        self.authenticated_peer = principal
+
+    def receive_file(self, target: str, data: bytes, digest: str) -> None:
+        """A.2: store the transferred file as <target>.moira_update.
+
+        Checksum mismatch (network damage) raises MR_CHECKSUM; the DCM
+        treats it as a soft failure and retries later.
+        """
+        self.host.check_alive()
+        if self.authenticated_peer is None:
+            raise MoiraError(MR_OCONFIG, "transfer before authentication")
+        if checksum(data) != digest:
+            raise MoiraError(MR_CHECKSUM, target)
+        self.host.fs.write(target + ".moira_update", data)
+
+    def receive_script(self, script_blob: bytes) -> None:
+        """A.3: the instruction sequence lands in a temporary file."""
+        self.host.check_alive()
+        if self.authenticated_peer is None:
+            raise MoiraError(MR_OCONFIG, "transfer before authentication")
+        self.host.fs.write(self.SCRIPT_TEMP, script_blob)
+
+    def flush(self) -> None:
+        """A.4: flush all data on the server to disk."""
+        self.host.fsync()
+        self.updates_received += 1
+
+    # -- execution phase -------------------------------------------------------------
+
+    def execute(self, target: str) -> int:
+        """B: run the staged instruction sequence; returns exit status.
+
+        Zero is success, anything else is the error number — exactly the
+        contract the DCM records in the serverhosts relation.
+        """
+        self.host.check_alive()
+        try:
+            blob = self.host.fs.read(self.SCRIPT_TEMP)
+        except FileNotFoundError:
+            return MR_OCONFIG
+        script = InstallScript.deserialize(blob)
+        extracted: dict[str, bytes] = {}
+        try:
+            for step in script.steps:
+                self._run_step(step, target, extracted)
+        except MoiraError as exc:
+            return exc.code
+        except HostDown:
+            raise  # the machine died mid-install; the DCM sees a timeout
+        except Exception:
+            return MR_SCRIPT_FAILED
+        self.host.fsync()
+        self.installs_executed += 1
+        return 0
+
+    def _run_step(self, step: tuple, target: str,
+                  extracted: dict[str, bytes]) -> None:
+        fs = self.host.fs
+        op = step[0]
+        if op == "extract":
+            member = step[1]
+            try:
+                payload = fs.read(target + ".moira_update")
+                with tarfile.open(fileobj=io.BytesIO(payload)) as tar:
+                    fileobj = tar.extractfile(member)
+                    if fileobj is None:
+                        raise KeyError(member)
+                    data = fileobj.read()
+            except (tarfile.TarError, KeyError, FileNotFoundError) as exc:
+                raise MoiraError(MR_TAR_FAIL, f"{member}: {exc}") from exc
+            # "only the ones that are needed are extracted one at a time"
+            fs.write(member + ".moira_update", data)
+            extracted[member] = data
+        elif op == "install":
+            filename = step[1]
+            staged = filename + ".moira_update"
+            if not fs.exists(staged):
+                raise MoiraError(MR_TAR_FAIL, f"missing {staged}")
+            if fs.exists(filename):
+                # keep the old file for a possible revert
+                fs.rename(filename, filename + ".moira_old")
+            fs.rename(staged, filename)
+        elif op == "revert":
+            filename = step[1]
+            old = filename + ".moira_old"
+            if not fs.exists(old):
+                raise MoiraError(MR_OCONFIG, f"nothing to revert for "
+                                             f"{filename}")
+            fs.rename(old, filename)
+        elif op == "signal":
+            pid_file, signum = step[1], int(step[2])
+            try:
+                self.host.signal_pid_file(pid_file, signum)
+            except (FileNotFoundError, ProcessLookupError) as exc:
+                raise MoiraError(MR_SCRIPT_FAILED,
+                                 f"signal {pid_file}") from exc
+        elif op == "exec":
+            command = step[1]
+            fn = self.commands.get(command)
+            if fn is None:
+                raise MoiraError(MR_SCRIPT_FAILED,
+                                 f"unknown command {command!r}")
+            status = fn()
+            if status:
+                raise MoiraError(MR_SCRIPT_FAILED,
+                                 f"{command} exited {status}")
+        else:
+            raise MoiraError(MR_OCONFIG, f"unknown op {op!r}")
+
+    # -- crash-recovery housekeeping ----------------------------------------------
+
+    def cleanup_stale_update(self, target: str) -> bool:
+        """§5.9 B: "the existing filename.moira_update file will be
+        deleted (as it may be incomplete) when the next update starts".
+        Returns True if a stale file was removed."""
+        staged = target + ".moira_update"
+        if self.host.fs.exists(staged):
+            self.host.fs.unlink(staged)
+            return True
+        return False

@@ -1,0 +1,135 @@
+"""A virtual filesystem with crash semantics.
+
+The update protocol's correctness argument (§5.9) rests on two
+filesystem properties: *renames are atomic* ("Swap new data files in
+... using atomic filesystem rename operations") and *unsynced data can
+be lost in a crash* (the transfer phase ends with "Flush all data on
+the server to disk").  This VFS models both: writes land in a dirty
+buffer until ``fsync``; ``crash`` discards the dirty buffer; ``rename``
+is a single atomic operation on the durable store once synced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["VirtualFileSystem"]
+
+
+class VirtualFileSystem:
+    """Flat-namespace file store (paths are plain strings)."""
+
+    def __init__(self) -> None:
+        self._durable: dict[str, bytes] = {}
+        self._dirty: dict[str, Optional[bytes]] = {}  # None = pending delete
+        self._dirs: set[str] = set()
+        self._dir_meta: dict[str, dict] = {}
+
+    # -- file operations -------------------------------------------------
+
+    def write(self, path: str, data: bytes) -> None:
+        """Write is buffered: durable only after fsync()."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._dirty[path] = bytes(data)
+
+    def read(self, path: str) -> bytes:
+        """Reads see the freshest data (buffered or durable)."""
+        if path in self._dirty:
+            value = self._dirty[path]
+            if value is None:
+                raise FileNotFoundError(path)
+            return value
+        if path in self._durable:
+            return self._durable[path]
+        raise FileNotFoundError(path)
+
+    def read_text(self, path: str) -> str:
+        """read() decoded as UTF-8."""
+        return self.read(path).decode("utf-8")
+
+    def exists(self, path: str) -> bool:
+        """Does *path* resolve in the freshest view?"""
+        if path in self._dirty:
+            return self._dirty[path] is not None
+        return path in self._durable
+
+    def unlink(self, path: str) -> None:
+        """Delete a file (buffered until fsync)."""
+        if not self.exists(path):
+            raise FileNotFoundError(path)
+        self._dirty[path] = None
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomic rename; both names resolve in the freshest view.
+
+        "The cost of this step is kept to an absolute minimum by keeping
+        both files in the same partition" — in the VFS a rename is one
+        dictionary move, all-or-nothing even across a crash (renames of
+        synced data are journalled by the filesystem; we model them as
+        immediately durable when the source was durable).
+        """
+        data = self.read(src)
+        src_durable = src in self._durable and src not in self._dirty
+        if src_durable:
+            # durable -> durable: atomic on disk
+            del self._durable[src]
+            self._durable[dst] = data
+            self._dirty.pop(dst, None)
+        else:
+            self._dirty[src] = None
+            self._dirty[dst] = data
+
+    def fsync(self) -> None:
+        """Flush all buffered writes to the durable store."""
+        for path, data in self._dirty.items():
+            if data is None:
+                self._durable.pop(path, None)
+            else:
+                self._durable[path] = data
+        self._dirty.clear()
+
+    def crash(self) -> None:
+        """Power-fail: all unsynced data is gone."""
+        self._dirty.clear()
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        """Sorted visible paths under *prefix*."""
+        seen = set()
+        for path in self._durable:
+            if path.startswith(prefix) and not (
+                    path in self._dirty and self._dirty[path] is None):
+                seen.add(path)
+        for path, data in self._dirty.items():
+            if data is not None and path.startswith(prefix):
+                seen.add(path)
+        return sorted(seen)
+
+    # -- directories (for the NFS locker-creation script) -----------------
+
+    def mkdir(self, path: str, *, owner_uid: int = 0, group_gid: int = 0,
+              mode: int = 0o755) -> None:
+        """Create a directory with ownership and mode."""
+        self._dirs.add(path)
+        self._dir_meta[path] = {"uid": owner_uid, "gid": group_gid,
+                                "mode": mode}
+
+    def isdir(self, path: str) -> bool:
+        """Is *path* a directory?"""
+        return path in self._dirs
+
+    def dir_meta(self, path: str) -> dict:
+        """Ownership/mode metadata of a directory."""
+        return self._dir_meta[path]
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        """Change a directory's owner and group."""
+        self._dir_meta[path].update(uid=uid, gid=gid)
+
+    def chmod(self, path: str, mode: int) -> None:
+        """Change a directory's mode."""
+        self._dir_meta[path]["mode"] = mode
+
+    def dirs(self) -> Iterable[str]:
+        """Every directory, sorted."""
+        return sorted(self._dirs)

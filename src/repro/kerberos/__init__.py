@@ -1,0 +1,29 @@
+"""Simulated Kerberos — private-key authentication for Moira (paper §4, §5.9.2).
+
+Moira authenticates users "using Athena's Kerberos private-key
+authentication system"; the registration server talks to the Kerberos
+admin server over a "srvtab-srvtab" channel.  This package simulates the
+pieces Moira relies on: a KDC holding principal keys, ticket issuance
+with lifetimes on the virtual clock, authenticators with replay
+detection, and an admin interface for reserving principals and setting
+passwords.  The cryptography is deliberately simple (HMAC/XOR toys);
+the *protocol state machine* is what the reproduction needs.
+"""
+
+from repro.kerberos.kdc import (
+    KDC,
+    Authenticator,
+    CredentialCache,
+    Ticket,
+)
+from repro.kerberos.crypt import unix_crypt, des_cbc_decrypt, des_cbc_encrypt
+
+__all__ = [
+    "KDC",
+    "Authenticator",
+    "CredentialCache",
+    "Ticket",
+    "unix_crypt",
+    "des_cbc_encrypt",
+    "des_cbc_decrypt",
+]

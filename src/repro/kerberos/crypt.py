@@ -1,0 +1,102 @@
+"""Toy crypt(3) and DES-CBC stand-ins for the registration protocol.
+
+The paper's registration flow stores "an encrypted form of the student's
+ID number ... the encryption algorithm is the UNIX C library crypt()
+function", salted with the first letters of the first and last names,
+and builds authenticators by DES-encrypting ``{IDnumber, hashIDnumber,
+payload}`` in "error propagating cypher-block-chaining mode" keyed by
+the hashed ID.
+
+We reproduce the *shapes*: a deterministic salted hash that yields
+13-character crypt-style strings, and a keyed error-propagating CBC
+cipher over bytes.  Neither is cryptographically strong — they are
+simulation substitutes, as DESIGN.md records — but they verify, fail on
+wrong keys, and propagate damage exactly like the originals, which is
+what the protocol tests need.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["unix_crypt", "des_cbc_encrypt", "des_cbc_decrypt"]
+
+_CRYPT_CHARS = (
+    "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+)
+
+
+def unix_crypt(word: str, salt: str) -> str:
+    """crypt(3)-shaped hash: 2 salt chars + 11 hash chars.
+
+    Deterministic in (word, salt); only the first 8 characters of the
+    word are significant, as in the original DES crypt.
+    """
+    if len(salt) < 2:
+        salt = (salt + "..")[:2]
+    salt = salt[:2]
+    digest = hashlib.sha256(
+        (salt + word[:8]).encode("utf-8")).digest()
+    body = "".join(_CRYPT_CHARS[b & 0x3F] for b in digest[:11])
+    return salt + body
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(key + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+_BLOCK = 8
+
+
+def des_cbc_encrypt(key: bytes | str, plaintext: bytes) -> bytes:
+    """Error-propagating CBC over 8-byte blocks with a keyed stream.
+
+    The chaining state folds in every previous ciphertext block, so a
+    flipped bit anywhere garbles all subsequent plaintext — and the
+    trailing integrity block (derived from the final chain state) makes
+    the damage *detectable*, the property the registration server
+    relies on to reject tampered requests.
+    """
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    pad = _BLOCK - (len(plaintext) % _BLOCK)
+    padded = plaintext + bytes([pad]) * pad
+    stream = _keystream(key, len(padded))
+    prev = hashlib.sha256(key).digest()[:_BLOCK]
+    out = bytearray()
+    for i in range(0, len(padded), _BLOCK):
+        block = bytes(a ^ b ^ c for a, b, c in zip(
+            padded[i:i + _BLOCK], stream[i:i + _BLOCK], prev))
+        out.extend(block)
+        prev = hashlib.sha256(key + block + prev).digest()[:_BLOCK]
+    out.extend(prev)  # integrity block: the final chain state
+    return bytes(out)
+
+
+def des_cbc_decrypt(key: bytes | str, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`des_cbc_encrypt`; raises ValueError on damage."""
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if len(ciphertext) < 2 * _BLOCK or len(ciphertext) % _BLOCK:
+        raise ValueError("ciphertext is not block aligned")
+    body, tag = ciphertext[:-_BLOCK], ciphertext[-_BLOCK:]
+    stream = _keystream(key, len(body))
+    prev = hashlib.sha256(key).digest()[:_BLOCK]
+    out = bytearray()
+    for i in range(0, len(body), _BLOCK):
+        block = body[i:i + _BLOCK]
+        plain = bytes(a ^ b ^ c for a, b, c in zip(
+            block, stream[i:i + _BLOCK], prev))
+        out.extend(plain)
+        prev = hashlib.sha256(key + block + prev).digest()[:_BLOCK]
+    if prev != tag:
+        raise ValueError("decrypt integrity check failed")
+    pad = out[-1]
+    if not 1 <= pad <= _BLOCK or out[-pad:] != bytes([pad]) * pad:
+        raise ValueError("decrypt integrity check failed")
+    return bytes(out[:-pad])

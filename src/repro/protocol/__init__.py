@@ -1,0 +1,45 @@
+"""The Moira protocol — an RPC protocol layered on top of TCP/IP (§5.3).
+
+Requests carry a version number, a major request number, and counted
+byte strings; replies carry a version and an error code followed by
+tuples of counted strings.  Retrieved tuples stream back one reply at a
+time with ``MR_MORE_DATA`` until a final reply carries the overall
+status — the design that let GDB's non-blocking I/O interleave many
+client connections in one server process.
+"""
+
+from repro.protocol.wire import (
+    VERSION,
+    MajorRequest,
+    Reply,
+    Request,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    pack_authenticator,
+    unpack_authenticator,
+)
+from repro.protocol.transport import (
+    InProcessTransport,
+    TcpServerTransport,
+    connect_inproc,
+    connect_tcp,
+)
+
+__all__ = [
+    "VERSION",
+    "MajorRequest",
+    "Request",
+    "Reply",
+    "encode_request",
+    "decode_request",
+    "encode_reply",
+    "decode_reply",
+    "pack_authenticator",
+    "unpack_authenticator",
+    "InProcessTransport",
+    "TcpServerTransport",
+    "connect_inproc",
+    "connect_tcp",
+]

@@ -1,0 +1,314 @@
+"""Transports carrying Moira protocol frames.
+
+Two interchangeable transports exist:
+
+* :class:`TcpServerTransport` — the real thing: a single-process server
+  multiplexing many TCP connections with non-blocking I/O via
+  ``selectors``, reproducing the GDB design of §5.4 ("a single process
+  server which handles multiple simultaneous TCP connections", able to
+  read new requests and send old replies simultaneously).
+
+* :class:`InProcessTransport` — same byte-level encode/decode path with
+  the socket replaced by a direct call, for fast deterministic tests
+  and benchmarks of everything above the socket layer.
+
+Both talk to a *dispatcher*: an object with ``open_connection(peer)``,
+``handle_frame(conn_id, frame) -> list[bytes]`` and
+``close_connection(conn_id)``.  The Moira server implements that
+interface.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from typing import Iterator, Protocol
+
+from repro.errors import (
+    MoiraError,
+    MR_ABORTED,
+    MR_MORE_DATA,
+    MR_NOT_CONNECTED,
+)
+from repro.protocol.wire import (
+    MajorRequest,
+    Reply,
+    decode_reply,
+    encode_request,
+    read_frame,
+)
+
+__all__ = [
+    "Dispatcher",
+    "ClientConnection",
+    "InProcessTransport",
+    "TcpServerTransport",
+    "connect_inproc",
+    "connect_tcp",
+]
+
+
+class Dispatcher(Protocol):
+    """What a transport needs from a server."""
+
+    def open_connection(self, peer: str) -> int:
+        """Register a new client; returns its connection id."""
+        ...
+
+    def handle_frame(self, conn_id: int, frame: bytes) -> list[bytes]:
+        """Process one request frame; returns reply frames."""
+        ...
+
+    def close_connection(self, conn_id: int) -> None:
+        """Forget a departed client."""
+        ...
+
+
+class ClientConnection:
+    """Common client-side reply collection over any raw frame channel."""
+
+    def call(self, major: MajorRequest,
+             args: list[bytes | str]) -> list[Reply]:
+        """Send one request; collect replies until the final status.
+
+        The returned list always ends with the final (non-MR_MORE_DATA)
+        reply; tuple replies precede it.
+        """
+        replies = list(self.stream(major, args))
+        return replies
+
+    def stream(self, major: MajorRequest,
+               args: list[bytes | str]) -> Iterator[Reply]:
+        """Yield replies one at a time until the final status."""
+        frame_iter = self._roundtrip(encode_request(major, args))
+        for frame in frame_iter:
+            reply = decode_reply(frame)
+            yield reply
+            if reply.code != MR_MORE_DATA:
+                return
+        raise MoiraError(MR_ABORTED, "reply stream ended early")
+
+    def _roundtrip(self, request_frame: bytes) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down the connection."""
+        raise NotImplementedError
+
+
+# -- in-process -------------------------------------------------------------------
+
+
+class InProcessTransport:
+    """Connects clients straight to a dispatcher, bytes and all."""
+
+    def __init__(self, dispatcher: Dispatcher):
+        self.dispatcher = dispatcher
+
+    def connect(self, peer: str = "inproc") -> "_InProcessConnection":
+        """Open a connection to the dispatcher."""
+        conn_id = self.dispatcher.open_connection(peer)
+        return _InProcessConnection(self.dispatcher, conn_id)
+
+
+class _InProcessConnection(ClientConnection):
+    def __init__(self, dispatcher: Dispatcher, conn_id: int):
+        self.dispatcher = dispatcher
+        self.conn_id = conn_id
+        self._open = True
+
+    def _roundtrip(self, request_frame: bytes) -> Iterator[bytes]:
+        if not self._open:
+            raise MoiraError(MR_NOT_CONNECTED)
+        # strip the length prefix: dispatchers receive frame bodies
+        for frame in self.dispatcher.handle_frame(self.conn_id,
+                                                  request_frame[4:]):
+            yield frame[4:]
+
+    def close(self) -> None:
+        """Tear down the connection."""
+        if self._open:
+            self._open = False
+            self.dispatcher.close_connection(self.conn_id)
+
+
+def connect_inproc(dispatcher: Dispatcher,
+                   peer: str = "inproc") -> _InProcessConnection:
+    """A client connection straight into *dispatcher*."""
+    return InProcessTransport(dispatcher).connect(peer)
+
+
+# -- TCP ---------------------------------------------------------------------------
+
+
+class TcpServerTransport:
+    """Single-process, selector-driven TCP front end for a dispatcher."""
+
+    def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.dispatcher = dispatcher
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self.address = self._listener.getsockname()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._conn_state: dict[socket.socket, dict] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TcpServerTransport":
+        """Run the accept/serve loop in a daemon thread."""
+        self._thread = threading.Thread(target=self._serve, daemon=True,
+                                        name="moira-server")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and close every socket."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        for sock in list(self._conn_state):
+            self._drop(sock)
+        self._selector.close()
+        self._listener.close()
+
+    # -- event loop -----------------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            events = self._selector.select(timeout=0.05)
+            for key, mask in events:
+                if key.fileobj is self._listener:
+                    self._accept()
+                else:
+                    sock = key.fileobj
+                    if mask & selectors.EVENT_READ:
+                        self._readable(sock)
+                    if sock in self._conn_state and \
+                            mask & selectors.EVENT_WRITE:
+                        self._writable(sock)
+
+    def _accept(self) -> None:
+        try:
+            sock, addr = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        conn_id = self.dispatcher.open_connection(f"{addr[0]}:{addr[1]}")
+        self._conn_state[sock] = {
+            "conn_id": conn_id,
+            "inbuf": bytearray(),
+            "outbuf": bytearray(),
+        }
+        self._selector.register(sock, selectors.EVENT_READ, None)
+
+    def _readable(self, sock: socket.socket) -> None:
+        state = self._conn_state.get(sock)
+        if state is None:
+            return
+        try:
+            data = sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(sock)
+            return
+        if not data:
+            self._drop(sock)
+            return
+        state["inbuf"].extend(data)
+        self._pump_frames(sock, state)
+
+    def _pump_frames(self, sock: socket.socket, state: dict) -> None:
+        buf = state["inbuf"]
+        while len(buf) >= 4:
+            length = int.from_bytes(buf[:4], "big")
+            if len(buf) < 4 + length:
+                break
+            frame = bytes(buf[4:4 + length])
+            del buf[:4 + length]
+            try:
+                replies = self.dispatcher.handle_frame(state["conn_id"],
+                                                       frame)
+            except Exception:
+                self._drop(sock)
+                return
+            for reply in replies:
+                state["outbuf"].extend(reply)
+        self._update_interest(sock, state)
+
+    def _writable(self, sock: socket.socket) -> None:
+        state = self._conn_state.get(sock)
+        if state is None:
+            return
+        out = state["outbuf"]
+        if out:
+            try:
+                sent = sock.send(bytes(out[:65536]))
+                del out[:sent]
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._drop(sock)
+                return
+        self._update_interest(sock, state)
+
+    def _update_interest(self, sock: socket.socket, state: dict) -> None:
+        mask = selectors.EVENT_READ
+        if state["outbuf"]:
+            mask |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(sock, mask, None)
+        except KeyError:  # pragma: no cover - dropped concurrently
+            pass
+
+    def _drop(self, sock: socket.socket) -> None:
+        state = self._conn_state.pop(sock, None)
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        sock.close()
+        if state is not None:
+            self.dispatcher.close_connection(state["conn_id"])
+
+
+class _TcpClientConnection(ClientConnection):
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def _roundtrip(self, request_frame: bytes) -> Iterator[bytes]:
+        try:
+            self._sock.sendall(request_frame)
+        except OSError as exc:
+            raise MoiraError(MR_ABORTED, str(exc)) from exc
+        while True:
+            frame = read_frame(self._sock.recv)
+            if not frame:
+                raise MoiraError(MR_ABORTED, "server closed connection")
+            yield frame
+            # caller stops iterating at the final reply; keep yielding
+            # until then.
+
+    def close(self) -> None:
+        """Tear down the connection."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def connect_tcp(host: str, port: int,
+                timeout: float = 10.0) -> _TcpClientConnection:
+    """A client connection to a TCP Moira server."""
+    try:
+        return _TcpClientConnection(host, port, timeout)
+    except OSError as exc:
+        raise MoiraError(MR_ABORTED, f"connect failed: {exc}") from exc

@@ -1,0 +1,212 @@
+"""Byte-level encoding of the Moira protocol.
+
+The paper leaves the precise byte-level encoding unspecified ("T.B.S.");
+this module pins one down in its spirit:
+
+* every message is length-prefixed (uint32 big-endian frame);
+* a **request** is ``version:u16, major:u8, argc:u16`` followed by
+  *argc* counted strings (``len:u32, bytes``);
+* a **reply** is ``version:u16, code:i32, fieldc:u16`` followed by
+  *fieldc* counted strings.
+
+Query results stream as one reply per tuple with code ``MR_MORE_DATA``,
+terminated by a reply whose code is the final status (0 on success).
+"Requests and replies also contain a version number, to allow clean
+handling of version skew" — mismatched versions raise
+``MR_VERSION_MISMATCH``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import MoiraError, MR_ABORTED, MR_VERSION_MISMATCH
+from repro.kerberos.kdc import Authenticator, Ticket
+
+__all__ = [
+    "VERSION",
+    "MajorRequest",
+    "Request",
+    "Reply",
+    "encode_request",
+    "decode_request",
+    "encode_reply",
+    "decode_reply",
+    "read_frame",
+    "pack_authenticator",
+    "unpack_authenticator",
+]
+
+VERSION = 2  # the query protocol version deployed at Athena in 1988
+
+MAX_ARG = 1 << 20  # sanity cap on counted-string length
+
+
+class MajorRequest(IntEnum):
+    """The five major requests of §5.3."""
+
+    NOOP = 0
+    AUTHENTICATE = 1
+    QUERY = 2
+    ACCESS = 3
+    TRIGGER_DCM = 4
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded request: major number + byte-string args."""
+    major: MajorRequest
+    args: tuple[bytes, ...]
+
+    def str_args(self) -> list[str]:
+        """Arguments decoded as UTF-8 strings."""
+        return [a.decode("utf-8") for a in self.args]
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A decoded reply: error code + byte-string fields."""
+    code: int
+    fields: tuple[bytes, ...]
+
+    def str_fields(self) -> tuple[str, ...]:
+        """Fields decoded as UTF-8 strings."""
+        return tuple(f.decode("utf-8") for f in self.fields)
+
+
+def _counted(items: tuple[bytes, ...]) -> bytes:
+    parts = []
+    for item in items:
+        parts.append(struct.pack(">I", len(item)))
+        parts.append(item)
+    return b"".join(parts)
+
+
+def _read_counted(buf: bytes, offset: int, count: int) -> tuple[tuple[bytes, ...], int]:
+    items = []
+    for _ in range(count):
+        if offset + 4 > len(buf):
+            raise MoiraError(MR_ABORTED, "truncated counted string header")
+        (length,) = struct.unpack_from(">I", buf, offset)
+        offset += 4
+        if length > MAX_ARG or offset + length > len(buf):
+            raise MoiraError(MR_ABORTED, "truncated counted string body")
+        items.append(buf[offset:offset + length])
+        offset += length
+    return tuple(items), offset
+
+
+def encode_request(major: MajorRequest, args: list[bytes | str]) -> bytes:
+    """Frame a request for the wire."""
+    encoded = tuple(a.encode("utf-8") if isinstance(a, str) else a
+                    for a in args)
+    body = struct.pack(">HBH", VERSION, int(major), len(encoded))
+    body += _counted(encoded)
+    return struct.pack(">I", len(body)) + body
+
+
+def decode_request(body: bytes) -> Request:
+    """Parse a request frame body."""
+    if len(body) < 5:
+        raise MoiraError(MR_ABORTED, "short request")
+    version, major, argc = struct.unpack_from(">HBH", body, 0)
+    if version != VERSION:
+        raise MoiraError(MR_VERSION_MISMATCH, f"got {version}")
+    args, offset = _read_counted(body, 5, argc)
+    if offset != len(body):
+        raise MoiraError(MR_ABORTED, "trailing bytes in request")
+    try:
+        major_request = MajorRequest(major)
+    except ValueError:
+        from repro.errors import MR_NO_HANDLE
+        raise MoiraError(MR_NO_HANDLE,
+                         f"major request {major}") from None
+    return Request(major=major_request, args=args)
+
+
+def encode_reply(code: int, fields: tuple = ()) -> bytes:
+    """Frame a reply for the wire."""
+    encoded = tuple(
+        f if isinstance(f, bytes) else str(f).encode("utf-8")
+        for f in fields
+    )
+    body = struct.pack(">HiH", VERSION, code, len(encoded))
+    body += _counted(encoded)
+    return struct.pack(">I", len(body)) + body
+
+
+def decode_reply(body: bytes) -> Reply:
+    """Parse a reply frame body."""
+    if len(body) < 8:
+        raise MoiraError(MR_ABORTED, "short reply")
+    version, code, fieldc = struct.unpack_from(">HiH", body, 0)
+    if version != VERSION:
+        raise MoiraError(MR_VERSION_MISMATCH, f"got {version}")
+    fields, offset = _read_counted(body, 8, fieldc)
+    if offset != len(body):
+        raise MoiraError(MR_ABORTED, "trailing bytes in reply")
+    return Reply(code=code, fields=fields)
+
+
+def read_frame(recv) -> bytes:
+    """Read one length-prefixed frame via *recv(n) -> bytes*.
+
+    Raises MR_ABORTED on EOF mid-frame; returns b"" on clean EOF at a
+    frame boundary.
+    """
+    header = _read_exact(recv, 4, allow_eof=True)
+    if not header:
+        return b""
+    (length,) = struct.unpack(">I", header)
+    if length == 0 or length > 64 * MAX_ARG:
+        raise MoiraError(MR_ABORTED, f"bad frame length {length}")
+    return _read_exact(recv, length, allow_eof=False)
+
+
+def _read_exact(recv, n: int, *, allow_eof: bool) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return b""
+            raise MoiraError(MR_ABORTED, "connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- Kerberos authenticator packing ------------------------------------------------
+# The Authenticate request's single argument is "a Kerberos authenticator";
+# we serialise the simulated one into counted fields.
+
+
+def pack_authenticator(auth: Authenticator) -> bytes:
+    """Serialise a Kerberos authenticator as counted fields."""
+    t = auth.ticket
+    fields = (
+        t.client.encode(), t.service.encode(),
+        str(t.issued).encode(), str(t.lifetime).encode(),
+        t.session_key, t.signature,
+        str(auth.timestamp).encode(), auth.nonce.encode(), auth.mac,
+    )
+    return _counted(fields)
+
+
+def unpack_authenticator(blob: bytes) -> Authenticator:
+    """Invert pack_authenticator()."""
+    fields, offset = _read_counted(blob, 0, 9)
+    if offset != len(blob):
+        raise MoiraError(MR_ABORTED, "trailing bytes in authenticator")
+    (client, service, issued, lifetime, session_key, signature,
+     timestamp, nonce, mac) = fields
+    ticket = Ticket(
+        client=client.decode(), service=service.decode(),
+        issued=int(issued), lifetime=int(lifetime),
+        session_key=session_key, signature=signature,
+    )
+    return Authenticator(ticket=ticket, timestamp=int(timestamp),
+                         nonce=nonce.decode(), mac=mac)

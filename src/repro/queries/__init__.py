@@ -1,0 +1,33 @@
+"""The predefined query layer — section 7 of the paper.
+
+"All access to the database is provided through the application
+library/database server interface.  This interface provides a limited
+set of predefined, named queries."  Each query has a long name
+(``get_user_by_login``), a four-character short name (``gubl``), a fixed
+argument signature, validation rules, an access-control policy, and an
+implementation against the relational engine.
+
+Importing this package registers every query; :func:`all_queries`
+returns the registry used by the server and by ``_list_queries``.
+"""
+
+from repro.queries.base import (
+    Query,
+    QueryContext,
+    all_queries,
+    get_query,
+    register,
+)
+
+# Importing the domain modules populates the registry.
+from repro.queries import (  # noqa: F401  (imported for side effects)
+    users,
+    machines,
+    lists,
+    servers,
+    filesys,
+    zephyr,
+    misc,
+)
+
+__all__ = ["Query", "QueryContext", "all_queries", "get_query", "register"]

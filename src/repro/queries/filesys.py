@@ -1,0 +1,405 @@
+"""Filesystem, NFS physical partition, and quota queries (paper §7.0.5)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import (
+    MoiraError,
+    MR_FILESYS,
+    MR_FILESYS_ACCESS,
+    MR_FSTYPE,
+    MR_IN_USE,
+    MR_NFS,
+    MR_NFSPHYS,
+    MR_NO_MATCH,
+    MR_NOT_UNIQUE,
+    MR_QUOTA,
+    MR_USER,
+)
+from repro.queries.base import QueryContext, exactly_one, register
+
+_FS_FIELDS = ("name", "fstype", "machine", "packname", "mountpoint",
+              "access", "comments", "owner", "owners", "create",
+              "lockertype", "modtime", "modby", "modwith")
+
+
+def _fs_tuple(ctx: QueryContext, row) -> tuple:
+    machines = ctx.db.table("machine").select({"mach_id": row["mach_id"]})
+    owner_rows = ctx.db.table("users").select({"users_id": row["owner"]})
+    owners_rows = ctx.db.table("list").select({"list_id": row["owners"]})
+    return (row["label"], row["type"],
+            machines[0]["name"] if machines else "???",
+            row["name"], row["mount"], row["access"], row["comments"],
+            owner_rows[0]["login"] if owner_rows else "???",
+            owners_rows[0]["name"] if owners_rows else "???",
+            row["createflg"], row["lockertype"], row["modtime"],
+            row["modby"], row["modwith"])
+
+
+@register("get_filesys_by_label", "gfsl", ("name",), _FS_FIELDS,
+          side_effects=False, public=True)
+def get_filesys_by_label(ctx: QueryContext,
+                         args: Sequence[str]) -> list[tuple]:
+    """Filesystem info by (wildcardable) label."""
+    return [_fs_tuple(ctx, r)
+            for r in ctx.db.table("filesys").select({"label": args[0]})]
+
+
+@register("get_filesys_by_machine", "gfsm", ("machine",), _FS_FIELDS,
+          side_effects=False)
+def get_filesys_by_machine(ctx: QueryContext,
+                           args: Sequence[str]) -> list[tuple]:
+    """All filesystems served by one machine."""
+    mach = ctx.find_machine(args[0])
+    return [_fs_tuple(ctx, r)
+            for r in ctx.db.table("filesys").select(
+                {"mach_id": mach["mach_id"]})]
+
+
+@register("get_filesys_by_nfsphys", "gfsn", ("machine", "partition"),
+          _FS_FIELDS, side_effects=False)
+def get_filesys_by_nfsphys(ctx: QueryContext,
+                           args: Sequence[str]) -> list[tuple]:
+    """Filesystems on one exported partition."""
+    mach = ctx.find_machine(args[0])
+    phys = ctx.db.table("nfsphys").select(
+        {"mach_id": mach["mach_id"], "dir": args[1]})
+    if not phys:
+        raise MoiraError(MR_NO_MATCH, args[1])
+    out = []
+    for p in phys:
+        out.extend(_fs_tuple(ctx, r)
+                   for r in ctx.db.table("filesys").select(
+                       {"phys_id": p["nfsphys_id"]}))
+    return out
+
+
+@register("get_filesys_by_group", "gfsg", ("list",), _FS_FIELDS,
+          side_effects=False,
+          access=lambda ctx, args: (
+              (rows := ctx.db.table("list").select({"name": str(args[0])}))
+              and len(rows) == 1
+              and ctx.user_on_list_id(rows[0]["list_id"], ctx.caller)))
+def get_filesys_by_group(ctx: QueryContext,
+                         args: Sequence[str]) -> list[tuple]:
+    """Filesystems owned by a list (members may ask)."""
+    lst = ctx.find_list(args[0])
+    return [_fs_tuple(ctx, r)
+            for r in ctx.db.table("filesys").select(
+                {"owners": lst["list_id"]})]
+
+
+def _validate_filesys_args(ctx: QueryContext, fstype: str, machine: str,
+                           packname: str, access: str, lockertype: str):
+    fstype = ctx.check_type("filesys", fstype, MR_FSTYPE)
+    lockertype = ctx.check_type("lockertype", lockertype)
+    mach = ctx.find_machine(machine)
+    phys_id = 0
+    if fstype == "NFS":
+        if access not in ("r", "w"):
+            raise MoiraError(MR_FILESYS_ACCESS, access)
+        # the packname must name an exported NFS physical partition:
+        # either the partition dir itself or a directory under it.
+        phys_rows = ctx.db.table("nfsphys").select(
+            {"mach_id": mach["mach_id"]})
+        for p in phys_rows:
+            if packname == p["dir"] or packname.startswith(p["dir"] + "/"):
+                phys_id = p["nfsphys_id"]
+                break
+        else:
+            raise MoiraError(MR_NFS, f"{machine}:{packname}")
+    return fstype, lockertype, mach, phys_id
+
+
+@register("add_filesys", "afil",
+          ("name", "fstype", "machine", "packname", "mountpoint", "access",
+           "comments", "owner", "owners", "create", "lockertype"),
+          (), side_effects=True)
+def add_filesys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Add a filesystem; NFS packnames must be exported, access r/w."""
+    (name, fstype, machine, packname, mountpoint, access, comments,
+     owner, owners, create, lockertype) = args
+    filesys = ctx.db.table("filesys")
+    existing = filesys.select({"label": name})
+    fstype, lockertype, mach, phys_id = _validate_filesys_args(
+        ctx, fstype, machine, packname, access, lockertype)
+    owner_row = ctx.find_user(owner)
+    owners_row = ctx.find_list(owners)
+    filsys_id = ctx.db.next_id("filsys_id", now=ctx.now)
+    filesys.insert(
+        dict(label=name, filsys_id=filsys_id, phys_id=phys_id, type=fstype,
+             mach_id=mach["mach_id"], name=packname, mount=mountpoint,
+             access=access, comments=comments,
+             owner=owner_row["users_id"], owners=owners_row["list_id"],
+             createflg=int(create), lockertype=lockertype,
+             fsorder=len(existing) + 1, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("update_filesys", "ufil",
+          ("name", "newname", "fstype", "machine", "packname", "mountpoint",
+           "access", "comments", "owner", "owners", "create", "lockertype"),
+          (), side_effects=True)
+def update_filesys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Change filesystem attributes; same checks as add."""
+    (name, newname, fstype, machine, packname, mountpoint, access,
+     comments, owner, owners, create, lockertype) = args
+    filesys = ctx.db.table("filesys")
+    row = exactly_one(filesys.select({"label": name}), MR_FILESYS, name)
+    if newname != name and filesys.select({"label": newname}):
+        raise MoiraError(MR_NOT_UNIQUE, newname)
+    fstype, lockertype, mach, phys_id = _validate_filesys_args(
+        ctx, fstype, machine, packname, access, lockertype)
+    owner_row = ctx.find_user(owner)
+    owners_row = ctx.find_list(owners)
+    filesys.update_rows(
+        [row],
+        dict(label=newname, phys_id=phys_id, type=fstype,
+             mach_id=mach["mach_id"], name=packname, mount=mountpoint,
+             access=access, comments=comments,
+             owner=owner_row["users_id"], owners=owners_row["list_id"],
+             createflg=int(create), lockertype=lockertype, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("delete_filesys", "dfil", ("name",), (), side_effects=True)
+def delete_filesys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Delete a filesystem, returning its quota allocation."""
+    filesys = ctx.db.table("filesys")
+    row = exactly_one(filesys.select({"label": args[0]}),
+                      MR_FILESYS, args[0])
+    # delete quotas and return their allocation to the partition
+    quotas = ctx.db.table("nfsquota").select({"filsys_id": row["filsys_id"]})
+    total = sum(q["quota"] for q in quotas)
+    if quotas:
+        ctx.db.table("nfsquota").delete_rows(quotas, now=ctx.now)
+    if total and row["phys_id"]:
+        phys = ctx.db.table("nfsphys").select(
+            {"nfsphys_id": row["phys_id"]})
+        if phys:
+            ctx.db.table("nfsphys").update_rows(
+                phys, {"allocated": phys[0]["allocated"] - total},
+                now=ctx.now)
+    filesys.delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- NFS physical partitions -----------------------------------------------------
+
+_NFSPHYS_FIELDS = ("machine", "dir", "device", "status", "allocated",
+                   "size", "modtime", "modby", "modwith")
+
+
+def _phys_tuple(ctx: QueryContext, row) -> tuple:
+    machines = ctx.db.table("machine").select({"mach_id": row["mach_id"]})
+    return (machines[0]["name"] if machines else "???", row["dir"],
+            row["device"], row["status"], row["allocated"], row["size"],
+            row["modtime"], row["modby"], row["modwith"])
+
+
+@register("get_all_nfsphys", "ganf", (), _NFSPHYS_FIELDS,
+          side_effects=False)
+def get_all_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Every exported NFS physical partition."""
+    return [_phys_tuple(ctx, r) for r in ctx.db.table("nfsphys").rows]
+
+
+@register("get_nfsphys", "gnfp", ("machine", "dir"), _NFSPHYS_FIELDS,
+          side_effects=False)
+def get_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """One machine's partitions (directory may wildcard)."""
+    mach = ctx.find_machine(args[0])
+    return [_phys_tuple(ctx, r)
+            for r in ctx.db.table("nfsphys").select(
+                {"mach_id": mach["mach_id"], "dir": args[1]})]
+
+
+@register("add_nfsphys", "anfp",
+          ("machine", "dir", "device", "status", "allocated", "size"), (),
+          side_effects=True)
+def add_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Export a new physical partition."""
+    machine, directory, device, status, allocated, size = args
+    mach = ctx.find_machine(machine)
+    nfsphys_id = ctx.db.next_id("nfsphys_id", now=ctx.now)
+    ctx.db.table("nfsphys").insert(
+        dict(nfsphys_id=nfsphys_id, mach_id=mach["mach_id"], dir=directory,
+             device=device, status=int(status), allocated=int(allocated),
+             size=int(size), **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+def _find_nfsphys(ctx: QueryContext, machine: str, directory: str):
+    mach = ctx.find_machine(machine)
+    rows = ctx.db.table("nfsphys").select(
+        {"mach_id": mach["mach_id"], "dir": directory})
+    return exactly_one(rows, MR_NFSPHYS, f"{machine}:{directory}")
+
+
+@register("update_nfsphys", "unfp",
+          ("machine", "dir", "device", "status", "allocated", "size"), (),
+          side_effects=True)
+def update_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Change a partition's device/status/allocation/size."""
+    machine, directory, device, status, allocated, size = args
+    row = _find_nfsphys(ctx, machine, directory)
+    ctx.db.table("nfsphys").update_rows(
+        [row],
+        dict(device=device, status=int(status), allocated=int(allocated),
+             size=int(size), **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("adjust_nfsphys_allocation", "ajnf",
+          ("machine", "dir", "delta"), (), side_effects=True)
+def adjust_nfsphys_allocation(ctx: QueryContext,
+                              args: Sequence[str]) -> list[tuple]:
+    """Add a (signed) delta to a partition's allocation."""
+    row = _find_nfsphys(ctx, args[0], args[1])
+    ctx.db.table("nfsphys").update_rows(
+        [row], dict(allocated=row["allocated"] + int(args[2]),
+                    **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("delete_nfsphys", "dnfp", ("machine", "dir"), (),
+          side_effects=True)
+def delete_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Remove an export with no filesystems on it."""
+    row = _find_nfsphys(ctx, args[0], args[1])
+    if ctx.db.table("filesys").select({"phys_id": row["nfsphys_id"]}):
+        raise MoiraError(MR_IN_USE, f"{args[0]}:{args[1]}")
+    ctx.db.table("nfsphys").delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- quotas ------------------------------------------------------------------
+
+
+def _quota_tuple(ctx: QueryContext, row) -> tuple:
+    fs = ctx.db.table("filesys").select({"filsys_id": row["filsys_id"]})
+    users = ctx.db.table("users").select({"users_id": row["users_id"]})
+    phys = ctx.db.table("nfsphys").select({"nfsphys_id": row["phys_id"]})
+    machine = "???"
+    directory = "???"
+    if phys:
+        directory = phys[0]["dir"]
+        machines = ctx.db.table("machine").select(
+            {"mach_id": phys[0]["mach_id"]})
+        if machines:
+            machine = machines[0]["name"]
+    return (fs[0]["label"] if fs else "???",
+            users[0]["login"] if users else "???",
+            row["quota"], directory, machine, row["modtime"], row["modby"],
+            row["modwith"])
+
+
+def _fs_owner_access(ctx: QueryContext, args: Sequence[str]) -> bool:
+    """Relaxation: the owner of the target filesystem may run the query."""
+    rows = ctx.db.table("filesys").select({"label": str(args[0])})
+    if len(rows) != 1:
+        return False
+    caller = ctx.caller_row()
+    if caller is None:
+        return False
+    if rows[0]["owner"] == caller["users_id"]:
+        return True
+    return ctx.user_on_list_id(rows[0]["owners"], ctx.caller)
+
+
+@register("get_nfs_quota", "gnfq", ("filesys", "login"),
+          ("filesys", "login", "quota", "directory", "machine", "modtime",
+           "modby", "modwith"),
+          side_effects=False, access=_fs_owner_access)
+def get_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """A user's quota on matching filesystems."""
+    user = ctx.find_user(args[1])
+    fs_rows = ctx.db.table("filesys").select({"label": args[0]})
+    fs_ids = {f["filsys_id"] for f in fs_rows}
+    return [_quota_tuple(ctx, r)
+            for r in ctx.db.table("nfsquota").select(
+                {"users_id": user["users_id"]})
+            if r["filsys_id"] in fs_ids]
+
+
+@register("get_nfs_quotas_by_partition", "gnqp", ("machine", "dir"),
+          ("filesys", "login", "quota", "directory", "machine"),
+          side_effects=False)
+def get_nfs_quotas_by_partition(ctx: QueryContext,
+                                args: Sequence[str]) -> list[tuple]:
+    """Every quota on one partition."""
+    mach = ctx.find_machine(args[0])
+    phys_rows = ctx.db.table("nfsphys").select(
+        {"mach_id": mach["mach_id"], "dir": args[1]})
+    phys_ids = {p["nfsphys_id"] for p in phys_rows}
+    return [_quota_tuple(ctx, r)[:5]
+            for r in ctx.db.table("nfsquota").rows
+            if r["phys_id"] in phys_ids]
+
+
+def _adjust_phys_allocation(ctx: QueryContext, phys_id: int,
+                            delta: int) -> None:
+    if not phys_id or not delta:
+        return
+    phys = ctx.db.table("nfsphys").select({"nfsphys_id": phys_id})
+    if phys:
+        ctx.db.table("nfsphys").update_rows(
+            phys, {"allocated": phys[0]["allocated"] + delta}, now=ctx.now)
+
+
+@register("add_nfs_quota", "anfq", ("filesys", "login", "quota"), (),
+          side_effects=True)
+def add_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Grant a quota; partition allocation increases."""
+    fs = exactly_one(ctx.db.table("filesys").select({"label": args[0]}),
+                     MR_FILESYS, args[0])
+    user = ctx.find_user(args[1])
+    quota = int(args[2])
+    if quota < 0:
+        raise MoiraError(MR_QUOTA, args[2])
+    ctx.db.table("nfsquota").insert(
+        dict(users_id=user["users_id"], filsys_id=fs["filsys_id"],
+             phys_id=fs["phys_id"], quota=quota, **ctx.audit()),
+        now=ctx.now)
+    _adjust_phys_allocation(ctx, fs["phys_id"], quota)
+    return []
+
+
+@register("update_nfs_quota", "unfq", ("filesys", "login", "quota"), (),
+          side_effects=True)
+def update_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Change a quota; allocation moves by the delta."""
+    fs = exactly_one(ctx.db.table("filesys").select({"label": args[0]}),
+                     MR_FILESYS, args[0])
+    user = ctx.find_user(args[1])
+    quota = int(args[2])
+    if quota < 0:
+        raise MoiraError(MR_QUOTA, args[2])
+    rows = ctx.db.table("nfsquota").select(
+        {"users_id": user["users_id"], "filsys_id": fs["filsys_id"]})
+    row = exactly_one(rows, MR_USER, f"no quota for {args[1]} on {args[0]}")
+    _adjust_phys_allocation(ctx, fs["phys_id"], quota - row["quota"])
+    ctx.db.table("nfsquota").update_rows(
+        [row], dict(quota=quota, **ctx.audit()), now=ctx.now)
+    return []
+
+
+@register("delete_nfs_quota", "dnfq", ("filesys", "login"), (),
+          side_effects=True)
+def delete_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Revoke a quota; allocation decreases."""
+    fs = exactly_one(ctx.db.table("filesys").select({"label": args[0]}),
+                     MR_FILESYS, args[0])
+    user = ctx.find_user(args[1])
+    rows = ctx.db.table("nfsquota").select(
+        {"users_id": user["users_id"], "filsys_id": fs["filsys_id"]})
+    row = exactly_one(rows, MR_USER, f"no quota for {args[1]} on {args[0]}")
+    _adjust_phys_allocation(ctx, fs["phys_id"], -row["quota"])
+    ctx.db.table("nfsquota").delete_rows([row], now=ctx.now)
+    return []

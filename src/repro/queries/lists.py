@@ -1,0 +1,396 @@
+"""List and membership queries (paper §7.0.3).
+
+Lists are Moira's general grouping mechanism (mailing lists, unix
+groups, and access control lists all in one relation).  Membership is
+(type, id) pairs — USER, LIST (sub-list), or STRING (interned text,
+e.g. external mail addresses).  Access control entities (ACEs) guard
+each list; the paper's per-query relaxations (public lists allow
+self-add/remove, ACE members manage the list) are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.db.schema import UNIQUE_GID
+from repro.errors import (
+    MoiraError,
+    MR_EXISTS,
+    MR_IN_USE,
+    MR_LIST,
+    MR_NO_MATCH,
+    MR_TYPE,
+)
+from repro.queries.base import (QueryContext, exactly_one,
+                                no_wildcards, register)
+
+_LIST_INFO_FIELDS = ("list", "active", "public", "hidden", "maillist",
+                     "group", "gid", "ace_type", "ace_name", "description",
+                     "modtime", "modby", "modwith")
+
+
+def _list_tuple(ctx: QueryContext, row) -> tuple:
+    return (row["name"], row["active"], row["public"], row["hidden"],
+            row["maillist"], row["grouplist"], row["gid"], row["acl_type"],
+            ctx.ace_name(row["acl_type"], row["acl_id"]), row["desc"],
+            row["modtime"], row["modby"], row["modwith"])
+
+
+def _caller_on_list_ace(ctx: QueryContext, row) -> bool:
+    return ctx.caller_satisfies_ace(row["acl_type"], row["acl_id"])
+
+
+def _ace_of_named_list(ctx: QueryContext, args: Sequence[str]) -> bool:
+    """Access relaxation: caller is on the ACE of the list named in args[0]."""
+    rows = ctx.db.table("list").select({"name": str(args[0])})
+    return len(rows) == 1 and _caller_on_list_ace(ctx, rows[0])
+
+
+def _visible_or_ace(ctx: QueryContext, args: Sequence[str]) -> bool:
+    """Access relaxation: list is not hidden, or caller is on its ACE."""
+    rows = ctx.db.table("list").select({"name": str(args[0])})
+    if len(rows) != 1:
+        # wildcards or unknown names require the capability ACL
+        return False
+    return not rows[0]["hidden"] or _caller_on_list_ace(ctx, rows[0])
+
+
+@register("get_list_info", "glin", ("list",), _LIST_INFO_FIELDS,
+          side_effects=False, access=_visible_or_ace)
+def get_list_info(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Full list attributes; hidden lists need ACE or capability."""
+    rows = ctx.db.table("list").select({"name": args[0]})
+    out = []
+    for row in rows:
+        if row["hidden"] and not (
+                ctx.on_capability("get_list_info")
+                or _caller_on_list_ace(ctx, row)):
+            continue
+        out.append(_list_tuple(ctx, row))
+    return out
+
+
+@register("expand_list_names", "exln", ("list",), ("list",),
+          side_effects=False, public=True)
+def expand_list_names(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Expand a wildcard pattern to visible list names."""
+    return [(r["name"],)
+            for r in ctx.db.table("list").select({"name": args[0]})
+            if not r["hidden"]]
+
+
+@register("add_list", "alis",
+          ("list", "active", "public", "hidden", "maillist", "group", "gid",
+           "ace_type", "ace_name", "description"),
+          (), side_effects=True)
+def add_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Create a list; UNIQUE_GID allocates, the ACE may be itself."""
+    (name, active, public, hidden, maillist, group, gid,
+     ace_type, ace_name, desc) = args
+    lists = ctx.db.table("list")
+    no_wildcards(name)
+    if lists.select({"name": name}):
+        raise MoiraError(MR_EXISTS, name)
+    gid = int(gid)
+    if int(group) and gid == UNIQUE_GID:
+        gid = ctx.db.next_id("gid", now=ctx.now)
+    list_id = ctx.db.next_id("list_id", now=ctx.now)
+    # "The access list may be the list that is being created
+    # (self-referential)."
+    if str(ace_type).upper() == "LIST" and ace_name == name:
+        acl_type, acl_id = "LIST", list_id
+    else:
+        acl_type, acl_id = ctx.resolve_ace(ace_type, ace_name)
+    lists.insert(
+        dict(name=name, list_id=list_id, active=int(active),
+             public=int(public), hidden=int(hidden), maillist=int(maillist),
+             grouplist=int(group), gid=gid, desc=desc, acl_type=acl_type,
+             acl_id=acl_id, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("update_list", "ulis",
+          ("list", "newname", "active", "public", "hidden", "maillist",
+           "group", "gid", "ace_type", "ace_name", "description"),
+          (), side_effects=True, access=_ace_of_named_list)
+def update_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Change list attributes; references follow a rename."""
+    (name, newname, active, public, hidden, maillist, group, gid,
+     ace_type, ace_name, desc) = args
+    lists = ctx.db.table("list")
+    row = exactly_one(lists.select({"name": name}), MR_LIST, name)
+    if newname != name and lists.select({"name": newname}):
+        raise MoiraError(MR_EXISTS, newname)
+    gid = int(gid)
+    if int(group) and gid == UNIQUE_GID:
+        gid = ctx.db.next_id("gid", now=ctx.now)
+    if str(ace_type).upper() == "LIST" and ace_name in (name, newname):
+        acl_type, acl_id = "LIST", row["list_id"]
+    else:
+        acl_type, acl_id = ctx.resolve_ace(ace_type, ace_name)
+    lists.update_rows(
+        [row],
+        dict(name=newname, active=int(active), public=int(public),
+             hidden=int(hidden), maillist=int(maillist),
+             grouplist=int(group), gid=gid, desc=desc, acl_type=acl_type,
+             acl_id=acl_id, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+def _list_referenced(ctx: QueryContext, list_id: int) -> bool:
+    """Is the list a member of another list or an ACL for any object?"""
+    if ctx.db.table("members").select(
+            {"member_type": "LIST", "member_id": list_id}):
+        return True
+    for table in ("list", "servers", "hostaccess"):
+        if ctx.db.table(table).select({"acl_type": "LIST",
+                                       "acl_id": list_id}):
+            # a list may be its own ACE; that self-reference doesn't
+            # block deletion
+            refs = ctx.db.table(table).select(
+                {"acl_type": "LIST", "acl_id": list_id})
+            if table != "list" or any(r["list_id"] != list_id for r in refs):
+                return True
+    if ctx.db.table("filesys").select({"owners": list_id}):
+        return True
+    if ctx.db.table("capacls").select({"list_id": list_id}):
+        return True
+    zephyr = ctx.db.table("zephyr")
+    for col in ("xmt", "sub", "iws", "iui"):
+        if zephyr.select({f"{col}_type": "LIST", f"{col}_id": list_id}):
+            return True
+    return False
+
+
+@register("delete_list", "dlis", ("list",), (), side_effects=True,
+          access=_ace_of_named_list)
+def delete_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Delete an empty, unreferenced list."""
+    lists = ctx.db.table("list")
+    row = exactly_one(lists.select({"name": args[0]}), MR_LIST, args[0])
+    members = ctx.db.table("members")
+    if members.select({"list_id": row["list_id"]}):
+        raise MoiraError(MR_IN_USE, f"{args[0]} is not empty")
+    if _list_referenced(ctx, row["list_id"]):
+        raise MoiraError(MR_IN_USE, args[0])
+    lists.delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- members ---------------------------------------------------------------
+
+
+def _resolve_member(ctx: QueryContext, mtype: str,
+                    member: str) -> tuple[str, int]:
+    mtype = str(mtype).upper()
+    if mtype == "USER":
+        rows = ctx.db.table("users").select({"login": member})
+        if len(rows) != 1:
+            raise MoiraError(MR_NO_MATCH, f"user {member!r}")
+        return "USER", rows[0]["users_id"]
+    if mtype == "LIST":
+        rows = ctx.db.table("list").select({"name": member})
+        if len(rows) != 1:
+            raise MoiraError(MR_NO_MATCH, f"list {member!r}")
+        return "LIST", rows[0]["list_id"]
+    if mtype == "STRING":
+        return "STRING", ctx.intern_string(member)
+    raise MoiraError(MR_TYPE, mtype)
+
+
+def _member_name(ctx: QueryContext, mtype: str, member_id: int) -> str:
+    if mtype == "USER":
+        rows = ctx.db.table("users").select({"users_id": member_id})
+        return rows[0]["login"] if rows else "???"
+    if mtype == "LIST":
+        rows = ctx.db.table("list").select({"list_id": member_id})
+        return rows[0]["name"] if rows else "???"
+    return ctx.string_by_id(member_id)
+
+
+def _self_on_public_list(ctx: QueryContext, args: Sequence[str]) -> bool:
+    """Anyone may add/delete *themselves* as USER on a public list."""
+    list_name, mtype, member = str(args[0]), str(args[1]), str(args[2])
+    if mtype.upper() != "USER" or not ctx.is_caller(member):
+        return _ace_of_named_list(ctx, args)
+    rows = ctx.db.table("list").select({"name": list_name})
+    if len(rows) != 1:
+        return False
+    return bool(rows[0]["public"]) or _caller_on_list_ace(ctx, rows[0])
+
+
+@register("add_member_to_list", "amtl", ("list", "type", "member"), (),
+          side_effects=True, access=_self_on_public_list)
+def add_member_to_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Add a USER/LIST/STRING member (self-add on public lists)."""
+    row = ctx.find_list(args[0])
+    mtype, member_id = _resolve_member(ctx, args[1], args[2])
+    members = ctx.db.table("members")
+    if members.select({"list_id": row["list_id"], "member_type": mtype,
+                       "member_id": member_id}):
+        raise MoiraError(MR_EXISTS, f"{args[2]} already on {args[0]}")
+    members.insert({"list_id": row["list_id"], "member_type": mtype,
+                    "member_id": member_id}, now=ctx.now)
+    ctx.db.table("list").update_rows([row], ctx.audit(), now=ctx.now)
+    return []
+
+
+@register("delete_member_from_list", "dmfl", ("list", "type", "member"), (),
+          side_effects=True, access=_self_on_public_list)
+def delete_member_from_list(ctx: QueryContext,
+                            args: Sequence[str]) -> list[tuple]:
+    """Remove a member (self-remove on public lists)."""
+    row = ctx.find_list(args[0])
+    mtype, member_id = _resolve_member(ctx, args[1], args[2])
+    members = ctx.db.table("members")
+    found = members.select({"list_id": row["list_id"], "member_type": mtype,
+                            "member_id": member_id})
+    if not found:
+        raise MoiraError(MR_NO_MATCH, f"{args[2]} not on {args[0]}")
+    members.delete_rows(found, now=ctx.now)
+    ctx.db.table("list").update_rows([row], ctx.audit(), now=ctx.now)
+    return []
+
+
+@register("get_members_of_list", "gmol", ("list",), ("type", "value"),
+          side_effects=False, access=_visible_or_ace)
+def get_members_of_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """All (type, name) members of one list."""
+    row = ctx.find_list(args[0])
+    out = []
+    for member in ctx.db.table("members").select({"list_id": row["list_id"]}):
+        out.append((member["member_type"],
+                    _member_name(ctx, member["member_type"],
+                                 member["member_id"])))
+    return out
+
+
+@register("count_members_of_list", "cmol", ("list",), ("count",),
+          side_effects=False, access=_visible_or_ace)
+def count_members_of_list(ctx: QueryContext,
+                          args: Sequence[str]) -> list[tuple]:
+    """How many members are on one list."""
+    row = ctx.find_list(args[0])
+    return [(ctx.db.table("members").count({"list_id": row["list_id"]}),)]
+
+
+@register("get_lists_of_member", "glom", ("type", "value"),
+          ("list", "active", "public", "hidden", "maillist", "group"),
+          side_effects=False,
+          access=lambda ctx, args: (str(args[0]).upper() in ("USER", "RUSER")
+                                    and ctx.is_caller(str(args[1]))))
+def get_lists_of_member(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Lists containing a member; R-types recurse sub-lists."""
+    mtype, value = str(args[0]).upper(), str(args[1])
+    recursive = mtype.startswith("R")
+    base_type = mtype[1:] if recursive else mtype
+    if base_type not in ("USER", "LIST", "STRING"):
+        raise MoiraError(MR_TYPE, mtype)
+    _, member_id = _resolve_member(ctx, base_type, value)
+
+    members = ctx.db.table("members")
+    direct = {m["list_id"] for m in members.select(
+        {"member_type": base_type, "member_id": member_id})}
+    found = set(direct)
+    if recursive:
+        frontier = list(direct)
+        while frontier:
+            lid = frontier.pop()
+            for parent in members.select(
+                    {"member_type": "LIST", "member_id": lid}):
+                pid = parent["list_id"]
+                if pid not in found:
+                    found.add(pid)
+                    frontier.append(pid)
+
+    lists = ctx.db.table("list")
+    out = []
+    for lid in sorted(found):
+        rows = lists.select({"list_id": lid})
+        if rows:
+            r = rows[0]
+            out.append((r["name"], r["active"], r["public"], r["hidden"],
+                        r["maillist"], r["grouplist"]))
+    return out
+
+
+@register("qualified_get_lists", "qgli",
+          ("active", "public", "hidden", "maillist", "group"), ("list",),
+          side_effects=False,
+          access=lambda ctx, args: (str(args[0]).upper() == "TRUE"
+                                    and str(args[2]).upper() == "FALSE"))
+def qualified_get_lists(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """List names matching five TRUE/FALSE/DONTCARE flags."""
+    flags = ["active", "public", "hidden", "maillist", "grouplist"]
+    wanted: list[tuple[str, Optional[bool]]] = [
+        (flag, ctx.tristate(arg)) for flag, arg in zip(flags, args)
+    ]
+
+    def matches(row) -> bool:
+        """Row satisfies every non-DONTCARE flag."""
+        return all(want is None or bool(row[flag]) == want
+                   for flag, want in wanted)
+
+    return [(r["name"],)
+            for r in ctx.db.table("list").iter_select(predicate=matches)]
+
+
+@register("get_ace_use", "gaus", ("ace_type", "ace_name"),
+          ("object_type", "object_name"), side_effects=False,
+          access=lambda ctx, args: (
+              str(args[0]).upper() in ("USER", "RUSER")
+              and ctx.is_caller(str(args[1]))))
+def get_ace_use(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Objects guarded by an entity as ACE; R-types check sub-lists."""
+    ace_type, ace_name = str(args[0]).upper(), str(args[1])
+    recursive = ace_type.startswith("R")
+    base_type = ace_type[1:] if recursive else ace_type
+    if base_type not in ("USER", "LIST"):
+        raise MoiraError(MR_TYPE, ace_type)
+    _, target_id = _resolve_member(ctx, base_type, ace_name)
+
+    # Candidate ACE entities: the target itself, plus (recursively) every
+    # list the target is a member of when the R-type is used.
+    entities: set[tuple[str, int]] = {(base_type, target_id)}
+    if recursive:
+        members = ctx.db.table("members")
+        frontier = [m["list_id"] for m in members.select(
+            {"member_type": base_type, "member_id": target_id})]
+        seen = set()
+        while frontier:
+            lid = frontier.pop()
+            if lid in seen:
+                continue
+            seen.add(lid)
+            entities.add(("LIST", lid))
+            frontier.extend(m["list_id"] for m in members.select(
+                {"member_type": "LIST", "member_id": lid}))
+
+    out = []
+    for row in ctx.db.table("list").rows:
+        if (row["acl_type"], row["acl_id"]) in entities:
+            out.append(("LIST", row["name"]))
+    for row in ctx.db.table("servers").rows:
+        if (row["acl_type"], row["acl_id"]) in entities:
+            out.append(("SERVICE", row["name"]))
+    for row in ctx.db.table("filesys").rows:
+        if ("USER", row["owner"]) in entities or \
+                ("LIST", row["owners"]) in entities:
+            out.append(("FILESYS", row["label"]))
+    for row in ctx.db.table("capacls").rows:
+        if ("LIST", row["list_id"]) in entities:
+            out.append(("QUERY", row["capability"]))
+    for row in ctx.db.table("hostaccess").rows:
+        if (row["acl_type"], row["acl_id"]) in entities:
+            machines = ctx.db.table("machine").select(
+                {"mach_id": row["mach_id"]})
+            if machines:
+                out.append(("HOSTACCESS", machines[0]["name"]))
+    for row in ctx.db.table("zephyr").rows:
+        for col in ("xmt", "sub", "iws", "iui"):
+            if (row[f"{col}_type"], row[f"{col}_id"]) in entities:
+                out.append(("ZEPHYR", row["class"]))
+                break
+    return out

@@ -1,0 +1,286 @@
+"""Miscellaneous queries (paper §7.0.7) and the built-in specials (§7.0.8).
+
+Covers host access, network services, printcaps, aliases, the values
+relation, table statistics, and the underscore-prefixed queries
+(``_help``, ``_list_queries``; ``_list_users`` is served directly by the
+Moira server since it reports live connections, not database rows).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import (
+    MoiraError,
+    MR_EXISTS,
+    MR_NO_HANDLE,
+    MR_NO_MATCH,
+    MR_NOT_UNIQUE,
+    MR_TYPE,
+)
+from repro.queries.base import QueryContext, exactly_one, register
+
+
+# -- host access (/.klogin generation) -------------------------------------------
+
+
+@register("get_server_host_access", "gsha", ("machine",),
+          ("machine", "ace_type", "ace_name", "modtime", "modby",
+           "modwith"),
+          side_effects=False)
+def get_server_host_access(ctx: QueryContext,
+                           args: Sequence[str]) -> list[tuple]:
+    """Who may log in on a machine (feeds /.klogin)."""
+    machines = {m["mach_id"]: m["name"]
+                for m in ctx.db.table("machine").select(
+                    {"name": args[0].upper()})}
+    out = []
+    for row in ctx.db.table("hostaccess").rows:
+        if row["mach_id"] in machines:
+            out.append((machines[row["mach_id"]], row["acl_type"],
+                        ctx.ace_name(row["acl_type"], row["acl_id"]),
+                        row["modtime"], row["modby"], row["modwith"]))
+    return out
+
+
+@register("add_server_host_access", "asha",
+          ("machine", "ace_type", "ace_name"), (), side_effects=True)
+def add_server_host_access(ctx: QueryContext,
+                           args: Sequence[str]) -> list[tuple]:
+    """Grant an entity access to a machine."""
+    mach = ctx.find_machine(args[0])
+    acl_type, acl_id = ctx.resolve_ace(args[1], args[2])
+    ctx.db.table("hostaccess").insert(
+        dict(mach_id=mach["mach_id"], acl_type=acl_type, acl_id=acl_id,
+             **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("update_server_host_access", "usha",
+          ("machine", "ace_type", "ace_name"), (), side_effects=True)
+def update_server_host_access(ctx: QueryContext,
+                              args: Sequence[str]) -> list[tuple]:
+    """Change a machine's access entity."""
+    mach = ctx.find_machine(args[0])
+    rows = ctx.db.table("hostaccess").select({"mach_id": mach["mach_id"]})
+    row = exactly_one(rows, MR_NO_MATCH, args[0])
+    acl_type, acl_id = ctx.resolve_ace(args[1], args[2])
+    ctx.db.table("hostaccess").update_rows(
+        [row], dict(acl_type=acl_type, acl_id=acl_id, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("delete_server_host_access", "dsha", ("machine",), (),
+          side_effects=True)
+def delete_server_host_access(ctx: QueryContext,
+                              args: Sequence[str]) -> list[tuple]:
+    """Remove a machine's access record."""
+    mach = ctx.find_machine(args[0])
+    rows = ctx.db.table("hostaccess").select({"mach_id": mach["mach_id"]})
+    row = exactly_one(rows, MR_NO_MATCH, args[0])
+    ctx.db.table("hostaccess").delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- network services (/etc/services) ----------------------------------------------
+
+
+@register("get_service", "gsvc", ("service",),
+          ("service", "protocol", "port", "description", "modtime",
+           "modby", "modwith"),
+          side_effects=False, public=True)
+def get_service(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """An /etc/services entry by (wildcardable) name."""
+    return [(r["name"], r["protocol"], r["port"], r["desc"], r["modtime"],
+             r["modby"], r["modwith"])
+            for r in ctx.db.table("services").select({"name": args[0]})]
+
+
+@register("add_service", "asvc",
+          ("service", "protocol", "port", "description"), (),
+          side_effects=True)
+def add_service(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Add a network service (protocol type-checked)."""
+    name, protocol, port, desc = args
+    protocol = ctx.check_type("protocol", protocol, MR_TYPE)
+    services = ctx.db.table("services")
+    if services.select({"name": name}):
+        raise MoiraError(MR_EXISTS, name)
+    services.insert(dict(name=name, protocol=protocol, port=int(port),
+                         desc=desc, **ctx.audit()), now=ctx.now)
+    return []
+
+
+@register("delete_service", "dsvc", ("service",), (), side_effects=True)
+def delete_service(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Remove a network service."""
+    services = ctx.db.table("services")
+    rows = services.select({"name": args[0]})
+    row = exactly_one(rows, MR_NO_MATCH, args[0])
+    services.delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- printcap ------------------------------------------------------------------
+
+
+@register("get_printcap", "gpcp", ("printer",),
+          ("printer", "spool_host", "spool_directory", "rprinter",
+           "comments", "modtime", "modby", "modwith"),
+          side_effects=False, public=True)
+def get_printcap(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Printer capability entries by (wildcardable) name."""
+    out = []
+    for row in ctx.db.table("printcap").select({"name": args[0]}):
+        machines = ctx.db.table("machine").select(
+            {"mach_id": row["mach_id"]})
+        out.append((row["name"],
+                    machines[0]["name"] if machines else "???",
+                    row["dir"], row["rp"], row["comments"], row["modtime"],
+                    row["modby"], row["modwith"]))
+    return out
+
+
+@register("add_printcap", "apcp",
+          ("printer", "spool_host", "spool_directory", "rprinter",
+           "comments"),
+          (), side_effects=True)
+def add_printcap(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Add a printer (spool host must exist)."""
+    name, spool_host, spool_dir, rprinter, comments = args
+    printcap = ctx.db.table("printcap")
+    if printcap.select({"name": name}):
+        raise MoiraError(MR_EXISTS, name)
+    mach = ctx.find_machine(spool_host)
+    printcap.insert(dict(name=name, mach_id=mach["mach_id"], dir=spool_dir,
+                         rp=rprinter, comments=comments, **ctx.audit()),
+                    now=ctx.now)
+    return []
+
+
+@register("delete_printcap", "dpcp", ("printer",), (), side_effects=True)
+def delete_printcap(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Remove a printer."""
+    printcap = ctx.db.table("printcap")
+    rows = printcap.select({"name": args[0]})
+    row = exactly_one(rows, MR_NO_MATCH, args[0])
+    printcap.delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- aliases --------------------------------------------------------------------
+
+
+@register("get_alias", "gali", ("name", "type", "translation"),
+          ("name", "type", "translation"), side_effects=False, public=True)
+def get_alias(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Alias rows matching all three (wildcardable) fields."""
+    return [(r["name"], r["type"], r["trans"])
+            for r in ctx.db.table("alias").select(
+                {"name": args[0], "type": args[1], "trans": args[2]})]
+
+
+@register("add_alias", "aali", ("name", "type", "translation"), (),
+          side_effects=True)
+def add_alias(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Add an alias row (alias type itself type-checked)."""
+    name, atype, trans = args
+    atype = ctx.check_type("alias", atype, MR_TYPE)
+    alias = ctx.db.table("alias")
+    if alias.select({"name": name, "type": atype, "trans": trans}):
+        raise MoiraError(MR_EXISTS, f"{name}/{atype}/{trans}")
+    alias.insert({"name": name, "type": atype, "trans": trans}, now=ctx.now)
+    return []
+
+
+@register("delete_alias", "dali", ("name", "type", "translation"), (),
+          side_effects=True)
+def delete_alias(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Remove one exact alias row."""
+    alias = ctx.db.table("alias")
+    rows = alias.select({"name": args[0], "type": args[1],
+                         "trans": args[2]})
+    row = exactly_one(rows, MR_NOT_UNIQUE if len(rows) > 1 else MR_NO_MATCH,
+                      "/".join(args))
+    alias.delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- values ---------------------------------------------------------------------
+
+
+@register("get_value", "gval", ("variable",), ("value",),
+          side_effects=False, public=True)
+def get_value(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Look up a variable in the values relation."""
+    rows = ctx.db.table("values").select({"name": args[0]})
+    return [(r["value"],) for r in rows]
+
+
+@register("add_value", "aval", ("variable", "value"), (),
+          side_effects=True)
+def add_value(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Create a values variable."""
+    values = ctx.db.table("values")
+    if values.select({"name": args[0]}):
+        raise MoiraError(MR_EXISTS, args[0])
+    values.insert({"name": args[0], "value": int(args[1])}, now=ctx.now)
+    return []
+
+
+@register("update_value", "uval", ("variable", "value"), (),
+          side_effects=True)
+def update_value(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Replace a values variable's value."""
+    values = ctx.db.table("values")
+    rows = values.select({"name": args[0]})
+    row = exactly_one(rows, MR_NO_MATCH, args[0])
+    values.update_rows([row], {"value": int(args[1])}, now=ctx.now)
+    return []
+
+
+@register("delete_value", "dval", ("variable",), (), side_effects=True)
+def delete_value(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Remove a values variable."""
+    values = ctx.db.table("values")
+    rows = values.select({"name": args[0]})
+    row = exactly_one(rows, MR_NO_MATCH, args[0])
+    values.delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- table statistics -------------------------------------------------------------
+
+
+@register("get_all_table_stats", "gats", (),
+          ("table", "retrieves", "appends", "updates", "deletes",
+           "modtime"),
+          side_effects=False, public=True)
+def get_all_table_stats(ctx: QueryContext,
+                        args: Sequence[str]) -> list[tuple]:
+    """Per-relation append/update/delete counters."""
+    return list(ctx.db.table_stats())
+
+
+# -- built-in specials (§7.0.8) -----------------------------------------------------
+
+
+@register("_help", "help", ("query",), ("help_message",),
+          side_effects=False, public=True)
+def _help(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    from repro.queries.base import get_query
+    query = get_query(args[0])
+    if query is None:
+        raise MoiraError(MR_NO_HANDLE, args[0])
+    return [(query.help_text(),)]
+
+
+@register("_list_queries", "lqer", (),
+          ("long_query_name", "short_query_name"),
+          side_effects=False, public=True)
+def _list_queries(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    from repro.queries.base import all_queries
+    return [(q.name, q.shortname)
+            for q in sorted(all_queries().values(), key=lambda q: q.name)]

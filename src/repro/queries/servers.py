@@ -1,0 +1,317 @@
+"""Server and server-host queries (paper §7.0.4) — the DCM's tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import (
+    MoiraError,
+    MR_IN_USE,
+    MR_SERVICE,
+)
+from repro.queries.base import QueryContext, exactly_one, register
+
+_SERVER_FIELDS = ("service", "interval", "target", "script", "dfgen",
+                  "dfcheck", "type", "enable", "inprogress", "harderror",
+                  "errmsg", "ace_type", "ace_name", "modtime", "modby",
+                  "modwith")
+
+
+def _server_tuple(ctx: QueryContext, row) -> tuple:
+    return (row["name"], row["update_int"], row["target_file"],
+            row["script"], row["dfgen"], row["dfcheck"], row["type"],
+            row["enable"], row["inprogress"], row["harderror"],
+            row["errmsg"], row["acl_type"],
+            ctx.ace_name(row["acl_type"], row["acl_id"]),
+            row["modtime"], row["modby"], row["modwith"])
+
+
+def _ace_of_named_service(ctx: QueryContext, args: Sequence[str]) -> bool:
+    rows = ctx.db.table("servers").select({"name": str(args[0]).upper()})
+    return len(rows) == 1 and ctx.caller_satisfies_ace(
+        rows[0]["acl_type"], rows[0]["acl_id"])
+
+
+def _find_service(ctx: QueryContext, name: str):
+    return exactly_one(
+        ctx.db.table("servers").select({"name": name.upper()}),
+        MR_SERVICE, name)
+
+
+@register("get_server_info", "gsin", ("service",), _SERVER_FIELDS,
+          side_effects=False, access=_ace_of_named_service)
+def get_server_info(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Per-service DCM state (intervals, flags, errors)."""
+    return [_server_tuple(ctx, r)
+            for r in ctx.db.table("servers").select(
+                {"name": args[0].upper()})]
+
+
+@register("qualified_get_server", "qgsv",
+          ("enable", "inprogress", "harderror"), ("service",),
+          side_effects=False)
+def qualified_get_server(ctx: QueryContext,
+                         args: Sequence[str]) -> list[tuple]:
+    """Service names matching tri-state flag criteria."""
+    wants = [("enable", ctx.tristate(args[0])),
+             ("inprogress", ctx.tristate(args[1])),
+             ("harderror", ctx.tristate(args[2]))]
+
+    def matches(row) -> bool:
+        """Row satisfies every non-DONTCARE flag."""
+        return all(want is None or bool(row[flag]) == want
+                   for flag, want in wants)
+
+    return [(r["name"],)
+            for r in ctx.db.table("servers").iter_select(predicate=matches)]
+
+
+@register("add_server_info", "asin",
+          ("service", "interval", "target", "script", "type", "enable",
+           "ace_type", "ace_name"),
+          (), side_effects=True)
+def add_server_info(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Register a service for DCM updates."""
+    service, interval, target, script, stype, enable, ace_type, ace_name = args
+    stype = ctx.check_type("service-type", stype)
+    acl_type, acl_id = ctx.resolve_ace(ace_type, ace_name)
+    ctx.db.table("servers").insert(
+        dict(name=service.upper(), update_int=int(interval),
+             target_file=target, script=script, type=stype,
+             enable=int(enable), acl_type=acl_type, acl_id=acl_id,
+             **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("update_server_info", "usin",
+          ("service", "interval", "target", "script", "type", "enable",
+           "ace_type", "ace_name"),
+          (), side_effects=True, access=_ace_of_named_service)
+def update_server_info(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Change the user-settable service fields."""
+    service, interval, target, script, stype, enable, ace_type, ace_name = args
+    row = _find_service(ctx, service)
+    stype = ctx.check_type("service-type", stype)
+    acl_type, acl_id = ctx.resolve_ace(ace_type, ace_name)
+    ctx.db.table("servers").update_rows(
+        [row],
+        dict(update_int=int(interval), target_file=target, script=script,
+             type=stype, enable=int(enable), acl_type=acl_type,
+             acl_id=acl_id, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("reset_server_error", "rsve", ("service",), (),
+          side_effects=True, access=_ace_of_named_service)
+def reset_server_error(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Clear a hard error and snap dfcheck back to dfgen."""
+    row = _find_service(ctx, args[0])
+    ctx.db.table("servers").update_rows(
+        [row],
+        dict(harderror=0, errmsg="", dfcheck=row["dfgen"], **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("set_server_internal_flags", "ssif",
+          ("service", "dfgen", "dfcheck", "inprogress", "harderror",
+           "errmsg"),
+          (), side_effects=True)
+def set_server_internal_flags(ctx: QueryContext,
+                              args: Sequence[str]) -> list[tuple]:
+    """DCM-only bookkeeping write; modtime untouched."""
+    service, dfgen, dfcheck, inprogress, harderror, errmsg = args
+    row = _find_service(ctx, service)
+    # "The service modtime will NOT be set" — DCM changes are not user
+    # modifications, and they don't count as table changes either.
+    ctx.db.table("servers").update_rows(
+        [row],
+        dict(dfgen=int(dfgen), dfcheck=int(dfcheck),
+             inprogress=int(inprogress), harderror=int(harderror),
+             errmsg=errmsg),
+        now=ctx.now, touch_stats=False)
+    return []
+
+
+@register("delete_server_info", "dsin", ("service",), (), side_effects=True)
+def delete_server_info(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
+    """Delete a service with no hosts and no update running."""
+    row = _find_service(ctx, args[0])
+    if row["inprogress"]:
+        raise MoiraError(MR_IN_USE, f"{args[0]} update in progress")
+    if ctx.db.table("serverhosts").select({"service": row["name"]}):
+        raise MoiraError(MR_IN_USE, f"{args[0]} has server hosts")
+    ctx.db.table("servers").delete_rows([row], now=ctx.now)
+    return []
+
+
+# -- serverhosts ----------------------------------------------------------------
+
+_HOST_FIELDS = ("service", "machine", "enable", "override", "success",
+                "inprogress", "hosterror", "errmsg", "lasttry",
+                "lastsuccess", "value1", "value2", "value3", "modtime",
+                "modby", "modwith")
+
+
+def _host_tuple(ctx: QueryContext, row) -> tuple:
+    machines = ctx.db.table("machine").select({"mach_id": row["mach_id"]})
+    mname = machines[0]["name"] if machines else "???"
+    return (row["service"], mname, row["enable"], row["override"],
+            row["success"], row["inprogress"], row["hosterror"],
+            row["hosterrmsg"], row["ltt"], row["lts"], row["value1"],
+            row["value2"], row["value3"], row["modtime"], row["modby"],
+            row["modwith"])
+
+
+def _find_server_host(ctx: QueryContext, service: str, machine: str):
+    mach = ctx.find_machine(machine)
+    rows = ctx.db.table("serverhosts").select(
+        {"service": service.upper(), "mach_id": mach["mach_id"]})
+    return exactly_one(rows, MR_SERVICE, f"{service}/{machine}")
+
+
+@register("get_server_host_info", "gshi", ("service", "machine"),
+          _HOST_FIELDS, side_effects=False, access=_ace_of_named_service)
+def get_server_host_info(ctx: QueryContext,
+                         args: Sequence[str]) -> list[tuple]:
+    """Per-host DCM state for matching service/machine."""
+    service_pat, machine_pat = args[0].upper(), args[1].upper()
+    machines = {m["mach_id"]: m["name"]
+                for m in ctx.db.table("machine").select(
+                    {"name": machine_pat})}
+    out = []
+    for row in ctx.db.table("serverhosts").select({"service": service_pat}):
+        if row["mach_id"] in machines:
+            out.append(_host_tuple(ctx, row))
+    return out
+
+
+@register("qualified_get_server_host", "qgsh",
+          ("service", "enable", "override", "success", "inprogress",
+           "hosterror"),
+          ("service", "machine"), side_effects=False)
+def qualified_get_server_host(ctx: QueryContext,
+                              args: Sequence[str]) -> list[tuple]:
+    """Service/machine pairs matching flag criteria."""
+    service_pat = args[0].upper()
+    wants = [(flag, ctx.tristate(arg))
+             for flag, arg in zip(
+                 ("enable", "override", "success", "inprogress",
+                  "hosterror"),
+                 args[1:])]
+
+    out = []
+    for row in ctx.db.table("serverhosts").select({"service": service_pat}):
+        if all(want is None or bool(row[flag]) == want
+               for flag, want in wants):
+            machines = ctx.db.table("machine").select(
+                {"mach_id": row["mach_id"]})
+            if machines:
+                out.append((row["service"], machines[0]["name"]))
+    return out
+
+
+@register("add_server_host_info", "ashi",
+          ("service", "machine", "enable", "value1", "value2", "value3"),
+          (), side_effects=True, access=_ace_of_named_service)
+def add_server_host_info(ctx: QueryContext,
+                         args: Sequence[str]) -> list[tuple]:
+    """Attach a host to a service (value1-3 are per-service)."""
+    service, machine, enable, value1, value2, value3 = args
+    srv = _find_service(ctx, service)
+    mach = ctx.find_machine(machine)
+    ctx.db.table("serverhosts").insert(
+        dict(service=srv["name"], mach_id=mach["mach_id"],
+             enable=int(enable), value1=int(value1), value2=int(value2),
+             value3=value3, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("update_server_host_info", "ushi",
+          ("service", "machine", "enable", "value1", "value2", "value3"),
+          (), side_effects=True, access=_ace_of_named_service)
+def update_server_host_info(ctx: QueryContext,
+                            args: Sequence[str]) -> list[tuple]:
+    """Change user-settable host fields (not in-progress)."""
+    service, machine, enable, value1, value2, value3 = args
+    row = _find_server_host(ctx, service, machine)
+    if row["inprogress"]:
+        raise MoiraError(MR_IN_USE, f"{service}/{machine} in progress")
+    ctx.db.table("serverhosts").update_rows(
+        [row],
+        dict(enable=int(enable), value1=int(value1), value2=int(value2),
+             value3=value3, **ctx.audit()),
+        now=ctx.now)
+    return []
+
+
+@register("reset_server_host_error", "rshe", ("service", "machine"), (),
+          side_effects=True, access=_ace_of_named_service)
+def reset_server_host_error(ctx: QueryContext,
+                            args: Sequence[str]) -> list[tuple]:
+    """Clear a host's hard error."""
+    row = _find_server_host(ctx, args[0], args[1])
+    ctx.db.table("serverhosts").update_rows(
+        [row], dict(hosterror=0, hosterrmsg="", **ctx.audit()), now=ctx.now)
+    return []
+
+
+@register("set_server_host_override", "ssho", ("service", "machine"), (),
+          side_effects=True, access=_ace_of_named_service)
+def set_server_host_override(ctx: QueryContext,
+                             args: Sequence[str]) -> list[tuple]:
+    """Mark a host for update ASAP, ignoring the interval."""
+    row = _find_server_host(ctx, args[0], args[1])
+    ctx.db.table("serverhosts").update_rows(
+        [row], dict(override=1, **ctx.audit()), now=ctx.now)
+    return []
+
+
+@register("set_server_host_internal", "sshi",
+          ("service", "machine", "override", "success", "inprogress",
+           "hosterror", "errmsg", "lasttry", "lastsuccess"),
+          (), side_effects=True)
+def set_server_host_internal(ctx: QueryContext,
+                             args: Sequence[str]) -> list[tuple]:
+    """DCM-only host bookkeeping write; modtime untouched."""
+    (service, machine, override, success, inprogress, hosterror, errmsg,
+     lasttry, lastsuccess) = args
+    row = _find_server_host(ctx, service, machine)
+    # modtime deliberately untouched — DCM bookkeeping, not user change.
+    ctx.db.table("serverhosts").update_rows(
+        [row],
+        dict(override=int(override), success=int(success),
+             inprogress=int(inprogress), hosterror=int(hosterror),
+             hosterrmsg=errmsg, ltt=int(lasttry), lts=int(lastsuccess)),
+        now=ctx.now, touch_stats=False)
+    return []
+
+
+@register("delete_server_host_info", "dshi", ("service", "machine"), (),
+          side_effects=True, access=_ace_of_named_service)
+def delete_server_host_info(ctx: QueryContext,
+                            args: Sequence[str]) -> list[tuple]:
+    """Detach a host from a service (not mid-update)."""
+    row = _find_server_host(ctx, args[0], args[1])
+    if row["inprogress"]:
+        raise MoiraError(MR_IN_USE, f"{args[0]}/{args[1]} in progress")
+    ctx.db.table("serverhosts").delete_rows([row], now=ctx.now)
+    return []
+
+
+@register("get_server_locations", "gslo", ("service",),
+          ("service", "machine"), side_effects=False, public=True)
+def get_server_locations(ctx: QueryContext,
+                         args: Sequence[str]) -> list[tuple]:
+    """Which machines support a service (public)."""
+    out = []
+    for row in ctx.db.table("serverhosts").select(
+            {"service": args[0].upper()}):
+        machines = ctx.db.table("machine").select(
+            {"mach_id": row["mach_id"]})
+        if machines:
+            out.append((row["service"], machines[0]["name"]))
+    return out

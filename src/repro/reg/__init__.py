@@ -1,0 +1,15 @@
+"""New user registration (paper §5.10).
+
+"A new student must be able to get an athena account without any
+intervention from Athena user accounts staff."  The registration server
+listens for three requests — verify_user, grab_login, set_password —
+authenticated by a DES-encrypted hash of the student's MIT ID, and the
+userreg client drives the walk-up registration dialogue.
+"""
+
+from repro.reg.server import RegistrationServer, RegError
+from repro.reg.userreg import UserReg, RegistrationOutcome
+from repro.reg.forms import RegistrationForms
+
+__all__ = ["RegistrationServer", "RegError", "UserReg",
+           "RegistrationOutcome", "RegistrationForms"]

@@ -1,0 +1,144 @@
+"""The userreg forms interface (paper §5.10).
+
+"He walks up to a workstation and logs in using the username of
+'register', password 'athena'.  This pops up a forms-like interface
+which prompts him for his first name, middle initial, last name, and
+student ID number."  This module reproduces that dialogue as a
+scripted, I/O-agnostic form: prompts are emitted to a transcript,
+answers come from a supplied input sequence, and the underlying
+:class:`UserReg` state machine does the protocol work.
+
+The dialogue handles the interactive realities the plain API doesn't:
+re-prompting when a chosen login is taken, asking for the password
+twice, and explaining each failure in user terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.reg.userreg import RegistrationOutcome, UserReg
+
+__all__ = ["RegistrationForms", "FormsResult"]
+
+WORKSTATION_LOGIN = "register"
+WORKSTATION_PASSWORD = "athena"
+
+_BANNER = (
+    "Welcome to Athena account registration.\n"
+    "Please answer the following questions."
+)
+
+
+@dataclass
+class FormsResult:
+    """One dialogue's outcome and transcript."""
+    registered: bool
+    login: str = ""
+    transcript: list[str] = field(default_factory=list)
+    attempts: int = 0
+
+
+class RegistrationForms:
+    """Drives the §5.10 walk-up dialogue over a UserReg client."""
+
+    def __init__(self, userreg: UserReg, *, max_login_attempts: int = 3):
+        self.userreg = userreg
+        self.max_login_attempts = max_login_attempts
+
+    def session(self, inputs: Sequence[str],
+                workstation_login: str = WORKSTATION_LOGIN,
+                workstation_password: str = WORKSTATION_PASSWORD
+                ) -> FormsResult:
+        """Run one registration dialogue.
+
+        *inputs* supplies the student's answers in order: first name,
+        middle initial, last name, MIT ID, then login choices (repeated
+        while taken), then the password twice (repeated on mismatch).
+        """
+        result = FormsResult(registered=False)
+        feed = list(inputs)
+
+        def prompt(text: str) -> Optional[str]:
+            """Emit a prompt and consume one answer (None = abandoned)."""
+            result.transcript.append(text)
+            if not feed:
+                result.transcript.append("(session abandoned)")
+                return None
+            answer = feed.pop(0)
+            result.transcript.append(f"> {answer}")
+            return answer
+
+        def note(text: str) -> None:
+            """Emit text without consuming input."""
+            result.transcript.append(text)
+
+        if (workstation_login, workstation_password) != (
+                WORKSTATION_LOGIN, WORKSTATION_PASSWORD):
+            result.transcript.append(
+                "login incorrect (use register/athena)")
+            return result
+
+        result.transcript.append(_BANNER)
+        first = prompt("First name:")
+        middle = prompt("Middle initial:")
+        last = prompt("Last name:")
+        mit_id = prompt("MIT ID number:")
+        if None in (first, middle, last, mit_id):
+            return result
+
+        # login-choice loop: "userreg then prompts him for his choice
+        # in login names" — retried while the name is taken
+        outcome: Optional[RegistrationOutcome] = None
+        for attempt in range(self.max_login_attempts):
+            login = prompt("Desired login name:")
+            if login is None:
+                return result
+            password = self._prompt_password_twice(prompt, note)
+            if password is None:
+                return result
+            result.attempts += 1
+            outcome = self.userreg.register(first, last, mit_id, login,
+                                            password)
+            if outcome.success:
+                result.registered = True
+                result.login = outcome.login
+                result.transcript.append(
+                    f"Account {outcome.login!r} created.  Your files "
+                    "and mailbox will be ready within six hours.")
+                return result
+            if outcome.error == "login_taken":
+                result.transcript.append(
+                    f"The name {login!r} is already taken; "
+                    "please choose another.")
+                continue
+            result.transcript.append(self._explain(outcome.error))
+            return result
+        result.transcript.append(
+            "Too many login attempts; please see a consultant.")
+        return result
+
+    def _prompt_password_twice(self, prompt, note) -> Optional[str]:
+        while True:
+            first = prompt("Choose a password:")
+            if first is None:
+                return None
+            again = prompt("Retype your password:")
+            if again is None:
+                return None
+            if first == again:
+                return first
+            note("Passwords do not match; try again.")
+
+    @staticmethod
+    def _explain(error: str) -> str:
+        return {
+            "not_found": "You do not appear in the registrar's data; "
+                         "please see a consultant.",
+            "bad_authenticator": "That ID number does not match our "
+                                 "records.",
+            "already_registered": "You already have an Athena account.",
+            "set_password_failed": "Could not set your password; "
+                                   "please see a consultant.",
+        }.get(error, f"Registration failed ({error}).")

@@ -1,0 +1,109 @@
+"""userreg — the walk-up registration client (paper §5.10).
+
+"The student walks up to a workstation and logs in using the username
+of 'register', password 'athena'"; a forms interface prompts for name
+and MIT ID, then:
+
+1. sends **verify_user**;
+2. for the chosen login, first tries to get initial Kerberos tickets
+   for that name — success means the name is taken; only if Kerberos
+   *fails* does it send **grab_login**;
+3. prompts for a password and sends **set_password**.
+
+:class:`UserReg` reproduces that exact state machine, including the
+kinit-as-availability-probe in step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    MoiraError,
+    MR_ALREADY_REGISTERED,
+    MR_LOGIN_TAKEN,
+    MR_NOT_FOUND,
+)
+from repro.kerberos.kdc import KDC
+from repro.reg.server import RegError, RegistrationServer, make_authenticator
+
+__all__ = ["UserReg", "RegistrationOutcome"]
+
+
+@dataclass
+class RegistrationOutcome:
+    """Result of one walk-up registration attempt."""
+    success: bool
+    login: str = ""
+    error: str = ""
+    steps: list[str] = field(default_factory=list)
+
+
+class UserReg:
+    """The userreg client state machine."""
+    def __init__(self, server: RegistrationServer, kdc: KDC):
+        self.server = server
+        self.kdc = kdc
+
+    def register(self, first: str, last: str, mit_id: str,
+                 desired_login: str, password: str) -> RegistrationOutcome:
+        """Run verify -> probe -> grab_login -> set_password."""
+        outcome = RegistrationOutcome(success=False)
+
+        # step 1: verify the student exists and is registerable
+        try:
+            reply = self.server.verify_user(
+                first, last, make_authenticator(mit_id, first, last))
+        except RegError as exc:
+            outcome.error = ("not_found" if exc.code == MR_NOT_FOUND
+                             else "bad_authenticator")
+            outcome.steps.append(f"verify_user failed: {outcome.error}")
+            return outcome
+        outcome.steps.append(f"verify_user: status={reply.status}")
+        if reply.status not in (0,):
+            outcome.error = "already_registered"
+            return outcome
+
+        # step 2: probe the login name with kinit, then grab it
+        if self._login_taken_by_kerberos(desired_login):
+            outcome.error = "login_taken"
+            outcome.steps.append("kinit succeeded: name is taken")
+            return outcome
+        outcome.steps.append("kinit failed: name is free")
+        try:
+            login = self.server.grab_login(
+                first, last,
+                make_authenticator(mit_id, first, last, desired_login))
+        except RegError as exc:
+            outcome.error = ("login_taken" if exc.code in (
+                MR_LOGIN_TAKEN, MR_ALREADY_REGISTERED)
+                else "grab_login_failed")
+            outcome.steps.append(f"grab_login failed: {outcome.error}")
+            return outcome
+        outcome.steps.append(f"grab_login: {login}")
+
+        # step 3: set the initial password
+        try:
+            self.server.set_password(
+                first, last,
+                make_authenticator(mit_id, first, last, password))
+        except RegError:
+            outcome.error = "set_password_failed"
+            outcome.steps.append("set_password failed")
+            return outcome
+        outcome.steps.append("set_password: ok")
+        outcome.success = True
+        outcome.login = login
+        return outcome
+
+    def _login_taken_by_kerberos(self, login: str) -> bool:
+        """userreg "tries to get initial tickets for the user name from
+        Kerberos; if this fails (indicating that the username is free
+        and may be registered)" it proceeds."""
+        try:
+            self.kdc.kinit(login, "probe-password")
+            return True
+        except MoiraError:
+            # either unknown principal (free) or wrong password (taken);
+            # only an unknown-principal failure means free
+            return self.kdc.principal_exists(login)

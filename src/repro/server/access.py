@@ -1,0 +1,93 @@
+"""Access control support: capability ACL seeding and the access cache.
+
+§5.5: "the server performs access control on all queries which might
+side-effect the database ... it is expected that many access checks
+will have to be performed twice ... some form of access caching will
+eventually be worked into the server for performance reasons."  The
+cache here is that anticipated optimisation, made toggleable so the E8
+benchmark can measure its effect.  Entries are invalidated wholesale on
+any database mutation (ACL-relevant state lives in many relations, so a
+generation counter is the honest invalidation scheme).
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+from repro.queries.base import all_queries
+
+__all__ = ["AccessCache", "seed_capacls"]
+
+
+class AccessCache:
+    """Memoises (principal, query, args) -> allowed decisions."""
+
+    def __init__(self, enabled: bool = True, max_entries: int = 4096):
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._cache: dict[tuple, bool] = {}
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, principal: str, query: str,
+               args: tuple[str, ...]) -> bool | None:
+        """Cached decision for (principal, query, args), or None."""
+        if not self.enabled:
+            return None
+        key = (self.generation, principal, query, args)
+        found = self._cache.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(self, principal: str, query: str, args: tuple[str, ...],
+              allowed: bool) -> None:
+        """Remember a decision for the current generation."""
+        if not self.enabled:
+            return
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+        self._cache[(self.generation, principal, query, args)] = allowed
+
+    def invalidate(self) -> None:
+        """Any mutation may change who is allowed to do what."""
+        self.generation += 1
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+
+
+def seed_capacls(db: Database, admin_list: str = "moira-admins",
+                 *, now: int = 0) -> int:
+    """Point every registered query's capability at *admin_list*.
+
+    The production database gave each query a capability row; here the
+    deployment bootstrap points them all at one administrators list
+    (callers refine individual capabilities afterwards with ordinary
+    queries).  Returns the list_id used.
+    """
+    lists = db.table("list")
+    existing = lists.select({"name": admin_list})
+    if existing:
+        list_id = existing[0]["list_id"]
+    else:
+        list_id = db.next_id("list_id", now=now)
+        lists.insert(
+            dict(name=admin_list, list_id=list_id, active=1, public=0,
+                 hidden=0, maillist=0, grouplist=0, gid=0,
+                 desc="Moira administrators", acl_type="LIST",
+                 acl_id=list_id, modtime=now, modby="bootstrap",
+                 modwith="seed_capacls"),
+            now=now)
+    capacls = db.table("capacls")
+    for query in all_queries().values():
+        if capacls.select({"capability": query.name}):
+            continue
+        capacls.insert({"capability": query.name, "tag": query.shortname,
+                        "list_id": list_id}, now=now)
+    # the pseudo-query guarding the Trigger_DCM major request
+    if not capacls.select({"capability": "trigger_dcm"}):
+        capacls.insert({"capability": "trigger_dcm", "tag": "tdcm",
+                        "list_id": list_id}, now=now)
+    return list_id

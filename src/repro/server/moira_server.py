@@ -1,0 +1,272 @@
+"""The Moira server daemon.
+
+Implements the transport ``Dispatcher`` interface: connections are
+opened/closed by a transport (TCP or in-process) and each request frame
+is decoded, dispatched on its major request number, and answered with
+one or more reply frames.  Query results stream back one tuple per
+reply with ``MR_MORE_DATA`` followed by a final status reply (§5.3).
+
+The server opens its single database "backend" once at start-up (§5.4);
+every connection shares it.  Authentication is per-connection: after a
+successful Authenticate request, subsequent requests run as that
+principal.  ``_list_users`` is answered from the live connection table,
+not the database (§7.0.8).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.db.engine import Database
+from repro.db.journal import Journal
+from repro.errors import (
+    MoiraError,
+    MR_ARGS,
+    MR_INTERNAL,
+    MR_MORE_DATA,
+    MR_NO_HANDLE,
+    MR_PERM,
+)
+from repro.kerberos.kdc import KDC
+from repro.protocol.wire import (
+    MajorRequest,
+    decode_request,
+    encode_reply,
+    unpack_authenticator,
+)
+from repro.queries.base import (
+    QueryContext,
+    check_query_access,
+    get_query,
+)
+from repro.server.access import AccessCache
+from repro.sim.clock import Clock
+
+__all__ = ["MoiraServer", "ServerStats"]
+
+MOIRA_SERVICE_PRINCIPAL = "moira"
+
+
+@dataclass
+class ServerStats:
+    """Counters the daemon keeps about itself."""
+    connections_opened: int = 0
+    connections_closed: int = 0
+    requests_handled: int = 0
+    queries_executed: int = 0
+    access_checks: int = 0
+    auth_successes: int = 0
+    auth_failures: int = 0
+    tuples_returned: int = 0
+    errors_returned: int = 0
+
+
+@dataclass
+class _Connection:
+    conn_id: int
+    peer: str
+    connect_time: int
+    principal: str = ""
+    client_name: str = ""
+    requests: int = field(default=0)
+
+
+class MoiraServer:
+    """The daemon: one shared backend, many connections."""
+
+    def __init__(
+        self,
+        db: Database,
+        clock: Clock,
+        kdc: Optional[KDC] = None,
+        *,
+        journal: Optional[Journal] = None,
+        access_cache: Optional[AccessCache] = None,
+        dcm_trigger: Optional[Callable[[], None]] = None,
+        service_principal: str = MOIRA_SERVICE_PRINCIPAL,
+    ):
+        self.db = db
+        self.clock = clock
+        self.kdc = kdc
+        self.journal = journal if journal is not None else Journal()
+        self.access_cache = access_cache or AccessCache()
+        self.dcm_trigger = dcm_trigger
+        self.service_principal = service_principal
+        self.stats = ServerStats()
+        self._connections: dict[int, _Connection] = {}
+        self._next_conn = 1
+        self._lock = threading.Lock()
+        if kdc is not None and not kdc.principal_exists(service_principal):
+            kdc.add_service(service_principal)
+
+    # -- Dispatcher interface ---------------------------------------------------
+
+    def open_connection(self, peer: str) -> int:
+        """Track a new client connection."""
+        with self._lock:
+            conn_id = self._next_conn
+            self._next_conn += 1
+            self._connections[conn_id] = _Connection(
+                conn_id=conn_id, peer=peer, connect_time=self.clock.now())
+            self.stats.connections_opened += 1
+            return conn_id
+
+    def close_connection(self, conn_id: int) -> None:
+        """Forget a departed connection."""
+        with self._lock:
+            if self._connections.pop(conn_id, None) is not None:
+                self.stats.connections_closed += 1
+
+    def handle_frame(self, conn_id: int, frame: bytes) -> list[bytes]:
+        """Decode, dispatch, and answer one request frame."""
+        conn = self._connections.get(conn_id)
+        if conn is None:
+            return [encode_reply(MR_INTERNAL)]
+        self.stats.requests_handled += 1
+        conn.requests += 1
+        try:
+            request = decode_request(frame)
+        except MoiraError as exc:
+            self.stats.errors_returned += 1
+            return [encode_reply(exc.code)]
+        try:
+            if request.major is MajorRequest.NOOP:
+                return [encode_reply(0)]
+            if request.major is MajorRequest.AUTHENTICATE:
+                return self._do_auth(conn, request.args)
+            if request.major is MajorRequest.QUERY:
+                return self._do_query(conn, request.str_args())
+            if request.major is MajorRequest.ACCESS:
+                return self._do_access(conn, request.str_args())
+            if request.major is MajorRequest.TRIGGER_DCM:
+                return self._do_trigger_dcm(conn)
+            return [encode_reply(MR_NO_HANDLE)]
+        except MoiraError as exc:
+            self.stats.errors_returned += 1
+            return [encode_reply(exc.code, (exc.detail,) if exc.detail
+                                 else ())]
+        except Exception as exc:  # never crash the daemon on one request
+            self.stats.errors_returned += 1
+            return [encode_reply(MR_INTERNAL, (repr(exc),))]
+
+    # -- major request handlers ---------------------------------------------------
+
+    def _do_auth(self, conn: _Connection, args: tuple[bytes, ...]) -> list[bytes]:
+        if len(args) != 2:
+            raise MoiraError(MR_ARGS, "auth wants clientname, authenticator")
+        if self.kdc is None:
+            raise MoiraError(MR_PERM, "server has no Kerberos")
+        client_name = args[0].decode("utf-8")
+        try:
+            auth = unpack_authenticator(args[1])
+            principal = self.kdc.verify_authenticator(
+                auth, self.service_principal)
+        except MoiraError:
+            self.stats.auth_failures += 1
+            raise
+        conn.principal = principal
+        conn.client_name = client_name
+        self.stats.auth_successes += 1
+        return [encode_reply(0)]
+
+    def _context_for(self, conn: _Connection) -> QueryContext:
+        return QueryContext(
+            db=self.db,
+            clock=self.clock,
+            caller=conn.principal,
+            client=conn.client_name or conn.peer,
+            journal=self.journal,
+        )
+
+    def _do_query(self, conn: _Connection, args: list[str]) -> list[bytes]:
+        if not args:
+            raise MoiraError(MR_ARGS, "query wants a handle name")
+        name, query_args = args[0], args[1:]
+        if name == "_list_users":
+            return self._list_users()
+        query = get_query(name)
+        if query is None:
+            raise MoiraError(MR_NO_HANDLE, name)
+        ctx = self._context_for(conn)
+        self._checked_access(ctx, name, tuple(query_args))
+        tuples = self._execute_unchecked(ctx, query, query_args)
+        self.stats.queries_executed += 1
+        if query.side_effects:
+            self.access_cache.invalidate()
+        replies = [encode_reply(MR_MORE_DATA, t) for t in tuples]
+        self.stats.tuples_returned += len(tuples)
+        replies.append(encode_reply(0))
+        return replies
+
+    def _execute_unchecked(self, ctx: QueryContext, query, query_args):
+        """Run a query whose access was already checked (and cached)."""
+        from repro.errors import MR_NO_MATCH
+
+        if not query.variable_args and len(query_args) != len(query.args):
+            raise MoiraError(MR_ARGS, query.name)
+        with ctx.db.lock:
+            result = query.handler(ctx, query_args)
+        if query.side_effects and ctx.journal is not None:
+            ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
+                               query.name, tuple(str(a) for a in query_args))
+        if not query.side_effects and not result:
+            raise MoiraError(MR_NO_MATCH, query.name)
+        return result
+
+    def _checked_access(self, ctx: QueryContext, name: str,
+                        args: tuple[str, ...]) -> None:
+        """check_query_access with the §5.5 access cache in front."""
+        self.stats.access_checks += 1
+        query = get_query(name)
+        if query is None:
+            raise MoiraError(MR_NO_HANDLE, name)
+        cached = self.access_cache.lookup(ctx.caller, name, args)
+        if cached is True:
+            return
+        if cached is False:
+            raise MoiraError(MR_PERM, name)
+        try:
+            check_query_access(ctx, query, args)
+        except MoiraError as exc:
+            if exc.code == MR_PERM:
+                self.access_cache.store(ctx.caller, name, args, False)
+            raise
+        self.access_cache.store(ctx.caller, name, args, True)
+
+    def _do_access(self, conn: _Connection, args: list[str]) -> list[bytes]:
+        """The Access major request: would this query be allowed?"""
+        if not args:
+            raise MoiraError(MR_ARGS, "access wants a handle name")
+        name, query_args = args[0], args[1:]
+        query = get_query(name)
+        if query is None:
+            raise MoiraError(MR_NO_HANDLE, name)
+        if not query.variable_args and len(query_args) != len(query.args):
+            raise MoiraError(MR_ARGS, name)
+        ctx = self._context_for(conn)
+        self._checked_access(ctx, name, tuple(query_args))
+        return [encode_reply(0)]
+
+    def _do_trigger_dcm(self, conn: _Connection) -> list[bytes]:
+        ctx = self._context_for(conn)
+        if not ctx.on_capability("trigger_dcm"):
+            raise MoiraError(MR_PERM, "trigger_dcm")
+        if self.dcm_trigger is None:
+            raise MoiraError(MR_INTERNAL, "no DCM attached")
+        self.dcm_trigger()
+        return [encode_reply(0)]
+
+    def _list_users(self) -> list[bytes]:
+        replies = []
+        with self._lock:
+            for conn in self._connections.values():
+                host, _, port = conn.peer.partition(":")
+                replies.append(encode_reply(
+                    MR_MORE_DATA,
+                    (conn.principal or "unauthenticated", host,
+                     port or "0", str(conn.connect_time),
+                     str(conn.conn_id))))
+        replies.append(encode_reply(0))
+        return replies

@@ -1,0 +1,17 @@
+"""The managed services Moira feeds (paper §5.8).
+
+Each service runs "on" a :class:`~repro.hosts.SimulatedHost`, reads its
+configuration files from that host's virtual filesystem, and registers
+the install/restart commands its DCM update script invokes.  These are
+real consumers: the Hesiod server answers lookups from the .db files
+the DCM ships, the mail hub resolves addresses through the shipped
+aliases file, the NFS server creates lockers from the directories file,
+and the Zephyr server enforces the shipped ACLs.
+"""
+
+from repro.servers.hesiod import HesiodServer
+from repro.servers.nfs import NFSServer
+from repro.servers.mailhub import MailHub
+from repro.servers.zephyrd import ZephyrServer
+
+__all__ = ["HesiodServer", "NFSServer", "MailHub", "ZephyrServer"]

@@ -1,0 +1,160 @@
+"""A Hesiod nameserver consuming the BIND-format .db files (§5.8.2).
+
+The file format is the paper's: one record per line,
+
+    name.type   HS UNSPECA "data"
+    name.type   HS CNAME   other.type
+
+Comment lines start with ``;``.  "The hesiod server uses these files
+from virtual memory on the target machine.  The server automatically
+loads the files from disk into memory when it is started" — so
+:meth:`start`/:meth:`restart` (the DCM's install script kills and
+restarts the daemon) re-read every ``*.db`` file under the data
+directory from the host's VFS.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.hosts.host import SimulatedHost
+
+__all__ = ["HesiodServer", "HesiodError"]
+
+HESIOD_FILES = (
+    "cluster.db", "filsys.db", "gid.db", "group.db", "grplist.db",
+    "passwd.db", "pobox.db", "printcap.db", "service.db", "sloc.db",
+    "uid.db",
+)
+
+
+class HesiodError(Exception):
+    """Name resolution failure."""
+
+
+class HesiodServer:
+    """In-memory resolver over the shipped .db files."""
+
+    def __init__(self, host: SimulatedHost, data_dir: str = "/etc/hesiod"):
+        self.host = host
+        self.data_dir = data_dir.rstrip("/")
+        # records: name -> list of data strings; cnames: name -> target
+        self._records: dict[str, list[str]] = {}
+        self._cnames: dict[str, str] = {}
+        self.loads = 0
+        self.queries_answered = 0
+        self._process = None
+        host.add_boot_hook(lambda h: self.start())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """(Re)load every .db file and ensure the daemon runs."""
+        self.host.check_alive()
+        self._records.clear()
+        self._cnames.clear()
+        for path in self.host.fs.listdir(self.data_dir + "/"):
+            if path.endswith(".db"):
+                self._load_file(path)
+        self.loads += 1
+        if self._process is None or not self._process.running:
+            self._process = self.host.spawn(
+                "hesiod", on_signal=self._on_signal,
+                pid_file="/etc/hesiod.pid")
+
+    def restart(self) -> int:
+        """The DCM install script: kill the running server and restart,
+        "causing the newly updated files to be read into memory"."""
+        try:
+            if self._process is not None and self._process.running:
+                self.host.kill(self._process.pid)
+                self._process = None
+            self.start()
+        except Exception:
+            return 1
+        return 0
+
+    def _on_signal(self, signum: int) -> None:
+        if signum == 1:  # SIGHUP = reload
+            self.start()
+
+    # -- file parsing -----------------------------------------------------------
+
+    def _load_file(self, path: str) -> None:
+        for lineno, line in enumerate(
+                self.host.fs.read_text(path).splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith(";"):
+                continue
+            try:
+                parts = shlex.split(line)
+            except ValueError as exc:
+                raise HesiodError(f"{path}:{lineno}: {exc}") from exc
+            if len(parts) < 4 or parts[1] != "HS":
+                raise HesiodError(f"{path}:{lineno}: malformed record")
+            name, _, rtype, data = parts[0], parts[1], parts[2], parts[3]
+            key = name.lower()
+            if rtype == "UNSPECA":
+                self._records.setdefault(key, []).append(data)
+            elif rtype == "CNAME":
+                self._cnames[key] = data.lower()
+            else:
+                raise HesiodError(f"{path}:{lineno}: type {rtype!r}")
+
+    # -- resolution ----------------------------------------------------------------
+
+    def resolve(self, name: str, hs_type: str,
+                *, _depth: int = 0) -> list[str]:
+        """hes_resolve(name, type): e.g. resolve("babette", "passwd")."""
+        self.host.check_alive()
+        if self._process is None or not self._process.running:
+            raise HesiodError("hesiod server is not running")
+        self.queries_answered += 1
+        return self._lookup(f"{name}.{hs_type}".lower())
+
+    def _lookup(self, key: str, _depth: int = 0) -> list[str]:
+        if _depth > 8:
+            raise HesiodError(f"CNAME loop at {key}")
+        if key in self._records:
+            return list(self._records[key])
+        if key in self._cnames:
+            return self._lookup(self._cnames[key], _depth + 1)
+        raise HesiodError(f"no such name {key}")
+
+    def record_count(self) -> int:
+        """How many records (including CNAMEs) are loaded."""
+        return sum(len(v) for v in self._records.values()) + \
+            len(self._cnames)
+
+    # -- typed conveniences used by client programs ----------------------------------
+
+    def getpwnam(self, login: str) -> dict:
+        """login(1)'s lookup: parse the passwd record into fields."""
+        entry = self.resolve(login, "passwd")[0]
+        fields = entry.split(":")
+        return {
+            "login": fields[0], "password": fields[1],
+            "uid": int(fields[2]), "gid": int(fields[3]),
+            "gecos": fields[4], "home": fields[5], "shell": fields[6],
+        }
+
+    def getpwuid(self, uid: int) -> dict:
+        """passwd fields via the uid.db CNAME chain."""
+        entry = self.resolve(str(uid), "uid")[0]
+        fields = entry.split(":")
+        return {
+            "login": fields[0], "password": fields[1],
+            "uid": int(fields[2]), "gid": int(fields[3]),
+            "gecos": fields[4], "home": fields[5], "shell": fields[6],
+        }
+
+    def get_pobox(self, login: str) -> dict:
+        """Parsed pobox record for a login."""
+        potype, machine, box = self.resolve(login, "pobox")[0].split()
+        return {"type": potype, "machine": machine, "box": box}
+
+    def get_filsys(self, label: str) -> dict:
+        """Parsed filsys record for a label."""
+        parts = self.resolve(label, "filsys")[0].split()
+        return {"fstype": parts[0], "name": parts[1], "server": parts[2],
+                "access": parts[3], "mount": parts[4]}

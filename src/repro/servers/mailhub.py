@@ -1,0 +1,139 @@
+"""The mail hub (ATHENA.MIT.EDU) consuming /usr/lib/aliases (§5.8.2).
+
+The aliases file is standard sendmail format: ``name: addr, addr, ...``
+with continuation lines starting with whitespace and ``#`` comments.
+The hub resolves an address by expanding aliases recursively (with
+loop protection) down to addresses containing ``@`` or plain local
+names.  A second shipped file is a complete /etc/passwd "so that the
+finger server on the mailhub will know about everybody".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hosts.host import SimulatedHost
+
+__all__ = ["MailHub", "DeliveryResult"]
+
+
+@dataclass
+class DeliveryResult:
+    """Where a message went (or that it bounced)."""
+    recipient: str
+    resolved: list[str] = field(default_factory=list)
+    bounced: bool = False
+
+
+class MailHub:
+    """Alias expansion + finger lookups on the mail hub host."""
+
+    def __init__(self, host: SimulatedHost,
+                 aliases_path: str = "/usr/lib/aliases",
+                 passwd_path: str = "/etc/passwd"):
+        self.host = host
+        self.aliases_path = aliases_path
+        self.passwd_path = passwd_path
+        self.aliases: dict[str, list[str]] = {}
+        self.passwd: dict[str, dict] = {}
+        self.reloads = 0
+        self.spool_enabled = True
+        host.add_boot_hook(lambda h: self.reload())
+
+    # -- the install step -----------------------------------------------------
+
+    def install_aliases(self) -> int:
+        """§5.8.2 Mail: "this file is not automatically installed ...
+        because the mail spool must be disabled during the switchover."
+        The install command disables the spool, reloads, re-enables."""
+        try:
+            self.spool_enabled = False
+            self.reload()
+            self.spool_enabled = True
+        except Exception:
+            return 1
+        return 0
+
+    def reload(self) -> None:
+        """Re-read the aliases and passwd files from disk."""
+        self.host.check_alive()
+        if self.host.fs.exists(self.aliases_path):
+            self.aliases = self._parse_aliases(
+                self.host.fs.read_text(self.aliases_path))
+        if self.host.fs.exists(self.passwd_path):
+            self.passwd = self._parse_passwd(
+                self.host.fs.read_text(self.passwd_path))
+        self.reloads += 1
+
+    @staticmethod
+    def _parse_aliases(text: str) -> dict[str, list[str]]:
+        aliases: dict[str, list[str]] = {}
+        current: str | None = None
+        for raw in text.splitlines():
+            if not raw.strip() or raw.lstrip().startswith("#"):
+                continue
+            if raw[0] in " \t":
+                if current is None:
+                    raise ValueError("continuation without an alias")
+                aliases[current].extend(
+                    a.strip() for a in raw.strip().split(",") if a.strip())
+                continue
+            name, _, rest = raw.partition(":")
+            current = name.strip().lower()
+            aliases[current] = [a.strip() for a in rest.split(",")
+                                if a.strip()]
+        return aliases
+
+    @staticmethod
+    def _parse_passwd(text: str) -> dict[str, dict]:
+        table = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            fields = line.split(":")
+            table[fields[0]] = {
+                "login": fields[0], "uid": int(fields[2]),
+                "gid": int(fields[3]), "gecos": fields[4],
+                "home": fields[5], "shell": fields[6],
+            }
+        return table
+
+    # -- delivery -----------------------------------------------------------------
+
+    def resolve(self, address: str, *, _depth: int = 0,
+                _seen: set | None = None) -> list[str]:
+        """Expand *address* to final delivery addresses."""
+        self.host.check_alive()
+        if not self.spool_enabled:
+            raise RuntimeError("mail spool is disabled")
+        if _seen is None:
+            _seen = set()
+        address = address.strip().lower()
+        if "@" in address:
+            return [address]
+        if address in _seen:
+            return []  # alias loop: already expanding this name
+        _seen.add(address)
+        targets = self.aliases.get(address)
+        if targets is None:
+            return [address]  # local user (or bounce, caller decides)
+        out: list[str] = []
+        for target in targets:
+            out.extend(self.resolve(target, _depth=_depth + 1,
+                                    _seen=_seen))
+        return out
+
+    def deliver(self, address: str) -> DeliveryResult:
+        """Resolve an address; bounced when expansion is empty."""
+        resolved = self.resolve(address)
+        result = DeliveryResult(recipient=address, resolved=resolved)
+        if not resolved:
+            result.bounced = True
+        return result
+
+    # -- finger ---------------------------------------------------------------------
+
+    def finger(self, login: str) -> dict | None:
+        """The finger server "will know about everybody" via /etc/passwd."""
+        self.host.check_alive()
+        return self.passwd.get(login)

@@ -1,0 +1,130 @@
+"""An NFS locker server consuming credentials/quotas/directories (§5.8.2).
+
+Moira ships three files: ``credentials`` (username:uid:gid... mappings
+controlling access), a per-partition ``quotas`` file (uid and quota
+tuples), and a ``directories`` file (name, owning uid/gid, locker
+type).  The shell script Moira executes after installing them performs
+"mkdir <username>, chown, chgrp, chmod — using directories file;
+setquota <quota> — using quotas file"; :meth:`apply_update` is that
+script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hosts.host import SimulatedHost
+
+__all__ = ["NFSServer", "Credential"]
+
+# init files loaded into a HOMEDIR locker (the "default init files")
+HOMEDIR_INIT_FILES = (".cshrc", ".login", ".logout")
+
+
+@dataclass(frozen=True)
+class Credential:
+    """One credentials-file line: login, uid, group ids."""
+    login: str
+    uid: int
+    gids: tuple[int, ...]
+
+
+class NFSServer:
+    """One NFS server host with one or more exported partitions."""
+
+    def __init__(self, host: SimulatedHost, partitions: list[str],
+                 data_dir: str = "/etc/nfs"):
+        self.host = host
+        self.partitions = list(partitions)
+        self.data_dir = data_dir.rstrip("/")
+        self.credentials: dict[str, Credential] = {}
+        self.quotas: dict[int, int] = {}      # uid -> quota units
+        self.lockers_created: list[str] = []
+        self.updates_applied = 0
+        host.add_boot_hook(lambda h: self.load_credentials())
+
+    # -- the install script ---------------------------------------------------
+
+    def apply_update(self) -> int:
+        """The Moira shell script run after file installation.
+
+        Reads the freshly installed credentials, quotas, and
+        directories files and converges the host: missing lockers are
+        created with ownership/mode, HOMEDIR lockers get init files,
+        and per-uid quotas are set.  Idempotent — "extra installations
+        are not harmful" (§5.9).
+        """
+        try:
+            self.load_credentials()
+            self._apply_quotas()
+            self._apply_directories()
+        except Exception:
+            return 1
+        self.updates_applied += 1
+        return 0
+
+    def load_credentials(self) -> None:
+        """Parse the installed credentials file."""
+        path = f"{self.data_dir}/credentials"
+        if not self.host.fs.exists(path):
+            return
+        table: dict[str, Credential] = {}
+        for line in self.host.fs.read_text(path).splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split(":")
+            table[fields[0]] = Credential(
+                login=fields[0], uid=int(fields[1]),
+                gids=tuple(int(g) for g in fields[2:]))
+        self.credentials = table
+
+    def _apply_quotas(self) -> None:
+        path = f"{self.data_dir}/quotas"
+        if not self.host.fs.exists(path):
+            return
+        quotas: dict[int, int] = {}
+        for line in self.host.fs.read_text(path).splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            uid, quota = line.split()
+            quotas[int(uid)] = int(quota)
+        self.quotas = quotas
+
+    def _apply_directories(self) -> None:
+        path = f"{self.data_dir}/directories"
+        if not self.host.fs.exists(path):
+            return
+        fs = self.host.fs
+        for line in fs.read_text(path).splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            directory, uid, gid, lockertype = line.split()
+            if fs.isdir(directory):
+                continue  # "If the directory does not already exist"
+            fs.mkdir(directory, owner_uid=int(uid), group_gid=int(gid),
+                     mode=0o755)
+            if lockertype == "HOMEDIR":
+                for init_file in HOMEDIR_INIT_FILES:
+                    fs.write(f"{directory}/{init_file}",
+                             f"# default {init_file}\n".encode())
+            fs.fsync()
+            self.lockers_created.append(directory)
+
+    # -- NFS access checks -----------------------------------------------------------
+
+    def access_allowed(self, login: str) -> bool:
+        """The credentials file "determines access permissions"."""
+        self.host.check_alive()
+        return login in self.credentials
+
+    def quota_for(self, uid: int) -> int:
+        """The enforced quota for a uid (0 = none)."""
+        self.host.check_alive()
+        return self.quotas.get(uid, 0)
+
+    def locker_exists(self, directory: str) -> bool:
+        """Has the locker directory been created?"""
+        return self.host.fs.isdir(directory)

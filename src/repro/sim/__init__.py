@@ -1,0 +1,13 @@
+"""Simulation substrate: virtual clock, cron daemon, and virtual network.
+
+Moira's dynamics happen on the scale of hours (6/12/24-hour propagation
+intervals driven by crontab).  Everything in the reproduction takes time
+from a :class:`Clock` so tests and benchmarks can run days of simulated
+operation instantly and deterministically.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.cron import Cron, CronEntry
+from repro.sim.network import Network, NetworkError
+
+__all__ = ["Clock", "Cron", "CronEntry", "Network", "NetworkError"]

@@ -1,0 +1,56 @@
+"""A virtual clock dispensing unix-format times.
+
+The paper stores every timestamp "as a unix format time (number of
+seconds since January 1, 1970 GMT)"; the clock dispenses exactly those.
+It only moves when told to (``advance``/``set``), which makes DCM
+interval arithmetic and LastTry/LastSuccess bookkeeping deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Clock"]
+
+# A fitting epoch: early 1988, when the paper was published.
+DEFAULT_EPOCH = 567993600  # 1988-01-01 00:00:00 GMT
+
+
+class Clock:
+    """Monotonic virtual unix clock."""
+
+    def __init__(self, start: int = DEFAULT_EPOCH):
+        self._now = int(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> int:
+        """Current unix-format virtual time."""
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: int) -> int:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        with self._lock:
+            self._now += int(seconds)
+            return self._now
+
+    def advance_minutes(self, minutes: float) -> int:
+        """advance() in minutes."""
+        return self.advance(int(minutes * 60))
+
+    def advance_hours(self, hours: float) -> int:
+        """advance() in hours."""
+        return self.advance(int(hours * 3600))
+
+    def set(self, when: int) -> int:
+        """Jump forward to an absolute time."""
+        with self._lock:
+            if when < self._now:
+                raise ValueError("clock cannot move backwards")
+            self._now = int(when)
+            return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self.now()})"

@@ -1,0 +1,16 @@
+"""Synthetic Athena population — the registrar's-tape substitute.
+
+The paper's system was "designed optimally for 10,000 active users"
+with ~20 NFS locker servers, a campus of clusters and printers, and
+hundreds of mailing lists.  This package generates a deterministic,
+seedable population of that shape at any scale, loading it through the
+same relations the production bulk registration used.
+"""
+
+from repro.workload.population import (
+    PopulationSpec,
+    load_population,
+    random_names,
+)
+
+__all__ = ["PopulationSpec", "load_population", "random_names"]

@@ -1,0 +1,356 @@
+"""Deterministic population generator for an Athena-shaped deployment.
+
+Everything is derived from a seeded RNG: user names (syllable
+composition, so they look plausible and never collide by construction
+of a serial suffix), class years with a realistic mix of undergrads,
+grads, staff and faculty, mailing lists with power-law-ish sizes, unix
+groups, clusters, printers, and /etc/services contents.
+
+The loader writes through the relations directly — this models the
+registrar's-tape bulk load, which predates the query interface — but
+uses the same ID hints, so everything it creates is indistinguishable
+from query-created data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db.engine import Database
+from repro.db.schema import USER_STATE_ACTIVE, USER_STATE_REGISTERABLE
+from repro.kerberos.crypt import unix_crypt
+
+__all__ = ["PopulationSpec", "load_population", "random_names"]
+
+_FIRST_SYLLABLES = ["an", "bar", "car", "dan", "el", "fran", "gar", "han",
+                    "is", "jo", "kar", "lin", "mar", "nor", "ol", "pat",
+                    "quin", "rob", "sam", "tan", "ul", "vic", "wen", "xim",
+                    "yol", "zel"]
+_LAST_SYLLABLES = ["son", "ton", "field", "berg", "stein", "wood", "man",
+                   "sen", "ley", "ford", "worth", "smith", "baker", "lund",
+                   "mark", "dale"]
+_SHELLS = ["/bin/csh", "/bin/csh", "/bin/csh", "/bin/sh", "/usr/athena/tcsh"]
+_CLASSES = ["1989", "1990", "1991", "1992", "G", "STAFF", "FACULTY"]
+_CLASS_WEIGHTS = [16, 17, 17, 18, 18, 10, 4]
+_AFFILS = {"1989": "undergraduate", "1990": "undergraduate",
+           "1991": "undergraduate", "1992": "undergraduate",
+           "G": "graduate", "STAFF": "staff", "FACULTY": "faculty"}
+
+
+def random_names(rng: random.Random, count: int) -> list[tuple[str, str, str]]:
+    """(first, last, login) triples, logins unique by construction."""
+    out = []
+    for i in range(count):
+        first = (rng.choice(_FIRST_SYLLABLES)
+                 + rng.choice(_FIRST_SYLLABLES)).capitalize()
+        last = (rng.choice(_FIRST_SYLLABLES)
+                + rng.choice(_LAST_SYLLABLES)).capitalize()
+        login = (first[:1] + last[:6] + str(i)).lower()
+        out.append((first, last, login))
+    return out
+
+
+@dataclass
+class PopulationSpec:
+    """Knobs, defaulting to the paper's deployment shape (§5.1)."""
+
+    users: int = 10_000
+    unregistered_users: int = 1_000   # next term's incoming students
+    nfs_servers: int = 20
+    pop_servers: int = 2
+    zephyr_servers: int = 3
+    clusters: int = 12
+    machines_per_cluster: int = 8
+    printers: int = 40
+    network_services: int = 100
+    maillists: int = 150
+    zephyr_classes: int = 6
+    seed: int = 1988
+    # fraction of users whose pobox is SMTP (off-hub) rather than POP
+    smtp_fraction: float = 0.03
+
+
+@dataclass
+class PopulationHandles:
+    """Names of the objects the loader created, for tests and benches."""
+
+    logins: list[str] = field(default_factory=list)
+    unregistered_ids: list[tuple[str, str, str]] = field(
+        default_factory=list)  # (first, last, plain MIT id)
+    nfs_machines: list[str] = field(default_factory=list)
+    pop_machines: list[str] = field(default_factory=list)
+    zephyr_machines: list[str] = field(default_factory=list)
+    hesiod_machine: str = ""
+    mailhub_machine: str = ""
+    cluster_names: list[str] = field(default_factory=list)
+    maillist_names: list[str] = field(default_factory=list)
+    zephyr_class_names: list[str] = field(default_factory=list)
+
+
+def load_population(db: Database, spec: PopulationSpec,
+                    now: int = 0) -> PopulationHandles:
+    """Fill *db* with a deterministic Athena-shaped campus."""
+    rng = random.Random(spec.seed)
+    handles = PopulationHandles()
+
+    _load_machines(db, spec, rng, handles, now)
+    _load_clusters(db, spec, rng, handles, now)
+    _load_nfsphys(db, spec, handles, now)
+    _load_users(db, spec, rng, handles, now)
+    _load_unregistered(db, spec, rng, handles, now)
+    _load_groups_and_lists(db, spec, rng, handles, now)
+    _load_printers(db, spec, rng, handles, now)
+    _load_services(db, spec, rng, now)
+    _load_zephyr_classes(db, spec, rng, handles, now)
+    return handles
+
+
+def _add_machine(db: Database, name: str, mtype: str, now: int) -> int:
+    mach_id = db.next_id("mach_id", now=now)
+    db.table("machine").insert(
+        {"name": name.upper(), "mach_id": mach_id, "type": mtype,
+         "modtime": now, "modby": "registrar", "modwith": "load"},
+        now=now)
+    return mach_id
+
+
+def _load_machines(db, spec, rng, handles, now) -> None:
+    handles.hesiod_machine = "SUOMI.MIT.EDU"
+    _add_machine(db, handles.hesiod_machine, "VAX", now)
+    handles.mailhub_machine = "ATHENA.MIT.EDU"
+    _add_machine(db, handles.mailhub_machine, "VAX", now)
+    for i in range(spec.nfs_servers):
+        name = f"LOCKER-{i + 1}.MIT.EDU"
+        _add_machine(db, name, "VAX", now)
+        handles.nfs_machines.append(name)
+    for i in range(spec.pop_servers):
+        name = f"ATHENA-PO-{i + 1}.MIT.EDU"
+        _add_machine(db, name, "VAX", now)
+        handles.pop_machines.append(name)
+    for i in range(spec.zephyr_servers):
+        name = f"ZEPHYR-{i + 1}.MIT.EDU"
+        _add_machine(db, name, "VAX", now)
+        handles.zephyr_machines.append(name)
+
+
+def _load_clusters(db, spec, rng, handles, now) -> None:
+    clusters = db.table("cluster")
+    svc = db.table("svc")
+    mcmap = db.table("mcmap")
+    for i in range(spec.clusters):
+        name = f"bldg{i + 1:02d}-vs"
+        clu_id = db.next_id("clu_id", now=now)
+        clusters.insert(
+            {"name": name, "clu_id": clu_id,
+             "desc": f"workstation cluster {i + 1}",
+             "location": f"Building {i + 1}", "modtime": now,
+             "modby": "registrar", "modwith": "load"},
+            now=now)
+        handles.cluster_names.append(name)
+        svc.insert({"clu_id": clu_id, "serv_label": "zephyr",
+                    "serv_cluster": f"ZEPHYR-{(i % spec.zephyr_servers) + 1}"
+                                    ".MIT.EDU"}, now=now)
+        svc.insert({"clu_id": clu_id, "serv_label": "lpr",
+                    "serv_cluster": f"e{i + 1:02d}"}, now=now)
+        for j in range(spec.machines_per_cluster):
+            mtype = "RT" if rng.random() < 0.5 else "VAX"
+            mach_id = _add_machine(
+                db, f"W{i + 1:02d}-{j + 1:03d}.MIT.EDU", mtype, now)
+            mcmap.insert({"mach_id": mach_id, "clu_id": clu_id}, now=now)
+
+
+def _load_nfsphys(db, spec, handles, now) -> None:
+    nfsphys = db.table("nfsphys")
+    machines = db.table("machine")
+    for i, name in enumerate(handles.nfs_machines):
+        mach_id = machines.select({"name": name})[0]["mach_id"]
+        status = 1 << (i % 4)  # rotate student/faculty/staff/misc
+        nfsphys.insert(
+            {"nfsphys_id": db.next_id("nfsphys_id", now=now),
+             "mach_id": mach_id, "dir": "/u1", "device": "ra81a",
+             "status": status | 1,  # everyone also takes students
+             "allocated": 0, "size": 400_000, "modtime": now,
+             "modby": "registrar", "modwith": "load"},
+            now=now)
+
+
+def _load_users(db, spec, rng, handles, now) -> None:
+    users = db.table("users")
+    lists = db.table("list")
+    members = db.table("members")
+    filesys = db.table("filesys")
+    nfsquota = db.table("nfsquota")
+    strings = db.table("strings")
+    machines = db.table("machine")
+    nfsphys_rows = db.table("nfsphys").rows
+    pop_ids = [machines.select({"name": n})[0]["mach_id"]
+               for n in handles.pop_machines]
+    def_quota = db.get_value("def_quota")
+
+    names = random_names(rng, spec.users)
+    for i, (first, last, login) in enumerate(names):
+        users_id = db.next_id("users_id", now=now)
+        uid = db.next_id("uid", now=now)
+        year = rng.choices(_CLASSES, weights=_CLASS_WEIGHTS)[0]
+        smtp = rng.random() < spec.smtp_fraction
+        box_id = 0
+        if smtp:
+            box_id = db.next_id("strings_id", now=now)
+            strings.insert(
+                {"string_id": box_id,
+                 "string": f"{login}@other.mit.edu"}, now=now)
+        users.insert(
+            {"login": login, "users_id": users_id, "uid": uid,
+             "shell": rng.choice(_SHELLS), "last": last, "first": first,
+             "middle": "", "status": USER_STATE_ACTIVE,
+             "mit_id": unix_crypt(f"9{i:08d}", first[0] + last[0]),
+             "mit_year": year, "fullname": f"{first} {last}",
+             "mit_affil": _AFFILS[year],
+             "potype": "SMTP" if smtp else "POP",
+             "pop_id": 0 if smtp else pop_ids[i % len(pop_ids)],
+             "box_id": box_id,
+             "modtime": now, "modby": "registrar", "modwith": "load"},
+            now=now)
+        handles.logins.append(login)
+
+        # personal unix group
+        gid = db.next_id("gid", now=now)
+        list_id = db.next_id("list_id", now=now)
+        lists.insert(
+            {"name": login, "list_id": list_id, "active": 1, "public": 0,
+             "hidden": 0, "maillist": 0, "grouplist": 1, "gid": gid,
+             "desc": f"personal group of {login}", "acl_type": "USER",
+             "acl_id": users_id, "modtime": now, "modby": "registrar",
+             "modwith": "load"}, now=now)
+        members.insert({"list_id": list_id, "member_type": "USER",
+                        "member_id": users_id}, now=now)
+
+        # home locker + quota on a rotating NFS partition
+        phys = nfsphys_rows[i % len(nfsphys_rows)]
+        filsys_id = db.next_id("filsys_id", now=now)
+        filesys.insert(
+            {"label": login, "filsys_id": filsys_id,
+             "phys_id": phys["nfsphys_id"], "type": "NFS",
+             "mach_id": phys["mach_id"],
+             "name": f"{phys['dir']}/{login}",
+             "mount": f"/mit/{login}", "access": "w", "comments": "",
+             "owner": users_id, "owners": list_id, "createflg": 1,
+             "lockertype": "HOMEDIR", "fsorder": 1, "modtime": now,
+             "modby": "registrar", "modwith": "load"}, now=now)
+        nfsquota.insert(
+            {"users_id": users_id, "filsys_id": filsys_id,
+             "phys_id": phys["nfsphys_id"], "quota": def_quota,
+             "modtime": now, "modby": "registrar", "modwith": "load"},
+            now=now)
+        phys["allocated"] += def_quota
+
+
+def _load_unregistered(db, spec, rng, handles, now) -> None:
+    """Next term's registrar tape: status-0 users with no login yet."""
+    users = db.table("users")
+    names = random_names(rng, spec.unregistered_users)
+    for i, (first, last, _) in enumerate(names):
+        users_id = db.next_id("users_id", now=now)
+        uid = db.next_id("uid", now=now)
+        plain_id = f"8{i:08d}"
+        hashed = unix_crypt(plain_id[-7:], first[0] + last[0])
+        users.insert(
+            {"login": f"#{uid}", "users_id": users_id, "uid": uid,
+             "shell": "/bin/csh", "last": last, "first": first,
+             "middle": "", "status": USER_STATE_REGISTERABLE,
+             "mit_id": hashed, "mit_year": "1992",
+             "fullname": f"{first} {last}", "potype": "NONE",
+             "modtime": now, "modby": "registrar", "modwith": "load"},
+            now=now)
+        handles.unregistered_ids.append((first, last, plain_id))
+
+
+def _load_groups_and_lists(db, spec, rng, handles, now) -> None:
+    users = db.table("users").rows
+    lists = db.table("list")
+    members = db.table("members")
+    active = [u for u in users if u["status"] == USER_STATE_ACTIVE]
+    if not active:
+        return
+    for i in range(spec.maillists):
+        name = f"{rng.choice(_FIRST_SYLLABLES)}" \
+               f"{rng.choice(_LAST_SYLLABLES)}-{i}"
+        list_id = db.next_id("list_id", now=now)
+        is_group = rng.random() < 0.3
+        owner = rng.choice(active)
+        lists.insert(
+            {"name": name, "list_id": list_id, "active": 1,
+             "public": int(rng.random() < 0.5), "hidden": 0, "maillist": 1,
+             "grouplist": int(is_group),
+             "gid": db.next_id("gid", now=now) if is_group else 0,
+             "desc": f"mailing list {name}", "acl_type": "USER",
+             "acl_id": owner["users_id"], "modtime": now,
+             "modby": "registrar", "modwith": "load"}, now=now)
+        handles.maillist_names.append(name)
+        # power-law-ish sizes: most lists small, a few very large
+        size = min(len(active), int(rng.paretovariate(1.2) * 3))
+        for user in rng.sample(active, size):
+            try:
+                members.insert({"list_id": list_id, "member_type": "USER",
+                                "member_id": user["users_id"]}, now=now)
+            except Exception:
+                pass  # duplicate pick
+
+
+def _load_printers(db, spec, rng, handles, now) -> None:
+    printcap = db.table("printcap")
+    machines = db.table("machine").rows
+    spool_hosts = [m for m in machines if m["type"] == "VAX"][:10]
+    for i in range(spec.printers):
+        host = spool_hosts[i % len(spool_hosts)]
+        name = f"ln03-{i + 1}" if i % 3 else f"ps-{i + 1}"
+        printcap.insert(
+            {"name": name, "mach_id": host["mach_id"],
+             "dir": f"/usr/spool/printer/{name}", "rp": name,
+             "comments": "", "modtime": now, "modby": "registrar",
+             "modwith": "load"}, now=now)
+
+
+_WELL_KNOWN_SERVICES = [
+    ("smtp", "TCP", 25), ("qotd", "TCP", 17), ("telnet", "TCP", 23),
+    ("ftp", "TCP", 21), ("finger", "TCP", 79), ("hesiod", "UDP", 88),
+    ("zephyr-clt", "UDP", 2103), ("zephyr-hm", "UDP", 2104),
+    ("pop", "TCP", 109), ("rpc_ns", "UDP", 32767),
+]
+
+
+def _load_services(db, spec, rng, now) -> None:
+    services = db.table("services")
+    for name, proto, port in _WELL_KNOWN_SERVICES:
+        services.insert({"name": name, "protocol": proto, "port": port,
+                         "desc": name, "modtime": now,
+                         "modby": "registrar", "modwith": "load"},
+                        now=now)
+    for i in range(max(0, spec.network_services
+                       - len(_WELL_KNOWN_SERVICES))):
+        services.insert(
+            {"name": f"athena-svc-{i}", "protocol": "TCP",
+             "port": 5000 + i, "desc": f"athena service {i}",
+             "modtime": now, "modby": "registrar", "modwith": "load"},
+            now=now)
+
+
+def _load_zephyr_classes(db, spec, rng, handles, now) -> None:
+    zephyr = db.table("zephyr")
+    lists = db.table("list").rows
+    maillists = [l for l in lists if l["maillist"]]
+    for i in range(spec.zephyr_classes):
+        name = "MOIRA" if i == 0 else f"class-{i}"
+        controlled = (rng.choice(maillists)["list_id"]
+                      if maillists and i else 0)
+        zephyr.insert(
+            {"class": name,
+             "xmt_type": "LIST" if controlled else "NONE",
+             "xmt_id": controlled,
+             "sub_type": "NONE", "sub_id": 0,
+             "iws_type": "NONE", "iws_id": 0,
+             "iui_type": "NONE", "iui_id": 0,
+             "modtime": now, "modby": "registrar", "modwith": "load"},
+            now=now)
+        handles.zephyr_class_names.append(name)

@@ -1,0 +1,86 @@
+"""Shared fixtures: a bootstrapped Moira deployment in various sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import MoiraClient
+from repro.db.journal import Journal
+from repro.db.schema import build_database
+from repro.kerberos import KDC
+from repro.queries.base import QueryContext, execute_query
+from repro.server import MoiraServer, seed_capacls
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def db():
+    return build_database()
+
+
+@pytest.fixture
+def ctx(db, clock):
+    """A privileged direct context (the DCM / bootstrap path)."""
+    return QueryContext(db=db, clock=clock, caller="root",
+                        client="test", privileged=True,
+                        journal=Journal())
+
+
+@pytest.fixture
+def run(ctx):
+    """Callable: run(query, *args) via the privileged context."""
+
+    def _run(name, *args):
+        return execute_query(ctx, name, [str(a) for a in args])
+
+    return _run
+
+
+@pytest.fixture
+def kdc(clock):
+    return KDC(clock)
+
+
+@pytest.fixture
+def server(db, clock, kdc, ctx):
+    srv = MoiraServer(db, clock, kdc)
+    seed_capacls(db)
+    return srv
+
+
+def make_user(run, login, *, status=1, year="1990", uid=-1):
+    run("add_user", login, uid, "/bin/csh", login.capitalize(), "Test",
+        "", status, f"mitid-{login}", year)
+    return login
+
+
+@pytest.fixture
+def admin_client(server, kdc, clock, run):
+    """An authenticated client on the moira-admins capability list."""
+    make_user(run, "admin", year="STAFF")
+    run("add_member_to_list", "moira-admins", "USER", "admin")
+    kdc.add_principal("admin", "adminpw")
+    creds = kdc.kinit("admin", "adminpw")
+    client = MoiraClient(dispatcher=server, kdc=kdc, credentials=creds,
+                         clock=clock)
+    client.connect().auth("pytest")
+    yield client
+    client.close()
+
+
+@pytest.fixture
+def user_client(server, kdc, clock, run):
+    """An authenticated ordinary user ("joeuser")."""
+    make_user(run, "joeuser")
+    kdc.add_principal("joeuser", "joepw")
+    creds = kdc.kinit("joeuser", "joepw")
+    client = MoiraClient(dispatcher=server, kdc=kdc, credentials=creds,
+                         clock=clock)
+    client.connect().auth("pytest")
+    yield client
+    client.close()

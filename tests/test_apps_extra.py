@@ -1,0 +1,117 @@
+"""Coverage for the remaining app operations: operator error handling,
+preregistration, partition management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import DcmMaint, FilsysMaint, MachMaint, UserMaint
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture
+def world():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=25, unregistered_users=0, nfs_servers=2, maillists=4,
+        clusters=1, machines_per_cluster=2, printers=2,
+        network_services=5)))
+    admin = d.handles.logins[0]
+    d.make_admin(admin)
+    client = d.client_for(admin, "pw", "extra")
+    return d, client
+
+
+class TestOperatorErrorWorkflow:
+    def test_failed_hosts_and_service_errors(self, world):
+        d, client = world
+        dm = DcmMaint(client)
+        # break the hesiod install, force a cycle
+        d.daemons[d.handles.hesiod_machine].register_command(
+            "restart_hesiod", lambda: 1)
+        d.run_hours(7)
+        assert ("HESIOD", d.handles.hesiod_machine) in dm.failed_hosts()
+        assert "HESIOD" in dm.services_with_errors()
+
+        # fix the host, reset both errors, converge
+        d.daemons[d.handles.hesiod_machine].register_command(
+            "restart_hesiod", d.hesiod.restart)
+        dm.reset_service_error("HESIOD")
+        dm.reset_host_error("HESIOD", d.handles.hesiod_machine)
+        d.run_hours(7)
+        assert dm.services_with_errors() == []
+        host = dm.host_status("HESIOD")[0]
+        assert host.success
+
+    def test_failed_hosts_empty_when_healthy(self, world):
+        d, client = world
+        d.run_hours(7)
+        dm = DcmMaint(client)
+        assert ("HESIOD", d.handles.hesiod_machine) not in \
+            dm.failed_hosts("HESIOD")
+
+
+class TestPreregistration:
+    def test_preregister_then_register(self, world):
+        """The accounts office loads a late addition from the
+        registrar, then the student registers normally."""
+        from repro.reg import RegistrationServer, UserReg
+        from repro.reg.server import hash_mit_id
+
+        d, client = world
+        um = UserMaint(client)
+        um.preregister("Late", "Addition",
+                       hash_mit_id("987654321", "Late", "Addition"),
+                       "1992")
+        hits = um.lookup_by_name("Late", "Addition")
+        assert hits[0]["status"] == 0
+        assert hits[0]["login"].startswith("#")
+
+        reg = RegistrationServer(d.db, d.clock, d.kdc)
+        outcome = UserReg(reg, d.kdc).register(
+            "Late", "Addition", "987654321", "lateadd", "pw")
+        assert outcome.success
+
+
+class TestPartitionManagement:
+    def test_add_partition_and_place_locker(self, world):
+        d, client = world
+        fm = FilsysMaint(client)
+        MachMaint(client).add_machine("NEWFS.MIT.EDU", "VAX")
+        fm.add_partition("NEWFS.MIT.EDU", "/u2", "ra90", 1, 50000)
+        assert fm.free_space("NEWFS.MIT.EDU", "/u2") == 50000
+        owner = d.handles.logins[1]
+        fm.add("newproj", "NEWFS.MIT.EDU", "/u2/newproj",
+               "/mit/newproj", owner, owner)
+        fm.add_quota("newproj", owner, 700)
+        assert fm.free_space("NEWFS.MIT.EDU", "/u2") == 49300
+
+
+class TestMachRename:
+    def test_rename_machine(self, world):
+        d, client = world
+        mm = MachMaint(client)
+        mm.add_machine("BEFORE.MIT.EDU", "RT")
+        mm.rename_machine("BEFORE.MIT.EDU", "AFTER.MIT.EDU")
+        assert mm.get_machine("AFTER.MIT.EDU")[0]["type"] == "RT"
+        assert mm.get_machine("AFTER*")
+
+
+class TestMiscellaneousSurface:
+    def test_hesiod_record_count(self, world):
+        d, _ = world
+        d.run_hours(7)
+        assert d.hesiod.record_count() > len(d.handles.logins)
+
+    def test_credential_cache_destroy(self, world):
+        from repro.errors import MoiraError
+
+        d, _ = world
+        login = d.handles.logins[2]
+        d.kdc.add_principal(login, "pw")
+        cache = d.kdc.kinit(login, "pw")
+        d.kdc.get_service_ticket(cache, "moira")
+        assert cache.get("moira")
+        cache.destroy()   # kdestroy at logout
+        with pytest.raises(MoiraError):
+            cache.get("moira")

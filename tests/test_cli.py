@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+from __future__ import annotations
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(argv, stdin_text=""):
+    out = io.StringIO()
+    old_out, old_in = sys.stdout, sys.stdin
+    sys.stdout = out
+    sys.stdin = io.StringIO(stdin_text)
+    try:
+        code = main(argv)
+    finally:
+        sys.stdout = old_out
+        sys.stdin = old_in
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_queries_lists_registry(self):
+        code, out = run_cli(["queries"])
+        assert code == 0
+        assert "gubl query  get_user_by_login(login)" in out
+        assert "ausr update add_user(" in out
+        assert len(out.splitlines()) > 100
+
+    def test_demo_runs_a_cycle(self):
+        code, out = run_cli(["--users", "60", "demo"])
+        assert code == 0
+        assert "hesiod resolves" in out
+        assert "mail hub routes" in out
+
+    def test_mrtest_shell(self):
+        code, out = run_cli(
+            ["--users", "40", "mrtest"],
+            stdin_text="_help get_machine\nget_machine *\nquit\n")
+        assert code == 0
+        assert "gmac" in out
+        assert "tuple(s); ok" in out
+
+    def test_mrtest_reports_errors(self):
+        code, out = run_cli(["--users", "40", "mrtest"],
+                            stdin_text="bogus_query\nq\n")
+        assert code == 0
+        assert "Unknown query" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            run_cli([])

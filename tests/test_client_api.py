@@ -1,0 +1,119 @@
+"""Tests for the C-style mr_* API contract (§5.6.2 return codes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import MoiraClient
+from repro.errors import (
+    MR_ABORTED,
+    MR_ALREADY_CONNECTED,
+    MR_NOT_CONNECTED,
+    MoiraError,
+)
+from tests.conftest import make_user
+
+
+class TestConnectionStates:
+    def test_double_connect(self, server):
+        c = MoiraClient(dispatcher=server)
+        assert c.mr_connect() == 0
+        assert c.mr_connect() == MR_ALREADY_CONNECTED
+        c.close()
+
+    def test_disconnect_without_connect(self, server):
+        c = MoiraClient(dispatcher=server)
+        assert c.mr_disconnect() == MR_NOT_CONNECTED
+
+    def test_operations_require_connection(self, server):
+        c = MoiraClient(dispatcher=server)
+        assert c.mr_noop() == MR_NOT_CONNECTED
+        assert c.mr_query("get_machine", ["*"]) == MR_NOT_CONNECTED
+        assert c.mr_access("get_machine", ["*"]) == MR_NOT_CONNECTED
+        assert c.mr_auth("prog") == MR_NOT_CONNECTED
+        assert c.mr_trigger_dcm() == MR_NOT_CONNECTED
+
+    def test_disconnect_then_reconnect(self, server):
+        c = MoiraClient(dispatcher=server)
+        assert c.mr_connect() == 0
+        assert c.mr_disconnect() == 0
+        assert c.mr_disconnect() == MR_NOT_CONNECTED
+        assert c.mr_connect() == 0
+        c.close()
+
+    def test_auth_without_kerberos_configured(self, server):
+        c = MoiraClient(dispatcher=server)
+        c.mr_connect()
+        assert c.mr_auth("prog") == MR_ABORTED
+        c.close()
+
+    def test_requires_exactly_one_endpoint(self):
+        with pytest.raises(ValueError):
+            MoiraClient()
+        with pytest.raises(ValueError):
+            MoiraClient(dispatcher=object(),
+                        tcp_address=("localhost", 1))
+
+
+class TestCallbackContract:
+    def test_callback_receives_argc_argv_callarg(self, server, run):
+        run("add_machine", "CB1.MIT.EDU", "VAX")
+        run("add_machine", "CB2.MIT.EDU", "VAX")
+        c = MoiraClient(dispatcher=server)
+        c.mr_connect()
+        collected = []
+        sentinel = object()
+
+        def callback(argc, argv, callarg):
+            assert callarg is sentinel
+            assert argc == len(argv)
+            collected.append(argv)
+
+        code = c.mr_query("get_machine", ["CB*"], callback, sentinel)
+        assert code == 0
+        assert len(collected) == 2
+        c.close()
+
+    def test_callback_not_called_on_error(self, server):
+        c = MoiraClient(dispatcher=server)
+        c.mr_connect()
+        calls = []
+        code = c.mr_query("get_machine", ["NOPE*"],
+                          lambda *a: calls.append(a))
+        assert code != 0
+        assert calls == []
+        c.close()
+
+    def test_query_without_callback(self, server, run):
+        run("add_machine", "NOCB.MIT.EDU", "VAX")
+        c = MoiraClient(dispatcher=server)
+        c.mr_connect()
+        assert c.mr_query("get_machine", ["NOCB*"]) == 0
+        c.close()
+
+
+class TestPythonicWrappers:
+    def test_context_manager(self, server, run):
+        run("add_machine", "CTX.MIT.EDU", "VAX")
+        with MoiraClient(dispatcher=server) as c:
+            assert c.query("get_machine", "CTX*")
+
+    def test_query_raises_moira_error(self, server):
+        with MoiraClient(dispatcher=server) as c:
+            with pytest.raises(MoiraError) as exc:
+                c.query("get_machine", "GHOST*")
+            assert "No records" in str(exc.value)
+
+    def test_query_maybe_swallows_only_no_match(self, server, run):
+        make_user(run, "qm")
+        with MoiraClient(dispatcher=server) as c:
+            assert c.query_maybe("get_machine", "GHOST*") == []
+            # permission errors still raise
+            with pytest.raises(MoiraError):
+                c.query_maybe("update_user_shell", "qm", "/bin/sh")
+
+    def test_access_returns_bool(self, server, user_client):
+        assert user_client.access("update_user_shell", "joeuser",
+                                  "/bin/sh") is True
+        assert user_client.access("add_machine", "X.MIT.EDU",
+                                  "VAX") is False

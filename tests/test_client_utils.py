@@ -1,0 +1,157 @@
+"""Tests for the application-library utility routines and menu (§5.6.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.client.menu import Menu, MenuSession
+from repro.client.utils import (
+    HashTable,
+    Queue,
+    canonicalize_hostname,
+    format_flags,
+    parse_flags,
+    strsave,
+    strtrim,
+)
+
+
+class TestStrings:
+    def test_strtrim(self):
+        assert strtrim("  hello \t\n") == "hello"
+
+    def test_strsave_copies_value(self):
+        assert strsave("x") == "x"
+
+
+class TestCanonicalizeHostname:
+    def test_uppercase_and_qualify(self):
+        assert canonicalize_hostname("suomi") == "SUOMI.MIT.EDU"
+
+    def test_already_qualified(self):
+        assert canonicalize_hostname("kiwi.mit.edu") == "KIWI.MIT.EDU"
+
+    def test_trailing_dot_removed(self):
+        assert canonicalize_hostname("kiwi.mit.edu.") == "KIWI.MIT.EDU"
+
+    def test_custom_domain(self):
+        assert canonicalize_hostname("eve", domain="pika.mit.edu") == \
+            "EVE.PIKA.MIT.EDU"
+
+    def test_empty(self):
+        assert canonicalize_hostname("  ") == ""
+
+
+class TestFlags:
+    def test_roundtrip_named_flags(self):
+        bits = parse_flags("active,maillist")
+        assert format_flags(bits) == "active,maillist"
+
+    def test_zero_is_none(self):
+        assert format_flags(0) == "none"
+        assert parse_flags("") == 0
+
+    def test_unknown_flag(self):
+        with pytest.raises(ValueError):
+            parse_flags("sparkly")
+
+    @given(st.integers(0, 31))
+    def test_roundtrip_property(self, bits):
+        assert parse_flags(format_flags(bits).replace("none", "")) == bits
+
+
+class TestHashTable:
+    def test_store_lookup_remove(self):
+        table = HashTable()
+        table.store("k", 1)
+        assert table.lookup("k") == 1
+        assert "k" in table
+        assert table.remove("k") == 1
+        assert table.lookup("k") is None
+
+    def test_step_visits_all(self):
+        table = HashTable()
+        for i in range(5):
+            table.store(f"k{i}", i)
+        seen = []
+        table.step(lambda k, v: seen.append((k, v)))
+        assert len(seen) == 5
+
+    def test_len(self):
+        table = HashTable()
+        table.store("a", 1)
+        table.store("a", 2)  # overwrite, not duplicate
+        assert len(table) == 1
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        q = Queue()
+        for i in range(3):
+            q.enqueue(i)
+        assert [q.dequeue() for _ in range(3)] == [0, 1, 2]
+
+    def test_peek_and_empty(self):
+        q = Queue()
+        assert q.empty()
+        q.enqueue("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+        assert not q.empty()
+
+    def test_underflow(self):
+        with pytest.raises(IndexError):
+            Queue().dequeue()
+
+
+class TestMenu:
+    def build(self, log):
+        root = Menu("Main")
+        root.add_action("1", "Say hello",
+                        lambda name: log.append(f"hello {name}") or
+                        f"hi {name}", ["name"])
+        sub = Menu("Sub")
+        sub.add_action("1", "Deep action", lambda: log.append("deep"))
+        root.add_submenu("2", "Go deeper", sub)
+        return root
+
+    def test_render_shows_items(self):
+        menu = self.build([])
+        text = menu.render()
+        assert "Main" in text
+        assert "1  Say hello" in text
+        assert "2> Go deeper" in text
+
+    def test_action_with_prompted_args(self):
+        log = []
+        session = MenuSession(self.build(log), inputs=["1", "world", "q"])
+        results = session.run()
+        assert log == ["hello world"]
+        assert results == ["hi world"]
+        assert any("name:" in t for t in session.transcript)
+
+    def test_submenu_navigation(self):
+        log = []
+        session = MenuSession(self.build(log),
+                              inputs=["2", "1", "q", "q"])
+        session.run()
+        assert log == ["deep"]
+
+    def test_unknown_selection_reported(self):
+        session = MenuSession(self.build([]), inputs=["9", "q"])
+        session.run()
+        assert any("unknown selection" in t for t in session.transcript)
+
+    def test_action_error_is_caught(self):
+        root = Menu("M")
+        root.add_action("1", "Boom",
+                        lambda: (_ for _ in ()).throw(ValueError("bad")))
+        session = MenuSession(root, inputs=["1", "q"])
+        session.run()
+        assert any("error: bad" in t for t in session.transcript)
+
+    def test_item_requires_action_or_submenu(self):
+        from repro.client.menu import MenuItem
+        with pytest.raises(ValueError):
+            MenuItem(key="1", title="broken")

@@ -1,0 +1,83 @@
+"""Tests for the unified administrative console."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.console import MoiraConsole
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture(scope="module")
+def console_world():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=30, unregistered_users=0, nfs_servers=2, maillists=5,
+        clusters=2, machines_per_cluster=2, printers=3,
+        network_services=5)))
+    admin = d.handles.logins[0]
+    d.make_admin(admin)
+    client = d.client_for(admin, "pw", "console")
+    return d, MoiraConsole(client)
+
+
+class TestConsole:
+    def test_menu_renders_all_sections(self, console_world):
+        _, console = console_world
+        text = console.build_menu().render()
+        for section in ("User accounts", "Lists and groups",
+                        "Machines and clusters",
+                        "Filesystems and quotas", "Printers",
+                        "DCM control"):
+            assert section in text
+
+    def test_user_lookup_via_menu(self, console_world):
+        d, console = console_world
+        target = d.handles.logins[1]
+        session = console.run(["1", "1", target, "q", "q"])
+        assert any(target in str(r) for r in session.results)
+
+    def test_change_quota_via_menu(self, console_world):
+        d, console = console_world
+        target = d.handles.logins[2]
+        session = console.run(["1", "5", target, "777", "q", "q"])
+        assert 777 in session.results
+        assert console.users.get_quota(target) == 777
+
+    def test_add_machine_and_map(self, console_world):
+        d, console = console_world
+        session = console.run([
+            "3", "2", "CONSOLE.MIT.EDU", "VAX",
+            "1", "CONSOLE*", "q", "q",
+        ])
+        assert any("CONSOLE.MIT.EDU" in str(r)
+                   for r in session.results if r)
+
+    def test_dcm_force_update_via_menu(self, console_world):
+        d, console = console_world
+        runs = d.dcm.runs
+        console.run(["6", "3", "HESIOD", d.handles.hesiod_machine,
+                     "q", "q"])
+        assert d.dcm.runs == runs + 1
+
+    def test_raw_query_passthrough(self, console_world):
+        _, console = console_world
+        session = console.run(["7", "get_value", "dcm_enable", "q"])
+        assert any("1 tuple(s); ok" in str(r) for r in session.results)
+
+    def test_errors_surface_in_transcript(self, console_world):
+        _, console = console_world
+        session = console.run(["1", "1", "no-such-user", "q", "q"])
+        assert any("error" in line for line in session.transcript)
+
+    def test_printer_lifecycle_via_menu(self, console_world):
+        d, console = console_world
+        host = d.handles.hesiod_machine
+        session = console.run([
+            "5", "2", "console-lp", host,
+            "1", "console-*",
+            "3", "console-lp", "q", "q",
+        ])
+        shown = [r for r in session.results if isinstance(r, list)]
+        assert any(p["printer"] == "console-lp"
+                   for group in shown for p in group)

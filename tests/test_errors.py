@@ -1,0 +1,121 @@
+"""Tests for the com_err reproduction (repro.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    ErrorTable,
+    MoiraError,
+    MOIRA_ERRORS,
+    com_err,
+    error_message,
+    error_table_name,
+    reset_com_err_hook,
+    set_com_err_hook,
+)
+
+
+class TestErrorTableHash:
+    def test_base_is_table_specific(self):
+        assert MOIRA_ERRORS.base != 0
+        assert MOIRA_ERRORS.base & 0xFF == 0  # 256 codes per table
+
+    def test_codes_are_base_plus_offset(self):
+        assert errors.MR_ARG_TOO_LONG == MOIRA_ERRORS.base + 1
+        assert errors.MR_ARGS == MOIRA_ERRORS.base + 2
+
+    def test_table_name_roundtrips_through_code(self):
+        assert error_table_name(errors.MR_PERM) == "sms"
+        assert error_table_name(errors.KRB_NO_TICKET) == "krb"
+
+    def test_different_tables_do_not_collide(self):
+        sms_codes = {MOIRA_ERRORS.code(s) for s in MOIRA_ERRORS.symbols()}
+        krb_codes = {errors.KRB_ERRORS.code(s)
+                     for s in errors.KRB_ERRORS.symbols()}
+        assert not sms_codes & krb_codes
+
+    def test_duplicate_table_name_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorTable("sms", [("X", "x")])
+
+    def test_bad_table_name_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorTable("toolong", [("X", "x")])
+        with pytest.raises(ValueError):
+            ErrorTable("a b", [("X", "x")])
+
+
+class TestErrorMessage:
+    def test_zero_is_success(self):
+        assert error_message(0) == "Success"
+
+    def test_moira_code_text(self):
+        assert error_message(errors.MR_PERM) == (
+            "Insufficient permission to perform requested database access")
+        assert error_message(errors.MR_NO_MATCH) == (
+            "No records in database match query")
+
+    def test_errno_passthrough(self):
+        import errno
+        assert "denied" in error_message(errno.EACCES).lower()
+
+    def test_unknown_code_in_known_range(self):
+        code = MOIRA_ERRORS.base + 200  # beyond the defined messages
+        assert "Unknown code sms 200" == error_message(code)
+
+    def test_unknown_table(self):
+        msg = error_message(0x7F000000)
+        assert msg.startswith("Unknown code")
+
+
+class TestComErr:
+    def test_prints_to_stderr_by_default(self, capsys):
+        reset_com_err_hook()
+        com_err("mrtest", errors.MR_ARGS, "while parsing")
+        captured = capsys.readouterr()
+        assert "mrtest:" in captured.err
+        assert "Incorrect number of arguments" in captured.err
+        assert "while parsing" in captured.err
+
+    def test_zero_code_prints_no_error_text(self, capsys):
+        reset_com_err_hook()
+        com_err("mrtest", 0, "informational")
+        captured = capsys.readouterr()
+        assert "Success" not in captured.err
+        assert "informational" in captured.err
+
+    def test_hook_intercepts(self, capsys):
+        calls = []
+        old = set_com_err_hook(lambda who, code, msg: calls.append(
+            (who, code, msg)))
+        try:
+            com_err("app", errors.MR_PERM, "ctx")
+        finally:
+            set_com_err_hook(old)
+        assert calls == [("app", errors.MR_PERM, "ctx")]
+        assert capsys.readouterr().err == ""
+
+    def test_set_hook_returns_previous(self):
+        reset_com_err_hook()
+        first = lambda *a: None  # noqa: E731
+        assert set_com_err_hook(first) is None
+        assert set_com_err_hook(None) is first
+
+
+class TestMoiraError:
+    def test_carries_code_and_symbol(self):
+        err = MoiraError(errors.MR_USER, "nobody")
+        assert err.code == errors.MR_USER
+        assert err.symbol == "MR_USER"
+        assert "No such user" in str(err)
+        assert "nobody" in str(err)
+
+    def test_symbol_of_foreign_code(self):
+        err = MoiraError(12345)
+        assert err.symbol == "12345"
+
+    def test_is_exception(self):
+        with pytest.raises(MoiraError):
+            raise MoiraError(errors.MR_PERM)

@@ -1,0 +1,22 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert any(marker in result.stdout
+               for marker in ("Done", "End of day"))

@@ -1,0 +1,323 @@
+"""Content-fidelity tests: generated files match the paper's §5.8.2
+example formats line for line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import build_database
+from repro.dcm.generators import get_generator
+from repro.dcm.generators.base import GenContext
+from repro.queries.base import QueryContext, execute_query
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def world():
+    """A tiny hand-built world matching the paper's examples."""
+    db = build_database()
+    clock = Clock()
+    ctx = QueryContext(db=db, clock=clock, caller="root",
+                       client="test", privileged=True)
+
+    def run(name, *args):
+        return execute_query(ctx, name, [str(a) for a in args])
+
+    run("add_machine", "CHARON.MIT.EDU", "VAX")
+    run("add_machine", "ATHENA-PO-2.MIT.EDU", "VAX")
+    run("add_machine", "BLANKET.MIT.EDU", "VAX")
+    run("add_machine", "SCARECROW.MIT.EDU", "RT")
+    run("add_machine", "TOTO.MIT.EDU", "RT")
+    run("add_nfsphys", "CHARON.MIT.EDU", "/u1", "ra81a", 1, 0, 100000)
+
+    run("add_user", "babette", 6530, "/bin/csh", "Fowler", "Harmon",
+        "C", 1, "xx", "1990")
+    run("set_pobox", "babette", "POP", "ATHENA-PO-2.MIT.EDU")
+    run("add_list", "babette", 1, 0, 0, 0, 1, 10914, "USER", "babette",
+        "personal group")
+    run("add_member_to_list", "babette", "USER", "babette")
+    run("add_filesys", "babette", "NFS", "CHARON.MIT.EDU",
+        "/u1/babette", "/mit/babette", "w", "", "babette", "babette",
+        1, "HOMEDIR")
+    run("add_nfs_quota", "babette", "babette", 300)
+
+    run("add_list", "video-users", 1, 1, 0, 1, 0, 0, "USER", "babette",
+        "Video Users")
+    run("add_member_to_list", "video-users", "USER", "babette")
+    run("add_member_to_list", "video-users", "STRING",
+        "rubin@media-lab.mit.edu")
+
+    run("add_cluster", "bldge40-rt", "E40 RTs", "E40")
+    run("add_cluster_data", "bldge40-rt", "lpr", "e40")
+    run("add_cluster", "bldge40-vs", "E40 vaxstations", "E40")
+    run("add_cluster_data", "bldge40-vs", "zephyr", "neskaya.mit.edu")
+    run("add_machine_to_cluster", "SCARECROW.MIT.EDU", "bldge40-rt")
+    # TOTO lives in two clusters -> pseudo-cluster
+    run("add_machine_to_cluster", "TOTO.MIT.EDU", "bldge40-rt")
+    run("add_machine_to_cluster", "TOTO.MIT.EDU", "bldge40-vs")
+
+    run("add_printcap", "linus", "BLANKET.MIT.EDU",
+        "/usr/spool/printer/linus", "linus", "")
+    run("add_service", "smtp", "TCP", 25, "mail")
+    run("add_server_info", "HESIOD", 360, "/tmp/h.out", "h.sh",
+        "REPLICAT", 1, "NONE", "NONE")
+    run("add_server_host_info", "HESIOD", "CHARON.MIT.EDU", 1, 0, 0, "")
+    run("add_zephyr_class", "message", "LIST", "video-users", "NONE",
+        "NONE", "NONE", "NONE", "USER", "babette")
+    return db, clock, run
+
+
+def generate(db, clock, service):
+    gen = get_generator(service)
+    hosts = db.table("serverhosts").select({"service": service.upper()})
+    return gen.generate(GenContext(db, clock.now(), hosts=hosts))
+
+
+def lines_of(result, path):
+    return result.files[path].decode().splitlines()
+
+
+class TestHesiodFormats:
+    def test_passwd_record_format(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        lines = lines_of(result, "/etc/hesiod/passwd.db")
+        assert lines == [
+            'babette.passwd HS UNSPECA "babette:*:6530:101:'
+            'Harmon C Fowler,,,,:/mit/babette:/bin/csh"'
+        ]
+
+    def test_uid_cname_pairs_passwd(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/uid.db") == [
+            "6530.uid HS CNAME babette.passwd"
+        ]
+
+    def test_pobox_record(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/pobox.db") == [
+            'babette.pobox HS UNSPECA "POP ATHENA-PO-2.MIT.EDU babette"'
+        ]
+
+    def test_group_and_gid_records(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/group.db") == [
+            'babette.group HS UNSPECA "babette:*:10914:"'
+        ]
+        assert lines_of(result, "/etc/hesiod/gid.db") == [
+            "10914.gid HS CNAME babette.group"
+        ]
+
+    def test_grplist_pairs(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/grplist.db") == [
+            'babette.grplist HS UNSPECA "babette:10914"'
+        ]
+
+    def test_filsys_record(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/filsys.db") == [
+            'babette.filsys HS UNSPECA '
+            '"NFS /u1/babette charon w /mit/babette"'
+        ]
+
+    def test_printcap_record(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/printcap.db") == [
+            'linus.pcap HS UNSPECA "linus:rp=linus:rm=BLANKET.MIT.EDU:'
+            'sd=/usr/spool/printer/linus"'
+        ]
+
+    def test_service_record_lowercases_protocol(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/service.db") == [
+            'smtp.service HS UNSPECA "smtp tcp 25"'
+        ]
+
+    def test_sloc_record(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        assert lines_of(result, "/etc/hesiod/sloc.db") == [
+            "HESIOD.sloc HS UNSPECA CHARON.MIT.EDU"
+        ]
+
+    def test_cluster_single_membership_cname(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        lines = lines_of(result, "/etc/hesiod/cluster.db")
+        assert 'bldge40-rt.cluster HS UNSPECA "lpr e40"' in lines
+        assert 'bldge40-vs.cluster HS UNSPECA ' \
+               '"zephyr neskaya.mit.edu"' in lines
+        assert "SCARECROW.MIT.EDU.cluster HS CNAME " \
+               "bldge40-rt.cluster" in lines
+
+    def test_multi_cluster_machine_gets_pseudo_cluster(self, world):
+        """§5.8.2: "a pseudo-cluster will be made by Moira which has as
+        its cluster data the union ... Then the machine in question
+        will be CNAME'd into this pseudo-cluster."""
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        lines = lines_of(result, "/etc/hesiod/cluster.db")
+        assert "TOTO.MIT.EDU.cluster HS CNAME toto-pseudo.cluster" in \
+            lines
+        pseudo = [l for l in lines if l.startswith("toto-pseudo")]
+        assert 'toto-pseudo.cluster HS UNSPECA "lpr e40"' in pseudo
+        assert 'toto-pseudo.cluster HS UNSPECA ' \
+               '"zephyr neskaya.mit.edu"' in pseudo
+
+    def test_inactive_users_excluded(self, world):
+        db, clock, run = world
+        run("add_user", "ghost", 7000, "/bin/csh", "Ghost", "G", "", 0,
+            "", "1990")
+        result = generate(db, clock, "HESIOD")
+        assert "ghost" not in result.files[
+            "/etc/hesiod/passwd.db"].decode()
+
+    def test_inactive_groups_excluded(self, world):
+        db, clock, run = world
+        run("add_list", "dead-group", 0, 0, 0, 0, 1, 999, "NONE", "NONE",
+            "inactive")
+        result = generate(db, clock, "HESIOD")
+        assert "dead-group" not in result.files[
+            "/etc/hesiod/group.db"].decode()
+
+    def test_output_parses_in_hesiod_server(self, world):
+        """The generator output and the consumer agree on the format."""
+        from repro.hosts.host import SimulatedHost
+        from repro.servers.hesiod import HesiodServer
+
+        db, clock, _ = world
+        result = generate(db, clock, "HESIOD")
+        host = SimulatedHost("h")
+        for path, data in result.files.items():
+            host.fs.write(path, data)
+        host.fs.fsync()
+        server = HesiodServer(host)
+        server.start()
+        assert server.getpwnam("babette")["uid"] == 6530
+        assert server.getpwuid(6530)["login"] == "babette"
+        assert server.resolve("toto.mit.edu", "cluster")
+
+
+class TestMailFormats:
+    def test_owner_and_member_lines(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "MAIL")
+        text = result.files["/usr/lib/aliases"].decode()
+        assert "owner-video-users: babette" in text
+        assert "video-users: babette, rubin@media-lab.mit.edu" in text
+
+    def test_pobox_alias_uses_local_suffix(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "MAIL")
+        text = result.files["/usr/lib/aliases"].decode()
+        assert "babette: babette@ATHENA-PO-2.LOCAL" in text
+
+    def test_smtp_pobox_passes_address_through(self, world):
+        db, clock, run = world
+        run("add_user", "offsite", 7100, "/bin/csh", "Off", "Site", "",
+            1, "", "G")
+        run("set_pobox", "offsite", "SMTP", "offsite@dec.com")
+        result = generate(db, clock, "MAIL")
+        assert "offsite: offsite@dec.com" in \
+            result.files["/usr/lib/aliases"].decode()
+
+    def test_passwd_file_rides_along(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "MAIL")
+        passwd = result.files["/etc/passwd"].decode()
+        assert passwd.startswith("babette:*:6530:101:")
+
+    def test_aliases_parse_on_the_hub(self, world):
+        from repro.hosts.host import SimulatedHost
+        from repro.servers.mailhub import MailHub
+
+        db, clock, _ = world
+        result = generate(db, clock, "MAIL")
+        host = SimulatedHost("athena.mit.edu")
+        hub = MailHub(host)
+        for path, data in result.files.items():
+            host.fs.write(path, data)
+        host.fs.fsync()
+        hub.reload()
+        resolved = hub.deliver("video-users").resolved
+        assert "rubin@media-lab.mit.edu" in resolved
+        assert "babette@athena-po-2.local" in resolved
+
+    def test_inactive_list_excluded(self, world):
+        db, clock, run = world
+        run("add_list", "defunct", 0, 0, 0, 1, 0, 0, "NONE", "NONE", "")
+        result = generate(db, clock, "MAIL")
+        assert "defunct" not in result.files["/usr/lib/aliases"].decode()
+
+
+class TestNfsFormats:
+    def test_credentials_line(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "NFS")
+        # no NFS serverhosts registered in this world; master file only
+        creds = result.files["/etc/nfs/credentials"].decode()
+        assert creds == "babette:6530:10914\n"
+
+    def test_quotas_and_directories_per_host(self, world):
+        db, clock, run = world
+        run("add_server_info", "NFS", 720, "/tmp/n.out", "n.sh",
+            "UNIQUE", 1, "NONE", "NONE")
+        run("add_server_host_info", "NFS", "CHARON.MIT.EDU", 1, 0, 0, "")
+        result = generate(db, clock, "NFS")
+        host_files = result.host_files["CHARON.MIT.EDU"]
+        assert host_files["/etc/nfs/quotas"].decode() == "6530 300\n"
+        assert host_files["/etc/nfs/directories"].decode() == \
+            "/u1/babette 6530 10914 HOMEDIR\n"
+
+    def test_noncreate_lockers_excluded_from_directories(self, world):
+        db, clock, run = world
+        run("add_server_info", "NFS", 720, "/tmp/n.out", "n.sh",
+            "UNIQUE", 1, "NONE", "NONE")
+        run("add_server_host_info", "NFS", "CHARON.MIT.EDU", 1, 0, 0, "")
+        run("add_filesys", "noauto", "NFS", "CHARON.MIT.EDU",
+            "/u1/noauto", "/mit/noauto", "w", "", "babette", "babette",
+            0, "PROJECT")
+        result = generate(db, clock, "NFS")
+        dirs = result.host_files["CHARON.MIT.EDU"][
+            "/etc/nfs/directories"].decode()
+        assert "noauto" not in dirs
+
+
+class TestZephyrFormats:
+    def test_list_ace_expanded_recursively(self, world):
+        db, clock, run = world
+        run("add_list", "inner-z", 1, 0, 0, 0, 0, 0, "NONE", "NONE", "")
+        run("add_user", "zuser", 7200, "/bin/csh", "Z", "U", "", 1, "",
+            "G")
+        run("add_member_to_list", "inner-z", "USER", "zuser")
+        run("add_member_to_list", "video-users", "LIST", "inner-z")
+        result = generate(db, clock, "ZEPHYR")
+        xmt = result.files["/etc/zephyr/acl/message.xmt.acl"].decode()
+        assert set(xmt.split()) == {"babette", "zuser"}
+
+    def test_user_ace(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "ZEPHYR")
+        iui = result.files["/etc/zephyr/acl/message.iui.acl"].decode()
+        assert iui == "babette\n"
+
+    def test_none_ace_is_wildcard(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "ZEPHYR")
+        sub = result.files["/etc/zephyr/acl/message.sub.acl"].decode()
+        assert sub == "*.*@*\n"
+
+    def test_four_files_per_class(self, world):
+        db, clock, _ = world
+        result = generate(db, clock, "ZEPHYR")
+        names = {p.rsplit("/", 1)[1] for p in result.files}
+        assert names == {"message.xmt.acl", "message.sub.acl",
+                         "message.iws.acl", "message.iui.acl"}

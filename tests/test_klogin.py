@@ -1,0 +1,97 @@
+"""Tests for the KLOGIN generator (hostaccess -> /.klogin)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.dcm.dcm import ServiceBinding
+from repro.dcm.generators import get_generator
+from repro.dcm.generators.base import GenContext
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture
+def world():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=10, unregistered_users=0, nfs_servers=2, maillists=2,
+        clusters=1, machines_per_cluster=1, printers=1,
+        network_services=3)))
+    client = d.direct_client()
+    client.query("add_machine", "ROOTBOX.MIT.EDU", "VAX")
+    client.query("add_server_info", "KLOGIN", 60, "/tmp/klogin.out",
+                 "/bin/klogin.sh", "UNIQUE", 1, "NONE", "NONE")
+    client.query("add_server_host_info", "KLOGIN", "ROOTBOX.MIT.EDU",
+                 1, 0, 0, "")
+    host = d._make_host("ROOTBOX.MIT.EDU")
+    d.dcm.bind_host("KLOGIN", "ROOTBOX.MIT.EDU", ServiceBinding(
+        host=host, daemon=d.daemons["ROOTBOX.MIT.EDU"]))
+    return d, client, host
+
+
+def generate(d):
+    gen = get_generator("KLOGIN")
+    hosts = d.db.table("serverhosts").select({"service": "KLOGIN"})
+    return gen.generate(GenContext(d.db, d.clock.now(), hosts=hosts))
+
+
+class TestKloginGenerator:
+    def test_user_ace(self, world):
+        d, client, _ = world
+        operator = d.handles.logins[0]
+        client.query("add_server_host_access", "ROOTBOX.MIT.EDU",
+                     "USER", operator)
+        result = generate(d)
+        klogin = result.host_files["ROOTBOX.MIT.EDU"]["/.klogin"]
+        assert klogin == f"{operator}.root@ATHENA.MIT.EDU\n".encode()
+
+    def test_list_ace_expanded(self, world):
+        d, client, _ = world
+        ops = d.handles.logins[:3]
+        client.query("add_list", "root-ops", 1, 0, 0, 0, 0, 0, "NONE",
+                     "NONE", "")
+        for login in ops:
+            client.query("add_member_to_list", "root-ops", "USER",
+                         login)
+        client.query("add_server_host_access", "ROOTBOX.MIT.EDU",
+                     "LIST", "root-ops")
+        result = generate(d)
+        klogin = result.host_files["ROOTBOX.MIT.EDU"][
+            "/.klogin"].decode()
+        assert klogin.splitlines() == sorted(
+            f"{login}.root@ATHENA.MIT.EDU" for login in ops)
+
+    def test_no_hostaccess_means_empty_file(self, world):
+        d, _, _ = world
+        result = generate(d)
+        assert result.host_files["ROOTBOX.MIT.EDU"]["/.klogin"] == b""
+
+    def test_inactive_users_excluded(self, world):
+        d, client, _ = world
+        operator = d.handles.logins[0]
+        client.query("add_server_host_access", "ROOTBOX.MIT.EDU",
+                     "USER", operator)
+        client.query("update_user_status", operator, 3)
+        result = generate(d)
+        assert result.host_files["ROOTBOX.MIT.EDU"]["/.klogin"] == b""
+
+    def test_dcm_ships_it(self, world):
+        d, client, host = world
+        operator = d.handles.logins[1]
+        client.query("add_server_host_access", "ROOTBOX.MIT.EDU",
+                     "USER", operator)
+        d.run_hours(2)
+        assert host.fs.read("/.klogin") == \
+            f"{operator}.root@ATHENA.MIT.EDU\n".encode()
+
+    def test_access_change_propagates(self, world):
+        d, client, host = world
+        first, second = d.handles.logins[2], d.handles.logins[3]
+        client.query("add_server_host_access", "ROOTBOX.MIT.EDU",
+                     "USER", first)
+        d.run_hours(2)
+        client.query("update_server_host_access", "ROOTBOX.MIT.EDU",
+                     "USER", second)
+        d.run_hours(2)
+        assert second.encode() in host.fs.read("/.klogin")
+        assert first.encode() not in host.fs.read("/.klogin")

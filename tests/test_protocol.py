@@ -1,0 +1,184 @@
+"""Tests for the wire protocol (§5.3) and transports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    MoiraError,
+    MR_ABORTED,
+    MR_MORE_DATA,
+    MR_VERSION_MISMATCH,
+)
+from repro.kerberos.kdc import KDC
+from repro.protocol.wire import (
+    MajorRequest,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    pack_authenticator,
+    unpack_authenticator,
+)
+from repro.sim.clock import Clock
+
+
+class TestRequestEncoding:
+    def test_roundtrip(self):
+        frame = encode_request(MajorRequest.QUERY,
+                               ["get_user_by_login", "babette"])
+        request = decode_request(frame[4:])
+        assert request.major is MajorRequest.QUERY
+        assert request.str_args() == ["get_user_by_login", "babette"]
+
+    def test_empty_args(self):
+        frame = encode_request(MajorRequest.NOOP, [])
+        request = decode_request(frame[4:])
+        assert request.major is MajorRequest.NOOP
+        assert request.args == ()
+
+    def test_binary_arg_passthrough(self):
+        blob = bytes(range(256))
+        frame = encode_request(MajorRequest.AUTHENTICATE, ["prog", blob])
+        request = decode_request(frame[4:])
+        assert request.args[1] == blob
+
+    def test_version_mismatch_detected(self):
+        frame = bytearray(encode_request(MajorRequest.NOOP, []))
+        frame[4:6] = (99).to_bytes(2, "big")  # clobber the version
+        with pytest.raises(MoiraError) as exc:
+            decode_request(bytes(frame[4:]))
+        assert exc.value.code == MR_VERSION_MISMATCH
+
+    def test_truncated_request_aborts(self):
+        frame = encode_request(MajorRequest.QUERY, ["abc"])
+        with pytest.raises(MoiraError) as exc:
+            decode_request(frame[4:-1])
+        assert exc.value.code == MR_ABORTED
+
+    def test_trailing_garbage_aborts(self):
+        frame = encode_request(MajorRequest.QUERY, ["abc"])
+        with pytest.raises(MoiraError) as exc:
+            decode_request(frame[4:] + b"x")
+        assert exc.value.code == MR_ABORTED
+
+    @given(st.integers(0, 4),
+           st.lists(st.text(max_size=30), max_size=6))
+    def test_roundtrip_property(self, major, args):
+        frame = encode_request(MajorRequest(major), list(args))
+        request = decode_request(frame[4:])
+        assert request.str_args() == list(args)
+
+
+class TestReplyEncoding:
+    def test_roundtrip(self):
+        frame = encode_reply(0, ("babette", 6530, "/bin/csh"))
+        reply = decode_reply(frame[4:])
+        assert reply.code == 0
+        assert reply.str_fields() == ("babette", "6530", "/bin/csh")
+
+    def test_negative_code(self):
+        # codes are signed on the wire (errno convention allows any int)
+        frame = encode_reply(-1, ())
+        assert decode_reply(frame[4:]).code == -1
+
+    def test_large_moira_code(self):
+        from repro.errors import MR_PERM
+        frame = encode_reply(MR_PERM, ())
+        assert decode_reply(frame[4:]).code == MR_PERM
+
+    @given(st.lists(st.text(max_size=50), max_size=10))
+    def test_fields_roundtrip_property(self, fields):
+        frame = encode_reply(MR_MORE_DATA, tuple(fields))
+        reply = decode_reply(frame[4:])
+        assert list(reply.str_fields()) == fields
+
+
+class TestAuthenticatorPacking:
+    def test_roundtrip(self):
+        clock = Clock()
+        kdc = KDC(clock)
+        kdc.add_principal("user", "pw")
+        kdc.add_service("moira")
+        cache = kdc.kinit("user", "pw")
+        ticket = kdc.get_service_ticket(cache, "moira")
+        auth = kdc.make_authenticator(ticket, clock.now())
+        blob = pack_authenticator(auth)
+        restored = unpack_authenticator(blob)
+        assert restored.ticket.client == "user"
+        assert restored.ticket.session_key == ticket.session_key
+        assert restored.mac == auth.mac
+        # the restored authenticator still verifies
+        assert kdc.verify_authenticator(restored, "moira") == "user"
+
+    def test_damaged_blob_rejected(self):
+        clock = Clock()
+        kdc = KDC(clock)
+        kdc.add_principal("user", "pw")
+        kdc.add_service("moira")
+        cache = kdc.kinit("user", "pw")
+        ticket = kdc.get_service_ticket(cache, "moira")
+        auth = kdc.make_authenticator(ticket, clock.now())
+        blob = pack_authenticator(auth)
+        with pytest.raises(MoiraError):
+            unpack_authenticator(blob[:-3])
+
+
+class TestTcpTransport:
+    def test_many_clients_one_server_process(self, server, kdc, clock,
+                                             run):
+        """§5.4: one process, multiple simultaneous TCP connections."""
+        from repro.client import MoiraClient
+        from repro.protocol.transport import TcpServerTransport
+        from tests.conftest import make_user
+
+        make_user(run, "tcpuser")
+        kdc.add_principal("tcpuser", "pw")
+        run("add_machine", "M.MIT.EDU", "VAX")
+
+        tcp = TcpServerTransport(server).start()
+        try:
+            host, port = tcp.address
+            clients = []
+            for i in range(5):
+                creds = kdc.kinit("tcpuser", "pw")
+                c = MoiraClient(tcp_address=(host, port), kdc=kdc,
+                                credentials=creds, clock=clock)
+                c.connect().auth(f"tcp{i}")
+                clients.append(c)
+            for c in clients:
+                assert c.query("get_machine", "M*")[0][0] == "M.MIT.EDU"
+            # all connections visible in _list_users
+            users = clients[0].query("_list_users")
+            assert len(users) == 5
+            for c in clients:
+                c.close()
+        finally:
+            tcp.stop()
+
+    def test_connection_refused_surfaces_aborted(self, kdc, clock):
+        from repro.client import MoiraClient
+
+        client = MoiraClient(tcp_address=("127.0.0.1", 1),  # nothing there
+                             kdc=kdc, clock=clock)
+        assert client.mr_connect() == MR_ABORTED
+
+    def test_large_result_streams(self, server, run):
+        """SUN RPC was rejected because it couldn't return large values;
+        the streaming protocol must handle hundreds of tuples."""
+        from repro.client import MoiraClient
+        from repro.protocol.transport import TcpServerTransport
+
+        for i in range(300):
+            run("add_machine", f"BULK-{i:04d}.MIT.EDU", "VAX")
+        tcp = TcpServerTransport(server).start()
+        try:
+            host, port = tcp.address
+            c = MoiraClient(tcp_address=(host, port))
+            c.connect()
+            rows = c.query("get_machine", "BULK-*")
+            assert len(rows) == 300
+            c.close()
+        finally:
+            tcp.stop()

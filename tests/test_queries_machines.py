@@ -1,0 +1,175 @@
+"""Tests for machine/cluster queries (§7.0.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    MoiraError,
+    MR_CLUSTER,
+    MR_IN_USE,
+    MR_MACHINE,
+    MR_NO_MATCH,
+    MR_NOT_UNIQUE,
+    MR_TYPE,
+)
+from tests.conftest import make_user
+
+
+def expect_error(code, fn, *args):
+    with pytest.raises(MoiraError) as exc:
+        fn(*args)
+    assert exc.value.code == code, exc.value
+
+
+class TestMachines:
+    def test_names_uppercased(self, run):
+        run("add_machine", "suomi.mit.edu", "VAX")
+        assert run("get_machine", "SUOMI.MIT.EDU")[0][0] == \
+            "SUOMI.MIT.EDU"
+        # case-insensitive lookup
+        assert run("get_machine", "suomi.mit.edu")[0][0] == \
+            "SUOMI.MIT.EDU"
+
+    def test_type_validated_against_aliases(self, run):
+        expect_error(MR_TYPE, run, "add_machine", "BAD.MIT.EDU", "SUN")
+        run("add_machine", "OK1.MIT.EDU", "VAX")
+        run("add_machine", "OK2.MIT.EDU", "rt")  # case-folded type
+        assert run("get_machine", "OK2.MIT.EDU")[0][1] == "RT"
+
+    def test_duplicate_rejected(self, run):
+        run("add_machine", "DUP.MIT.EDU", "VAX")
+        expect_error(MR_NOT_UNIQUE, run, "add_machine", "dup.mit.edu",
+                     "RT")
+
+    def test_update(self, run):
+        run("add_machine", "OLD.MIT.EDU", "VAX")
+        run("update_machine", "OLD.MIT.EDU", "NEW.MIT.EDU", "RT")
+        assert run("get_machine", "NEW.MIT.EDU")[0][1] == "RT"
+        expect_error(MR_NO_MATCH, run, "get_machine", "OLD.MIT.EDU")
+
+    def test_delete_in_use_as_pobox(self, run):
+        run("add_machine", "PO.MIT.EDU", "VAX")
+        make_user(run, "boxed")
+        run("set_pobox", "boxed", "POP", "PO.MIT.EDU")
+        expect_error(MR_IN_USE, run, "delete_machine", "PO.MIT.EDU")
+
+    def test_delete_in_use_as_nfs_server(self, run):
+        run("add_machine", "FS.MIT.EDU", "VAX")
+        run("add_nfsphys", "FS.MIT.EDU", "/u1", "ra81", 1, 0, 1000)
+        expect_error(MR_IN_USE, run, "delete_machine", "FS.MIT.EDU")
+
+    def test_delete_free_machine(self, run):
+        run("add_machine", "FREE.MIT.EDU", "VAX")
+        run("delete_machine", "FREE.MIT.EDU")
+        expect_error(MR_NO_MATCH, run, "get_machine", "FREE.MIT.EDU")
+
+    def test_delete_unknown(self, run):
+        expect_error(MR_MACHINE, run, "delete_machine", "GHOST.MIT.EDU")
+
+
+class TestClusters:
+    def test_add_get(self, run):
+        run("add_cluster", "bldge40-vs", "E40 vaxstations", "Building E40")
+        row = run("get_cluster", "bldge40-*")[0]
+        assert row[0] == "bldge40-vs"
+        assert row[2] == "Building E40"
+
+    def test_cluster_names_case_sensitive(self, run):
+        run("add_cluster", "Alpha", "", "")
+        run("add_cluster", "alpha", "", "")  # distinct: case matters
+        assert len(run("get_cluster", "*lpha")) >= 1
+
+    def test_update(self, run):
+        run("add_cluster", "c1", "d", "l")
+        run("update_cluster", "c1", "c2", "d2", "l2")
+        assert run("get_cluster", "c2")[0][1] == "d2"
+
+    def test_delete_with_machines_refused(self, run):
+        run("add_cluster", "full", "", "")
+        run("add_machine", "M.MIT.EDU", "VAX")
+        run("add_machine_to_cluster", "M.MIT.EDU", "full")
+        expect_error(MR_IN_USE, run, "delete_cluster", "full")
+
+    def test_delete_removes_service_data(self, run, db):
+        run("add_cluster", "doomed", "", "")
+        run("add_cluster_data", "doomed", "zephyr", "Z1.MIT.EDU")
+        run("delete_cluster", "doomed")
+        assert not db.table("svc").rows
+
+    def test_unknown_cluster(self, run):
+        expect_error(MR_CLUSTER, run, "update_cluster", "ghost", "x",
+                     "", "")
+
+
+class TestMachineClusterMap:
+    def test_add_and_map(self, run):
+        run("add_cluster", "c", "", "")
+        run("add_machine", "M1.MIT.EDU", "VAX")
+        run("add_machine", "M2.MIT.EDU", "RT")
+        run("add_machine_to_cluster", "M1.MIT.EDU", "c")
+        run("add_machine_to_cluster", "M2.MIT.EDU", "c")
+        rows = run("get_machine_to_cluster_map", "*", "*")
+        assert sorted(rows) == [("M1.MIT.EDU", "c"), ("M2.MIT.EDU", "c")]
+
+    def test_machine_in_multiple_clusters(self, run):
+        run("add_cluster", "c1", "", "")
+        run("add_cluster", "c2", "", "")
+        run("add_machine", "M.MIT.EDU", "VAX")
+        run("add_machine_to_cluster", "M.MIT.EDU", "c1")
+        run("add_machine_to_cluster", "M.MIT.EDU", "c2")
+        rows = run("get_machine_to_cluster_map", "M*", "*")
+        assert len(rows) == 2
+
+    def test_delete_mapping(self, run):
+        run("add_cluster", "c", "", "")
+        run("add_machine", "M.MIT.EDU", "VAX")
+        run("add_machine_to_cluster", "M.MIT.EDU", "c")
+        run("delete_machine_from_cluster", "M.MIT.EDU", "c")
+        expect_error(MR_NO_MATCH, run, "get_machine_to_cluster_map",
+                     "M*", "*")
+
+    def test_delete_absent_mapping(self, run):
+        run("add_cluster", "c", "", "")
+        run("add_machine", "M.MIT.EDU", "VAX")
+        expect_error(MR_NO_MATCH, run, "delete_machine_from_cluster",
+                     "M.MIT.EDU", "c")
+
+    def test_wildcard_map_filtering(self, run):
+        run("add_cluster", "east", "", "")
+        run("add_cluster", "west", "", "")
+        run("add_machine", "E1.MIT.EDU", "VAX")
+        run("add_machine", "W1.MIT.EDU", "VAX")
+        run("add_machine_to_cluster", "E1.MIT.EDU", "east")
+        run("add_machine_to_cluster", "W1.MIT.EDU", "west")
+        rows = run("get_machine_to_cluster_map", "*", "e*")
+        assert rows == [("E1.MIT.EDU", "east")]
+
+
+class TestClusterData:
+    def test_add_requires_registered_label(self, run):
+        run("add_cluster", "c", "", "")
+        expect_error(MR_TYPE, run, "add_cluster_data", "c", "bogus",
+                     "data")
+        run("add_cluster_data", "c", "zephyr", "Z1.MIT.EDU")
+
+    def test_get_by_cluster_and_label(self, run):
+        run("add_cluster", "c1", "", "")
+        run("add_cluster", "c2", "", "")
+        run("add_cluster_data", "c1", "zephyr", "Z1")
+        run("add_cluster_data", "c1", "lpr", "e40")
+        run("add_cluster_data", "c2", "zephyr", "Z2")
+        assert len(run("get_cluster_data", "c1", "*")) == 2
+        assert len(run("get_cluster_data", "*", "zephyr")) == 2
+
+    def test_delete_exact(self, run):
+        run("add_cluster", "c", "", "")
+        run("add_cluster_data", "c", "zephyr", "Z1")
+        run("delete_cluster_data", "c", "zephyr", "Z1")
+        expect_error(MR_NO_MATCH, run, "get_cluster_data", "c", "*")
+
+    def test_delete_requires_exact_match(self, run):
+        run("add_cluster", "c", "", "")
+        run("add_cluster_data", "c", "zephyr", "Z1")
+        expect_error(MR_NOT_UNIQUE, run, "delete_cluster_data", "c",
+                     "zephyr", "other")

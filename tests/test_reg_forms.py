@@ -1,0 +1,113 @@
+"""Tests for the userreg forms dialogue (§5.10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.reg import RegistrationServer, UserReg
+from repro.reg.forms import RegistrationForms
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture
+def forms_world():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=20, unregistered_users=5, nfs_servers=2, maillists=3,
+        clusters=1, machines_per_cluster=1, printers=1,
+        network_services=3)))
+    reg = RegistrationServer(d.db, d.clock, d.kdc)
+    forms = RegistrationForms(UserReg(reg, d.kdc))
+    return d, forms
+
+
+def student(d, i=0):
+    return d.handles.unregistered_ids[i]
+
+
+class TestRegistrationForms:
+    def test_happy_dialogue(self, forms_world):
+        d, forms = forms_world
+        first, last, mit_id = student(d)
+        result = forms.session([
+            first, "Q", last, mit_id,
+            "frosh88", "sekrit1", "sekrit1",
+        ])
+        assert result.registered
+        assert result.login == "frosh88"
+        assert any("created" in line for line in result.transcript)
+        assert d.kdc.kinit("frosh88", "sekrit1")
+
+    def test_taken_login_reprompts(self, forms_world):
+        d, forms = forms_world
+        taken = d.handles.logins[0]
+        d.kdc.add_principal(taken, "pw")
+        first, last, mit_id = student(d)
+        result = forms.session([
+            first, "Q", last, mit_id,
+            taken, "pw1", "pw1",          # first choice: taken
+            "secondtry", "pw1", "pw1",    # second choice: free
+        ])
+        assert result.registered
+        assert result.login == "secondtry"
+        assert result.attempts == 2
+        assert any("already taken" in line for line in result.transcript)
+
+    def test_password_mismatch_reprompts(self, forms_world):
+        d, forms = forms_world
+        first, last, mit_id = student(d)
+        result = forms.session([
+            first, "Q", last, mit_id,
+            "mismatch", "aaa", "bbb",     # mismatch
+            "ccc", "ccc",                 # retry matches
+        ])
+        assert result.registered
+        assert any("do not match" in line for line in result.transcript)
+        assert d.kdc.kinit("mismatch", "ccc")
+
+    def test_wrong_id_explained(self, forms_world):
+        d, forms = forms_world
+        first, last, _ = student(d)
+        result = forms.session([
+            first, "Q", last, "111111111",
+            "nobody", "pw", "pw",
+        ])
+        assert not result.registered
+        assert any("does not match our records" in line
+                   for line in result.transcript)
+
+    def test_unknown_student_explained(self, forms_world):
+        _, forms = forms_world
+        result = forms.session([
+            "Not", "A", "Student", "123456789",
+            "ghost", "pw", "pw",
+        ])
+        assert not result.registered
+        assert any("registrar" in line for line in result.transcript)
+
+    def test_abandoned_session(self, forms_world):
+        d, forms = forms_world
+        first, last, mit_id = student(d)
+        result = forms.session([first, "Q"])  # walks away mid-form
+        assert not result.registered
+        assert any("abandoned" in line for line in result.transcript)
+
+    def test_wrong_workstation_login(self, forms_world):
+        _, forms = forms_world
+        result = forms.session([], workstation_login="root",
+                               workstation_password="toor")
+        assert not result.registered
+        assert any("register/athena" in line
+                   for line in result.transcript)
+
+    def test_too_many_taken_logins(self, forms_world):
+        d, forms = forms_world
+        for name in ("a1", "a2", "a3"):
+            d.kdc.add_principal(name, "pw")
+        first, last, mit_id = student(d, 1)
+        result = forms.session([
+            first, "Q", last, mit_id,
+            "a1", "p", "p", "a2", "p", "p", "a3", "p", "p",
+        ])
+        assert not result.registered
+        assert any("consultant" in line for line in result.transcript)

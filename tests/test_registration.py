@@ -1,0 +1,200 @@
+"""Tests for the registration server and userreg (§5.10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.errors import (
+    MR_ALREADY_REGISTERED,
+    MR_BAD_AUTHENTICATOR,
+    MR_LOGIN_TAKEN,
+    MR_NOT_FOUND,
+)
+from repro.reg.server import (
+    RegError,
+    RegistrationServer,
+    hash_mit_id,
+    make_authenticator,
+)
+from repro.reg.userreg import UserReg
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture
+def world():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=30, unregistered_users=8, nfs_servers=2, maillists=4,
+        clusters=2, machines_per_cluster=2, printers=3,
+        network_services=5)))
+    reg = RegistrationServer(d.db, d.clock, d.kdc)
+    return d, reg, UserReg(reg, d.kdc)
+
+
+def student(d, index=0):
+    return d.handles.unregistered_ids[index]
+
+
+class TestAuthenticator:
+    def test_hash_is_crypt_of_last_seven(self):
+        h = hash_mit_id("123-45-6789", "Harmon", "Fowler")
+        assert h.startswith("HF")
+        assert len(h) == 13
+        # hyphens irrelevant
+        assert h == hash_mit_id("123456789", "Harmon", "Fowler")
+
+    def test_verify_user_ok(self, world):
+        d, reg, _ = world
+        first, last, plain = student(d)
+        reply = reg.verify_user(first, last,
+                                make_authenticator(plain, first, last))
+        assert reply.status == 0
+
+    def test_wrong_id_rejected(self, world):
+        d, reg, _ = world
+        first, last, _ = student(d)
+        with pytest.raises(RegError) as exc:
+            reg.verify_user(first, last,
+                            make_authenticator("111111111", first, last))
+        assert exc.value.code == MR_BAD_AUTHENTICATOR
+
+    def test_only_last_seven_digits_significant(self, world):
+        """A faithful crypt() quirk: IDs sharing their last 7 digits
+        hash identically, so such an ID still verifies."""
+        d, reg, _ = world
+        first, last, plain = student(d)
+        lookalike = "99" + plain[2:]
+        assert reg.verify_user(
+            first, last,
+            make_authenticator(lookalike, first, last)).status == 0
+
+    def test_unknown_student(self, world):
+        _, reg, _ = world
+        with pytest.raises(RegError) as exc:
+            reg.verify_user("No", "Body",
+                            make_authenticator("1", "No", "Body"))
+        assert exc.value.code == MR_NOT_FOUND
+
+    def test_tampered_authenticator_rejected(self, world):
+        d, reg, _ = world
+        first, last, plain = student(d)
+        blob = bytearray(make_authenticator(plain, first, last))
+        blob[4] ^= 0xFF
+        with pytest.raises(RegError) as exc:
+            reg.verify_user(first, last, bytes(blob))
+        assert exc.value.code == MR_BAD_AUTHENTICATOR
+
+
+class TestGrabLogin:
+    def test_grab_creates_account_resources(self, world):
+        d, reg, _ = world
+        first, last, plain = student(d)
+        login = reg.grab_login(
+            first, last, make_authenticator(plain, first, last, "frosh"))
+        assert login == "frosh"
+        client = d.direct_client()
+        row = client.query("get_user_by_login", "frosh")[0]
+        assert row[6] == "2"  # half-registered
+        assert client.query("get_pobox", "frosh")[0][1] == "POP"
+        assert client.query("get_filesys_by_label", "frosh")
+        assert d.kdc.principal_exists("frosh")
+
+    def test_grab_taken_login(self, world):
+        d, reg, _ = world
+        taken = d.handles.logins[0]
+        d.kdc.add_principal(taken, "pw")
+        first, last, plain = student(d)
+        with pytest.raises(RegError) as exc:
+            reg.grab_login(first, last,
+                           make_authenticator(plain, first, last, taken))
+        assert exc.value.code == MR_LOGIN_TAKEN
+
+    def test_double_grab_rejected(self, world):
+        d, reg, _ = world
+        first, last, plain = student(d)
+        reg.grab_login(first, last,
+                       make_authenticator(plain, first, last, "once"))
+        with pytest.raises(RegError) as exc:
+            reg.grab_login(first, last,
+                           make_authenticator(plain, first, last,
+                                              "twice"))
+        assert exc.value.code == MR_ALREADY_REGISTERED
+
+
+class TestSetPassword:
+    def test_password_usable_after_set(self, world):
+        d, reg, _ = world
+        first, last, plain = student(d)
+        reg.grab_login(first, last,
+                       make_authenticator(plain, first, last, "kid"))
+        reg.set_password(first, last,
+                         make_authenticator(plain, first, last, "sekrit"))
+        assert d.kdc.kinit("kid", "sekrit").principal == "kid"
+
+    def test_set_password_requires_half_registered(self, world):
+        d, reg, _ = world
+        first, last, plain = student(d)
+        with pytest.raises(RegError):
+            reg.set_password(first, last,
+                             make_authenticator(plain, first, last, "pw"))
+
+
+class TestUserReg:
+    def test_happy_path(self, world):
+        d, _, userreg = world
+        first, last, plain = student(d)
+        outcome = userreg.register(first, last, plain, "newbie", "pw123")
+        assert outcome.success
+        assert outcome.login == "newbie"
+        assert len(outcome.steps) == 4
+
+    def test_kinit_probe_detects_taken_name(self, world):
+        d, _, userreg = world
+        existing = d.handles.logins[0]
+        d.kdc.add_principal(existing, "theirpw")
+        first, last, plain = student(d)
+        outcome = userreg.register(first, last, plain, existing, "pw")
+        assert not outcome.success
+        assert outcome.error == "login_taken"
+
+    def test_already_registered_student(self, world):
+        d, _, userreg = world
+        first, last, plain = student(d)
+        userreg.register(first, last, plain, "one", "pw")
+        outcome = userreg.register(first, last, plain, "two", "pw")
+        assert not outcome.success
+        assert outcome.error == "already_registered"
+
+    def test_new_account_visible_after_propagation(self, world):
+        """The paper's lag: "the user will not benefit from this
+        allocation for a maximum of six hours"."""
+        d, _, userreg = world
+        first, last, plain = student(d)
+        outcome = userreg.register(first, last, plain, "lagged", "pw")
+        assert outcome.success
+        # activate the account (half-registered accounts aren't extracted)
+        d.direct_client().query("update_user_status", "lagged", 1)
+        import pytest as _pytest
+        from repro.servers.hesiod import HesiodError
+        with _pytest.raises(HesiodError):
+            d.hesiod.resolve("lagged", "passwd")
+        d.run_hours(7)   # hesiod propagation interval
+        assert d.hesiod.resolve("lagged", "passwd")
+        # and the NFS locker now exists on the right server
+        d.run_hours(6)   # complete the 12h NFS interval
+        fs_row = d.direct_client().query("get_filesys_by_label",
+                                         "lagged")[0]
+        server = d.nfs_servers[fs_row[2]]
+        assert server.locker_exists(fs_row[3])
+
+    def test_term_start_burst(self, world):
+        """§5.10: ~1000 accounts at the beginning of each term (scaled
+        down); every unregistered student registers successfully."""
+        d, _, userreg = world
+        for i, (first, last, plain) in enumerate(
+                d.handles.unregistered_ids):
+            outcome = userreg.register(first, last, plain, f"frosh{i}",
+                                       "pw")
+            assert outcome.success, outcome.error
+        from repro.apps import MrCheck
+        assert MrCheck(d.db).run() == []

@@ -1,0 +1,170 @@
+"""Security properties of the access-control layer (§4, §5.5).
+
+"Moira must be tamper-proof ... Moira must be secure."  These tests
+assert the negative space: an ordinary authenticated user can never
+execute *any* side-effecting query except through a documented
+relaxation, an unauthenticated connection can never mutate anything,
+and the Access request never disagrees with Query about permission.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.client import MoiraClient
+from repro.errors import MR_MORE_DATA, MR_PERM
+from repro.protocol.wire import MajorRequest, decode_reply, encode_request
+from repro.queries.base import all_queries
+from tests.conftest import make_user
+
+# The documented relaxations: side-effecting queries an ordinary user
+# may run against *their own* objects.
+SELF_SERVICE_UPDATES = {
+    "update_user_shell", "update_finger_by_login", "set_pobox",
+    "set_pobox_pop", "delete_pobox", "add_member_to_list",
+    "delete_member_from_list", "update_list", "delete_list",
+}
+
+
+def plausible_args(query, login):
+    """Arguments that reference the caller where a login fits."""
+    out = []
+    for arg in query.args:
+        if "login" in arg or arg in ("member", "ace_name", "owner"):
+            out.append(login)
+        elif "int" in arg or arg in ("uid", "gid", "status", "quota",
+                                     "port", "value1", "value2", "size",
+                                     "allocated", "delta", "interval",
+                                     "enable", "dfgen", "dfcheck",
+                                     "inprogress", "harderror",
+                                     "override", "success", "hosterror",
+                                     "lasttry", "lastsuccess"):
+            out.append("1")
+        else:
+            out.append("something")
+    return out
+
+
+class TestNoPermissionLeaks:
+    def test_every_mutation_denied_to_plain_user(self, user_client,
+                                                 run):
+        """Sweep the whole registry: no side-effecting query succeeds
+        for an ordinary user unless it's a documented self-service
+        relaxation (and even those must target the caller)."""
+        make_user(run, "innocent")
+        for query in all_queries().values():
+            if not query.side_effects:
+                continue
+            if query.name in SELF_SERVICE_UPDATES:
+                continue
+            args = plausible_args(query, "innocent")
+            code = user_client.mr_query(query.name, args)
+            assert code == MR_PERM, (
+                f"{query.name} was not denied (code {code})")
+
+    def test_self_service_never_reaches_other_users(self, user_client,
+                                                    run):
+        make_user(run, "bystander")
+        run("add_machine", "POX.MIT.EDU", "VAX")
+        for name, args in [
+            ("update_user_shell", ["bystander", "/bin/sh"]),
+            ("update_finger_by_login",
+             ["bystander"] + [""] * 8),
+            ("set_pobox", ["bystander", "POP", "POX.MIT.EDU"]),
+            ("delete_pobox", ["bystander"]),
+            ("set_pobox_pop", ["bystander"]),
+        ]:
+            assert user_client.mr_query(name, args) == MR_PERM, name
+
+    def test_unauthenticated_connection_cannot_mutate(self, server,
+                                                      run):
+        make_user(run, "target2")
+        c = MoiraClient(dispatcher=server)
+        c.connect()
+        for query in all_queries().values():
+            if not query.side_effects:
+                continue
+            code = c.mr_query(query.name,
+                              plausible_args(query, "target2"))
+            assert code != 0, f"{query.name} succeeded unauthenticated"
+        c.close()
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.sampled_from(sorted(
+        q.name for q in all_queries().values() if q.side_effects)))
+    def test_access_request_never_disagrees_with_query(self, server,
+                                                       query_name):
+        """Access saying "yes" must mean Query won't fail with MR_PERM
+        (and vice versa) for the same principal and arguments."""
+        from repro.db.schema import build_database
+        from repro.kerberos.kdc import KDC
+        from repro.queries.base import QueryContext, execute_query
+        from repro.server import MoiraServer, seed_capacls
+        from repro.sim.clock import Clock
+
+        clock = Clock()
+        db = build_database()
+        kdc = KDC(clock)
+        srv = MoiraServer(db, clock, kdc)
+        seed_capacls(db)
+        ctx = QueryContext(db=db, clock=clock, caller="root",
+                           privileged=True)
+        execute_query(ctx, "add_user",
+                      ["plain", "-1", "/bin/csh", "P", "L", "", "1", "",
+                       "1990"])
+        kdc.add_principal("plain", "pw")
+        client = MoiraClient(dispatcher=srv, kdc=kdc,
+                             credentials=kdc.kinit("plain", "pw"),
+                             clock=clock)
+        client.connect().auth("sec")
+        query = all_queries()[query_name]
+        args = plausible_args(query, "plain")
+        access_ok = client.mr_access(query_name, args) == 0
+        query_code = client.mr_query(query_name, args)
+        if access_ok:
+            assert query_code != MR_PERM
+        else:
+            assert query_code == MR_PERM
+        client.close()
+
+
+class TestDataExposure:
+    def test_hidden_list_membership_not_divulged(self, user_client,
+                                                 admin_client, run):
+        """§6 LIST.hidden: "neither the list information or membership
+        may be divulged to anyone who is not an administrator"."""
+        make_user(run, "spy-target")
+        run("add_list", "secret-society", 1, 0, 1, 1, 0, 0, "NONE",
+            "NONE", "hush")
+        run("add_member_to_list", "secret-society", "USER",
+            "spy-target")
+        assert user_client.mr_query("get_list_info",
+                                    ["secret-society"]) == MR_PERM
+        assert user_client.mr_query("get_members_of_list",
+                                    ["secret-society"]) == MR_PERM
+        # admins still see it
+        assert admin_client.query("get_members_of_list",
+                                  "secret-society")
+
+    def test_mit_id_not_in_summary_queries(self, server, run):
+        """get_all_logins intentionally returns "a summary of the
+        account info" without the encrypted MIT ID."""
+        make_user(run, "private")
+        c = MoiraClient(dispatcher=server)
+        c.connect()
+        conn = server.open_connection("direct")
+        frame = encode_request(MajorRequest.QUERY, ["get_user_by_login",
+                                                    "private"])
+        # the full record (admin path) includes the mit_id field, but
+        # the summary field list must not
+        from repro.queries.base import get_query
+        assert "mit_id" not in get_query("get_all_logins").returns
+        assert "mit_id" in get_query("get_user_by_login").returns
+        c.close()
+
+    def test_wildcard_user_lookup_requires_capability(self, user_client):
+        """An ordinary user cannot dump all users via wildcards."""
+        assert user_client.mr_query("get_user_by_login",
+                                    ["*"]) == MR_PERM

@@ -1,0 +1,177 @@
+"""A semester of simulated operation — the long-haul soak test.
+
+Six weeks of life at Athena: term-start registration burst, steady
+administrative churn (shell changes, list membership, quota bumps,
+machines coming and going), users leaving, occasional host crashes —
+with the DCM running on its cron the whole time.  At the end: every
+service healthy, every extract consistent with the database, the
+consistency checker clean, and the managed servers serving the truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import MrCheck
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.errors import MoiraError
+from repro.reg import RegistrationServer, UserReg
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture(scope="module")
+def semester():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=120, unregistered_users=30, nfs_servers=4, maillists=15,
+        clusters=3, machines_per_cluster=2, printers=5,
+        network_services=10)))
+    rng = random.Random(1988)
+    reg = RegistrationServer(d.db, d.clock, d.kdc)
+    userreg = UserReg(reg, d.kdc)
+    client = d.direct_client()
+
+    # week 0: registration day
+    registered = []
+    for i, (first, last, mit_id) in enumerate(
+            d.handles.unregistered_ids):
+        outcome = userreg.register(first, last, mit_id, f"term{i:03d}",
+                                   "pw")
+        assert outcome.success, outcome.error
+        client.query("update_user_status", outcome.login, 1)
+        registered.append(outcome.login)
+    d.run_hours(24)
+
+    # weeks 1-6: churn
+    all_logins = d.handles.logins + registered
+    crashes = 0
+    for week in range(6):
+        for day in range(7):
+            for _ in range(rng.randrange(2, 6)):
+                action = rng.random()
+                victim = rng.choice(all_logins)
+                try:
+                    if action < 0.3:
+                        client.query("update_user_shell", victim,
+                                     rng.choice(["/bin/csh", "/bin/sh"]))
+                    elif action < 0.5:
+                        lst = rng.choice(d.handles.maillist_names)
+                        client.query("add_member_to_list", lst, "USER",
+                                     victim)
+                    elif action < 0.65:
+                        lst = rng.choice(d.handles.maillist_names)
+                        client.query("delete_member_from_list", lst,
+                                     "USER", victim)
+                    elif action < 0.8:
+                        client.query("update_nfs_quota", victim, victim,
+                                     rng.randrange(100, 900))
+                    elif action < 0.9:
+                        client.query(
+                            "add_machine",
+                            f"W{week}{day}{rng.randrange(99)}.MIT.EDU",
+                            "RT")
+                    else:
+                        client.query("update_user_status", victim, 3)
+                        all_logins.remove(victim)
+                except MoiraError:
+                    pass  # duplicate membership, already-removed, etc.
+            # the occasional crash, healed a day later
+            if rng.random() < 0.1:
+                name = rng.choice(d.handles.nfs_machines)
+                if d.hosts[name].alive:
+                    d.hosts[name].crash()
+                    crashes += 1
+            d.run_hours(24)
+            for name in d.handles.nfs_machines:
+                if not d.hosts[name].alive:
+                    d.hosts[name].reboot()
+        d.run_hours(2)  # let retries settle at week's end
+
+    d.run_hours(26)  # one final full propagation cycle
+    return d, registered, crashes
+
+
+class TestSemester:
+    def test_no_hard_errors_survive(self, semester):
+        d, _, _ = semester
+        for row in d.db.table("servers").rows:
+            assert row["harderror"] == 0, (row["name"], row["errmsg"])
+
+    def test_every_host_converged(self, semester):
+        d, _, crashes = semester
+        for row in d.db.table("serverhosts").rows:
+            if row["service"] in ("HESIOD", "NFS", "MAIL", "ZEPHYR"):
+                assert row["success"] == 1, (row["service"],
+                                             row["hosterrmsg"])
+
+    def test_database_consistent(self, semester):
+        d, _, _ = semester
+        assert MrCheck(d.db).run() == []
+
+    def test_hesiod_agrees_with_database(self, semester):
+        """The nameserver's world view matches the database for every
+        active user and no departed one."""
+        d, _, _ = semester
+        from repro.servers.hesiod import HesiodError
+
+        active = d.db.table("users").select({"status": 1})
+        for user in active[:30]:
+            pw = d.hesiod.getpwnam(user["login"])
+            assert pw["uid"] == user["uid"]
+            assert pw["shell"] == user["shell"]
+        departed = d.db.table("users").select({"status": 3})
+        assert departed  # churn produced some
+        for user in departed[:10]:
+            with pytest.raises(HesiodError):
+                d.hesiod.resolve(user["login"], "passwd")
+
+    def test_mailhub_agrees_with_database(self, semester):
+        d, _, _ = semester
+        active = d.db.table("users").select({"status": 1,
+                                             "potype": "POP"})
+        for user in active[:15]:
+            resolved = d.mailhub.resolve(user["login"])
+            assert len(resolved) == 1
+            assert resolved[0].endswith(".local")
+
+    def test_nfs_quotas_agree_with_database(self, semester):
+        d, _, _ = semester
+        quota_rows = d.db.table("nfsquota").rows
+        phys_host = {p["nfsphys_id"]: p["mach_id"]
+                     for p in d.db.table("nfsphys").rows}
+        machines = {m["mach_id"]: m["name"]
+                    for m in d.db.table("machine").rows}
+        users_by_id = {u["users_id"]: u
+                       for u in d.db.table("users").rows}
+        checked = 0
+        for q in quota_rows:
+            user = users_by_id.get(q["users_id"])
+            if user is None or user["status"] != 1:
+                continue
+            machine = machines.get(phys_host.get(q["phys_id"]))
+            server = d.nfs_servers.get(machine)
+            if server is None:
+                continue
+            assert server.quota_for(user["uid"]) == q["quota"], \
+                user["login"]
+            checked += 1
+            if checked >= 40:
+                break
+        assert checked > 10
+
+    def test_registration_burst_landed(self, semester):
+        d, registered, _ = semester
+        still_active = [
+            login for login in registered
+            if d.db.table("users").select({"login": login,
+                                           "status": 1})]
+        assert len(still_active) > len(registered) // 2
+        for login in still_active[:10]:
+            assert d.hesiod.getpwnam(login)
+
+    def test_dcm_did_real_work(self, semester):
+        d, _, _ = semester
+        assert d.dcm.total_generations > 20
+        assert d.dcm.total_no_change > 20   # quiet intervals skipped
+        assert d.dcm.total_propagations > 40

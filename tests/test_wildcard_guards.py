@@ -1,0 +1,54 @@
+"""New object names must not contain wildcard characters — a name like
+``bab*`` would poison every later exact-match lookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MoiraError, MR_WILDCARD
+from tests.conftest import make_user
+
+
+def expect_wildcard(run, name, *args):
+    with pytest.raises(MoiraError) as exc:
+        run(name, *args)
+    assert exc.value.code == MR_WILDCARD
+
+
+class TestWildcardGuards:
+    def test_add_user(self, run):
+        expect_wildcard(run, "add_user", "bab*", -1, "/bin/csh", "L",
+                        "F", "", 1, "", "1990")
+        expect_wildcard(run, "add_user", "who?", -1, "/bin/csh", "L",
+                        "F", "", 1, "", "1990")
+
+    def test_unique_login_sentinel_still_works(self, run):
+        # "#" is the UNIQUE_LOGIN sentinel, not a wildcard
+        run("add_user", "#", 7777, "/bin/csh", "L", "F", "", 0, "",
+            "1990")
+        assert run("get_user_by_login", "#7777")
+
+    def test_rename_user(self, run):
+        make_user(run, "renameme")
+        uid = run("get_user_by_login", "renameme")[0][1]
+        expect_wildcard(run, "update_user", "renameme", "re*named", uid,
+                        "/bin/csh", "L", "F", "", 1, "", "1990")
+
+    def test_register_user(self, run):
+        run("add_user", "#", 7778, "/bin/csh", "L", "F", "", 0, "",
+            "1992")
+        expect_wildcard(run, "register_user", 7778, "new*kid", 1)
+
+    def test_add_list(self, run):
+        expect_wildcard(run, "add_list", "every*", 1, 0, 0, 1, 0, 0,
+                        "NONE", "NONE", "")
+
+    def test_add_machine(self, run):
+        expect_wildcard(run, "add_machine", "HOST?.MIT.EDU", "VAX")
+
+    def test_add_cluster(self, run):
+        expect_wildcard(run, "add_cluster", "bldg*", "", "")
+
+    def test_wildcards_still_fine_in_lookups(self, run):
+        make_user(run, "wildok")
+        assert run("get_user_by_login", "wild*")

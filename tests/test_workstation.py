@@ -1,0 +1,103 @@
+"""Tests for the workstation-side consumers: attach and login."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workstation import Attach, AttachError, WorkstationLogin
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.errors import MoiraError
+from repro.workload import PopulationSpec
+
+
+@pytest.fixture(scope="module")
+def world():
+    d = AthenaDeployment(DeploymentConfig(population=PopulationSpec(
+        users=30, unregistered_users=0, nfs_servers=3, maillists=5,
+        clusters=2, machines_per_cluster=2, printers=3,
+        network_services=5)))
+    d.run_hours(13)   # hesiod + NFS propagated
+    attach = Attach(d.hesiod, d.nfs_servers)
+    login = WorkstationLogin(d.hesiod, d.kdc, attach)
+    return d, attach, login
+
+
+class TestAttach:
+    def test_attach_home_locker(self, world):
+        d, attach, _ = world
+        user = d.handles.logins[0]
+        mount = attach.attach(user, user)
+        assert mount.mountpoint == f"/mit/{user}"
+        assert mount.mode == "w"
+        assert mount.remote_path.endswith(user)
+
+    def test_unknown_filesystem(self, world):
+        _, attach, _ = world
+        with pytest.raises(AttachError):
+            attach.attach("no-such-locker", "whoever")
+
+    def test_credentials_gate_access(self, world):
+        d, attach, _ = world
+        user = d.handles.logins[1]
+        with pytest.raises(AttachError) as exc:
+            attach.attach(user, "stranger")
+        assert "credentials" in str(exc.value)
+
+    def test_detach(self, world):
+        d, attach, _ = world
+        user = d.handles.logins[2]
+        mount = attach.attach(user, user)
+        attach.detach(mount.mountpoint)
+        with pytest.raises(AttachError):
+            attach.detach(mount.mountpoint)
+
+    def test_new_filesystem_attachable_after_propagation(self, world):
+        d, attach, _ = world
+        client = d.direct_client()
+        owner = d.handles.logins[3]
+        machine = d.handles.nfs_machines[0]
+        client.query("add_filesys", "shared-proj", "NFS", machine,
+                     "/u1/shared-proj", "/mit/shared-proj", "w", "",
+                     owner, owner, 1, "PROJECT")
+        with pytest.raises(AttachError):
+            attach.attach("shared-proj", owner)  # not in hesiod yet
+        d.run_hours(7)
+        mount = attach.attach("shared-proj", owner)
+        assert mount.mountpoint == "/mit/shared-proj"
+
+
+class TestWorkstationLogin:
+    def test_full_login(self, world):
+        d, _, login = world
+        user = d.handles.logins[0]
+        d.kdc.add_principal(user, "pw")
+        session = login.login(user, "pw")
+        assert session.login == user
+        assert session.home == f"/mit/{user}"
+        assert session.home_mount is not None
+        # the personal group is in the group list
+        assert any(name == user for name, _ in session.groups)
+
+    def test_wrong_password(self, world):
+        d, _, login = world
+        user = d.handles.logins[4]
+        d.kdc.add_principal(user, "right")
+        with pytest.raises(MoiraError):
+            login.login(user, "wrong")
+
+    def test_unknown_user(self, world):
+        _, _, login = world
+        with pytest.raises(MoiraError):
+            login.login("nobody-here", "pw")
+
+    def test_deactivated_user_disappears_after_propagation(self, world):
+        """The lifecycle end: a deactivated account stops resolving once
+        the DCM pushes new files (Atropos cutting the thread)."""
+        d, _, login = world
+        user = d.handles.logins[5]
+        d.kdc.add_principal(user, "pw")
+        assert login.login(user, "pw")
+        d.direct_client().query("update_user_status", user, 3)
+        d.run_hours(7)
+        with pytest.raises(MoiraError):
+            login.login(user, "pw")   # no hesiod passwd entry anymore
