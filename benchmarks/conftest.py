@@ -10,6 +10,7 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -18,6 +19,7 @@ from repro.core import AthenaDeployment, DeploymentConfig
 from repro.workload import PopulationSpec
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_dcm.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:
@@ -27,6 +29,27 @@ def write_result(exp_id: str, lines: list[str]) -> Path:
     path.write_text(text)
     print(f"\n{text}")
     return path
+
+
+def record_bench(section: str, values: dict) -> Path:
+    """Merge *values* into ``BENCH_dcm.json`` under *section*.
+
+    The machine-readable twin of :func:`write_result`: each experiment
+    contributes its wall times / scaling numbers so the perf trajectory
+    is diffable across PRs.  Existing sections from other experiments
+    (or earlier runs) are preserved.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault(section, {}).update(values)
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return BENCH_JSON
 
 
 @pytest.fixture(scope="session")

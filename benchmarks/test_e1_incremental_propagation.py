@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import record_bench, write_result
 from repro.core import AthenaDeployment, DeploymentConfig
 from repro.workload import PopulationSpec
 
@@ -60,6 +60,19 @@ class TestIncrementalPropagation:
         assert report.generations >= 1
         assert report.propagations_succeeded >= 1
 
+    def test_machine_dirty_reruns_only_dependents(self, steady):
+        """A cycle with every service due and a machine-only change
+        regenerates exactly the generators declaring ``machine``
+        (HESIOD, MAIL) — the rest report no-change on the exact
+        version-vector comparison."""
+        d = steady
+        d.run_hours(25)  # drain any pending churn from earlier tests
+        d.direct_client().query("add_machine", "MACHONLY.MIT.EDU", "VAX")
+        d.clock.advance(25 * 3600)  # all four services due at once
+        report = d.dcm.run_once()
+        assert set(report.generated_services) == {"HESIOD", "MAIL"}
+        assert set(report.no_change_services) == {"NFS", "ZEPHYR"}
+
     def test_benchmark_quiet_cycle(self, steady, benchmark):
         benchmark.pedantic(lambda: quiet_cycle(steady), rounds=10,
                            iterations=1)
@@ -84,6 +97,19 @@ class TestIncrementalPropagation:
 
         t_opt, gen_opt = measure_week(False)
         t_abl, gen_abl = measure_week(True)
+
+        t0 = time.perf_counter()
+        quiet_cycle(steady)
+        t_quiet = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dirty_cycle(steady)
+        t_dirty = time.perf_counter() - t0
+        record_bench("e1", {
+            "quiet_cycle_s": round(t_quiet, 4),
+            "dirty_cycle_s": round(t_dirty, 4),
+            "week_with_no_change_check_s": round(t_opt, 3),
+            "week_always_regenerate_s": round(t_abl, 3),
+        })
 
         write_result("e1_incremental_propagation", [
             "E1: one quiet simulated week of DCM operation",

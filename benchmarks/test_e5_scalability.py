@@ -12,11 +12,12 @@ extract time linear in users; both comfortably fast at 10k.
 
 from __future__ import annotations
 
+import gc
 import time
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import record_bench, write_result
 from repro.core import AthenaDeployment, DeploymentConfig
 from repro.dcm.generators import get_generator
 from repro.dcm.generators.base import GenContext
@@ -25,10 +26,41 @@ from repro.workload import PopulationSpec
 SCALES = (1_000, 4_000, 10_000)
 
 
-def build(users):
+def build(users, **overrides):
     return AthenaDeployment(DeploymentConfig(
         population=PopulationSpec(users=users, unregistered_users=0,
-                                  maillists=users // 70)))
+                                  maillists=users // 70),
+        **overrides))
+
+
+def full_cycle_wall(d):
+    """One DCM invocation with every service due: generate everything
+    and propagate to every host."""
+    d.clock.advance(25 * 3600)
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        report = d.dcm.run_once()
+        return time.perf_counter() - t0, report
+    finally:
+        gc.enable()
+
+
+def dirty_full_cycle_wall(d, serial):
+    """The steady-state full cycle: one user changed, every service due
+    again — all four generators run and all 25 hosts are re-propagated."""
+    d.clock.advance(60)  # the change lands after the last generation
+    login = d.handles.logins[serial % len(d.handles.logins)]
+    shell = f"/bin/sh{serial}"
+    d.direct_client().query("update_user_shell", login, shell)
+    return full_cycle_wall(d)
+
+
+def host_file_bytes(d):
+    return {name: {path: host.fs.read(path)
+                   for path in host.fs.listdir("/")
+                   if host.fs.exists(path)}
+            for name, host in d.hosts.items()}
 
 
 @pytest.fixture(scope="module")
@@ -88,11 +120,92 @@ class TestScalability:
                      "(linear expected ~10x)")
         write_result("e5_scalability", lines)
 
+        record_bench("e5", {
+            "point_query_us": {str(u): round(queries[u], 1)
+                               for u in SCALES},
+            "hesiod_extract_s": {str(u): round(extracts[u], 3)
+                                 for u in SCALES},
+        })
+
         # point queries stay roughly flat (indexes, not scans)
         assert q_ratio < 4
         # extracts scale roughly linearly, not quadratically
         assert x_ratio < 40
         # and the design point itself is comfortable
         assert queries[10_000] < 10_000   # well under 10 ms
+
+        benchmark(lambda: None)
+
+    def test_pipeline_speedup_at_10k(self, benchmark):
+        """The incremental pipeline versus the seed-era one at 10k
+        users — one cold full cycle, then three steady-state full
+        cycles (one user change each, every service due, all 25 hosts
+        re-propagated):
+
+        * ``legacy_dcm=True`` reproduces the seed behaviour end to end
+          — one GenContext per service, modtime change checks, full
+          re-extracts, per-host tar builds, strictly sequential pushes,
+          and the shlex-era server-side record parser;
+        * the default pipeline shares one extraction snapshot per
+          cycle, patches user-keyed files from the changed-row log,
+          builds each distinct payload once, and fans the pushes over
+          the thread pool.
+
+        The acceptance bar is >= 2x on the steady-state cycle with
+        byte-identical files installed on every host.
+        """
+        rounds = 3
+
+        def measure(**overrides):
+            # one deployment resident at a time, with a clean heap
+            # before the timed sections — otherwise whichever variant
+            # runs last pays collector costs for its predecessors
+            d = build(10_000, **overrides)
+            gc.collect()
+            cold, report = full_cycle_wall(d)
+            dirty = []
+            for serial in range(rounds):
+                wall, report = dirty_full_cycle_wall(d, serial)
+                assert report.generations == 4
+                dirty.append(wall)
+            files = host_file_bytes(d)
+            props = report.propagations_succeeded
+            del d
+            gc.collect()
+            return cold, min(dirty), props, files
+
+        c_legacy, t_legacy, p_legacy, files_legacy = \
+            measure(legacy_dcm=True)
+        c_seq, t_seq, p_seq, files_seq = measure(push_pool_width=1)
+        c_par, t_par, p_par, files_par = measure(push_pool_width=8)
+
+        speedup = t_legacy / t_par
+        record_bench("e5", {
+            "cold_cycle_10k_legacy_s": round(c_legacy, 3),
+            "cold_cycle_10k_parallel_s": round(c_par, 3),
+            "full_cycle_10k_legacy_s": round(t_legacy, 3),
+            "full_cycle_10k_sequential_s": round(t_seq, 3),
+            "full_cycle_10k_parallel_s": round(t_par, 3),
+            "full_cycle_10k_speedup": round(speedup, 2),
+        })
+        write_result("e5_pipeline_speedup", [
+            "E5b: full 10k-user DCM cycle, seed pipeline vs incremental",
+            f"(best of {rounds} steady-state cycles; cold first cycle "
+            "in parens)",
+            f"  legacy (seed) pipeline:        {t_legacy:6.2f}s "
+            f"({c_legacy:.2f}s)",
+            f"  shared-cache, sequential push: {t_seq:6.2f}s "
+            f"({c_seq:.2f}s)",
+            f"  shared-cache, 8-wide push:     {t_par:6.2f}s "
+            f"({c_par:.2f}s)",
+            f"  speedup vs seed: {speedup:.2f}x (bar: >= 2x)",
+        ])
+
+        # determinism: every variant installed identical bytes on every
+        # host after the same change sequence
+        assert p_legacy == p_seq == p_par == 25
+        assert files_legacy == files_par
+        assert files_legacy == files_seq
+        assert speedup >= 2.0
 
         benchmark(lambda: None)

@@ -55,6 +55,8 @@ class DeploymentConfig:
     access_cache: bool = True
     always_regenerate: bool = False  # E1 ablation
     journal_changes: bool = True
+    push_pool_width: int = 8  # DCM propagation fan-out (1 = sequential)
+    legacy_dcm: bool = False  # seed-era pipeline (benchmark baseline)
 
 
 class AthenaDeployment:
@@ -92,7 +94,9 @@ class AthenaDeployment:
             moira_host=self.moira_host, journal=self.journal,
             zephyr_notify=self._zephyr_notify,
             mail_notify=self._mail_notify,
-            always_regenerate=self.config.always_regenerate)
+            always_regenerate=self.config.always_regenerate,
+            push_pool_width=self.config.push_pool_width,
+            legacy_pipeline=self.config.legacy_dcm)
         self.server.dcm_trigger = self.dcm.run_once
         self._register_services()
         self._bind_dcm()
@@ -115,7 +119,10 @@ class AthenaDeployment:
     def _build_hosts(self) -> None:
         h = self.handles
         hesiod_host = self._make_host(h.hesiod_machine)
-        self.hesiod = HesiodServer(hesiod_host)
+        # legacy_dcm reproduces the seed era end to end, including the
+        # shlex-based record parser the fast splitter replaced
+        self.hesiod = HesiodServer(hesiod_host,
+                                   fast_parse=not self.config.legacy_dcm)
         self.hesiod.start()
         self.daemons[hesiod_host.name].register_command(
             "restart_hesiod", self.hesiod.restart)

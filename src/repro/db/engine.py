@@ -18,13 +18,22 @@ what keeps the 10,000-user design point fast.
 
 *Statistics* reproduce the TBLSTATS relation: per-table append/update/
 delete counters plus a modtime, maintained automatically.
+
+*Change tracking* goes beyond TBLSTATS: every data mutation bumps a
+monotonically increasing per-table ``version`` (DCM bookkeeping writes
+with ``touch_stats=False`` do not count, mirroring the paper's "refer
+only to modification by a user, not by the DCM"), and tables may keep a
+bounded changed-row log so incremental consumers (the DCM generators)
+can patch their extracts instead of re-deriving them.
 """
 
 from __future__ import annotations
 
+import bisect
 import fnmatch
 import re
 import threading
+from collections import deque
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import (
@@ -39,7 +48,8 @@ from repro.errors import (
 
 Row = dict  # rows are plain dicts; Table owns their lifecycle
 
-__all__ = ["Column", "Table", "Database", "Row", "WildcardPattern"]
+__all__ = ["Column", "Table", "TableChange", "Database", "Row",
+           "WildcardPattern"]
 
 _WILDCARD_CHARS = ("*", "?")
 
@@ -75,6 +85,20 @@ class WildcardPattern:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WildcardPattern({self.pattern!r})"
+
+
+def _literal_prefix(pattern: str) -> Optional[str]:
+    """The literal prefix of a ``prefix*`` pattern, or None.
+
+    Only patterns whose single wildcard is one trailing ``*`` qualify —
+    those are answerable from an index's sorted keys without a scan.
+    """
+    if len(pattern) < 2 or not pattern.endswith("*"):
+        return None
+    head = pattern[:-1]
+    if WildcardPattern.is_wild(head):
+        return None
+    return head
 
 
 class Column:
@@ -132,12 +156,41 @@ class Column:
         return a == b
 
 
+class TableChange:
+    """One entry of a table's bounded changed-row log.
+
+    ``op`` is ``"insert"``, ``"update"`` or ``"delete"``; ``before`` and
+    ``after`` are snapshot copies of the row around the mutation (None
+    where not applicable), so consumers can undo a keyed line even when
+    the key column itself changed.
+    """
+
+    __slots__ = ("version", "op", "before", "after")
+
+    def __init__(self, version: int, op: str,
+                 before: Optional[Row], after: Optional[Row]):
+        self.version = version
+        self.op = op
+        self.before = before
+        self.after = after
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableChange(v{self.version}, {self.op})"
+
+
 class _Index:
-    """Hash index on one column, maintained by the owning table."""
+    """Hash index on one column, maintained by the owning table.
+
+    Besides exact lookups, the index answers *prefix* queries (the
+    ``CHURN*`` wildcard shape) from a lazily rebuilt sorted key list —
+    rebuilt at most once per mutation epoch, so repeated prefix queries
+    against a stable table never scan.
+    """
 
     def __init__(self, column: Column):
         self.column = column
         self.buckets: dict[Any, list[Row]] = {}
+        self._sorted_keys: Optional[list] = None
 
     def _key(self, value: Any) -> Any:
         if self.column.kind is str and self.column.fold_case:
@@ -146,7 +199,13 @@ class _Index:
 
     def add(self, row: Row) -> None:
         """Index *row* under its column value."""
-        self.buckets.setdefault(self._key(row[self.column.name]), []).append(row)
+        key = self._key(row[self.column.name])
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            self.buckets[key] = [row]
+            self._sorted_keys = None  # key set changed
+        else:
+            bucket.append(row)
 
     def remove(self, row: Row) -> None:
         """Drop *row* from its bucket."""
@@ -157,10 +216,26 @@ class _Index:
         bucket.remove(row)
         if not bucket:
             del self.buckets[key]
+            self._sorted_keys = None  # key set changed
 
     def lookup(self, value: Any) -> list[Row]:
         """All rows indexed under *value*."""
         return self.buckets.get(self._key(value), [])
+
+    def prefix_lookup(self, prefix: str) -> list[Row]:
+        """All rows whose (folded) key starts with *prefix*."""
+        if self.column.fold_case:
+            prefix = prefix.lower()
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self.buckets)
+        keys = self._sorted_keys
+        out: list[Row] = []
+        for i in range(bisect.bisect_left(keys, prefix), len(keys)):
+            key = keys[i]
+            if not key.startswith(prefix):
+                break
+            out.extend(self.buckets[key])
+        return out
 
 
 class TableStats:
@@ -191,6 +266,7 @@ class Table:
         *,
         unique: Iterable[tuple[str, ...]] = (),
         indexes: Iterable[str] = (),
+        changelog: int = 0,
     ):
         self.name = name
         self.columns: dict[str, Column] = {c.name: c for c in columns}
@@ -200,6 +276,12 @@ class Table:
         self.unique_keys: list[tuple[str, ...]] = [tuple(u) for u in unique]
         self._indexes: dict[str, _Index] = {}
         self.stats = TableStats()
+        # data version: bumped once per mutated row (never by DCM
+        # bookkeeping writes), the basis of the generators' exact
+        # no-change check
+        self.version = 0
+        self._changelog: Optional[deque[TableChange]] = (
+            deque(maxlen=changelog) if changelog > 0 else None)
         for col in indexes:
             self.add_index(col)
         # every unique key's first column gets an index so uniqueness
@@ -225,6 +307,34 @@ class Table:
         for row in self.rows:
             index.add(row)
         self._indexes[column_name] = index
+
+    # -- change tracking ----------------------------------------------------
+
+    def enable_changelog(self, capacity: int = 256) -> None:
+        """Start keeping a bounded changed-row log (idempotent)."""
+        if self._changelog is None or self._changelog.maxlen != capacity:
+            self._changelog = deque(maxlen=capacity)
+
+    def _bump(self, op: str, before: Optional[Row],
+              after: Optional[Row]) -> None:
+        self.version += 1
+        if self._changelog is not None:
+            self._changelog.append(TableChange(self.version, op,
+                                               before, after))
+
+    def changes_since(self, version: int) -> Optional[list[TableChange]]:
+        """Every change after *version*, oldest first — or None if the
+        log is disabled or has already dropped part of that range."""
+        if self._changelog is None:
+            return None
+        if version >= self.version:
+            return []
+        # entries are contiguous: one per version bump, oldest dropped
+        # first — so coverage back to `version` needs the entry for
+        # version+1 to still be present
+        if not self._changelog or self._changelog[0].version > version + 1:
+            return None
+        return [c for c in self._changelog if c.version > version]
 
     def _normalise(self, values: dict, *, partial: bool = False) -> Row:
         row: Row = {}
@@ -263,6 +373,7 @@ class Table:
             index.add(row)
         self.stats.appends += 1
         self.stats.modtime = now
+        self._bump("insert", None, dict(row))
         return row
 
     def update_rows(self, rows: list[Row], changes: dict, *, now: int = 0,
@@ -284,22 +395,31 @@ class Table:
         touched_indexes = [idx for name, idx in self._indexes.items()
                            if name in coerced]
         for row in rows:
+            before = dict(row) if touch_stats else None
             for index in touched_indexes:
                 index.remove(row)
             row.update(coerced)
             for index in touched_indexes:
                 index.add(row)
+            if touch_stats:
+                self._bump("update", before, dict(row))
         if touch_stats:
             self.stats.updates += len(rows)
             self.stats.modtime = now
         return len(rows)
 
     def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
-        """Remove the given rows, maintaining indexes."""
+        """Remove the given rows in one pass, maintaining indexes."""
+        if not rows:
+            return 0
         for row in rows:
             for index in self._indexes.values():
                 index.remove(row)
-            self.rows.remove(row)
+            self._bump("delete", dict(row), None)
+        # identity-set filter: one O(rows) pass instead of one
+        # list.remove() scan per deleted row
+        doomed = {id(row) for row in rows}
+        self.rows = [row for row in self.rows if id(row) not in doomed]
         self.stats.deletes += len(rows)
         self.stats.modtime = now
         return len(rows)
@@ -309,6 +429,12 @@ class Table:
         self.rows.clear()
         for index in self._indexes.values():
             index.buckets.clear()
+            index._sorted_keys = None
+        self._bump("clear", None, None)
+        if self._changelog is not None:
+            # a wholesale reload can't be described row-by-row; empty the
+            # log so changes_since() reports the gap
+            self._changelog.clear()
 
     # -- retrieval ----------------------------------------------------------
 
@@ -352,6 +478,16 @@ class Table:
             if index is None:
                 continue
             bucket = index.lookup(value)
+            if best is None or len(bucket) < len(best[1]):
+                best = (name, bucket)
+        # literal-prefix wildcards ("CHURN*") can use an index too —
+        # the common prefix-query shape must not force a full scan
+        for name, pattern in wild.items():
+            index = self._indexes.get(name)
+            prefix = _literal_prefix(pattern.pattern)
+            if index is None or prefix is None:
+                continue
+            bucket = index.prefix_lookup(prefix)
             if best is None or len(bucket) < len(best[1]):
                 best = (name, bucket)
         if best is not None:
@@ -445,3 +581,13 @@ class Database:
         """TBLSTATS rows for every relation, sorted by name."""
         return [table.stats.as_tuple(name)
                 for name, table in sorted(self.tables.items())]
+
+    def versions(self) -> dict[str, int]:
+        """The current data-version vector: table name -> version.
+
+        Versions move only on data mutations (DCM bookkeeping writes
+        with ``touch_stats=False`` excluded), so two equal vectors mean
+        the generators' inputs are byte-for-byte identical.
+        """
+        return {name: table.version
+                for name, table in self.tables.items()}

@@ -55,6 +55,9 @@ class SqliteTable:
         self.unique_keys: list[tuple[str, ...]] = [tuple(u)
                                                    for u in unique]
         self.stats = TableStats()
+        # data-version parity with engine.Table (no changed-row log;
+        # incremental consumers fall back to full extraction here)
+        self.version = 0
         defs = ", ".join(
             f'"{c.name}" {"INTEGER" if c.kind is int else "TEXT"}'
             for c in columns)
@@ -136,6 +139,7 @@ class SqliteTable:
         row[_ROWID] = cursor.lastrowid
         self.stats.appends += 1
         self.stats.modtime = now
+        self.version += 1
         return row
 
     def update_rows(self, rows: list[Row], changes: dict, *,
@@ -159,6 +163,7 @@ class SqliteTable:
         if touch_stats:
             self.stats.updates += len(rows)
             self.stats.modtime = now
+            self.version += len(rows)
         return len(rows)
 
     def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
@@ -169,11 +174,17 @@ class SqliteTable:
                 (row[_ROWID],))
         self.stats.deletes += len(rows)
         self.stats.modtime = now
+        self.version += len(rows)
         return len(rows)
 
     def clear(self) -> None:
         """Delete every row."""
         self._db.conn.execute(f'DELETE FROM "{self.name}"')
+        self.version += 1
+
+    def changes_since(self, version: int):
+        """No changed-row log on this backend (always None)."""
+        return None
 
     # -- retrieval -------------------------------------------------------------
 
@@ -302,6 +313,11 @@ class SqliteDatabase:
         """TBLSTATS rows for every relation, sorted by name."""
         return [table.stats.as_tuple(name)
                 for name, table in sorted(self.tables.items())]
+
+    def versions(self) -> dict[str, int]:
+        """Data-version vector, matching engine.Database.versions()."""
+        return {name: table.version
+                for name, table in self.tables.items()}
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""

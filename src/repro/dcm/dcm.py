@@ -17,12 +17,35 @@ On each invocation (cron or the Trigger_DCM request) the DCM:
 5. on replicated services, a hard host failure also poisons the
    service record "so that no more updates will be attempted".
 
+The incremental pipeline on top of the paper's algorithm:
+
+* **Exact change tracking** — each generation records the data-version
+  vector of its input relations; the MR_NO_CHANGE check compares
+  vectors instead of scanning modtimes, and generators with changed
+  inputs may patch their previous result (``generate_incremental``)
+  from the tables' changed-row logs.
+* **One shared extraction snapshot per cycle** — a single
+  :class:`GenContext` serves every service, so cross-relation maps
+  (active users, membership closures...) are derived once per cycle,
+  not once per service.
+* **Parallel propagation** — per-host pushes fan out over a bounded
+  thread pool (``push_pool_width``), reusing the per-host exclusive
+  locks; payload tars are prebuilt once per distinct file set, report
+  counters are merged in deterministic host order, and a replicated
+  hard failure still poisons the service and cancels not-yet-started
+  pushes.  ``legacy_pipeline=True`` restores the seed's per-service
+  contexts, modtime checks, and strictly sequential push path (the
+  benchmark baseline).
+
+The paper names incremental update as future work; this realises it.
 The DCM talks to the database through the direct glue library
 (:class:`DirectClient`) as the paper specifies, authenticating as root.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -30,9 +53,14 @@ from repro.client.lib import DirectClient
 from repro.db.engine import Database
 from repro.db.journal import Journal
 from repro.db.locks import LockHeld, LockManager, LockMode
-from repro.dcm.generators.base import GenContext, GeneratorResult, get_generator
+from repro.dcm.generators.base import (
+    GenContext,
+    GeneratorResult,
+    get_generator,
+)
 from repro.dcm.update import (
     UpdateOutcome,
+    UpdateResult,
     build_payload,
     default_script,
     push_update,
@@ -44,6 +72,8 @@ from repro.sim.clock import Clock
 from repro.sim.network import Network
 
 __all__ = ["DCM", "DCMReport", "ServiceBinding"]
+
+DEFAULT_PUSH_POOL_WIDTH = 8
 
 
 @dataclass
@@ -66,8 +96,11 @@ class DCMReport:
     services_scanned: int = 0
     services_due: int = 0
     generations: int = 0
+    generations_incremental: int = 0
     generations_no_change: int = 0
     generation_errors: list[tuple[str, str]] = field(default_factory=list)
+    generated_services: list[str] = field(default_factory=list)
+    no_change_services: list[str] = field(default_factory=list)
     propagations_attempted: int = 0
     propagations_succeeded: int = 0
     soft_failures: int = 0
@@ -75,6 +108,20 @@ class DCMReport:
     bytes_propagated: int = 0
     files_generated: int = 0
     skipped_locked: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _HostOutcome:
+    """One host's slice of a propagation fan-out, merged in host order."""
+
+    machine: str
+    locked: bool = False
+    cancelled: bool = False
+    attempted: bool = False
+    result: Optional[UpdateResult] = None
+    hard: bool = False
+    message: str = ""
     log: list[str] = field(default_factory=list)
 
 
@@ -92,6 +139,8 @@ class DCM:
         zephyr_notify: Optional[Callable[[str, str, str], None]] = None,
         mail_notify: Optional[Callable[[str, str], None]] = None,
         always_regenerate: bool = False,
+        push_pool_width: int = DEFAULT_PUSH_POOL_WIDTH,
+        legacy_pipeline: bool = False,
     ):
         self.db = db
         self.clock = clock
@@ -104,8 +153,15 @@ class DCM:
         self.mail_notify = mail_notify
         # E1 ablation: disable the dfcheck/MR_NO_CHANGE optimisation
         self.always_regenerate = always_regenerate
+        # propagation fan-out width; 1 = the paper's sequential push
+        self.push_pool_width = max(1, push_pool_width)
+        # benchmark baseline: per-service contexts, modtime checks,
+        # sequential pushes, per-host tar builds (the seed behaviour)
+        self.legacy_pipeline = legacy_pipeline
         self._bindings: dict[tuple[str, str], ServiceBinding] = {}
         self._generated: dict[str, GeneratorResult] = {}
+        # service -> data-version vector of its inputs at generation time
+        self._gen_versions: dict[str, dict[str, int]] = {}
         self.runs = 0
         # cumulative counters across all invocations (for reporting)
         self.total_generations = 0
@@ -145,16 +201,30 @@ class DCM:
         report.ran = True
         self.runs += 1
 
+        # one extraction snapshot and one version vector for the whole
+        # cycle: versions are captured before any data is read, so a
+        # concurrent change mid-cycle is re-detected next cycle
+        cycle_ctx = GenContext(self.db, now)
+        cycle_versions = self._db_versions()
+
         services = self._eligible_services(report)
         for service in services:
-            self._maybe_generate(service, now, report)
+            self._maybe_generate(service, now, report, cycle_ctx,
+                                 cycle_versions)
         for service in services:
-            self._host_scan(service, now, report)
+            self._host_scan(service, now, report, cycle_ctx,
+                            cycle_versions)
         self.total_generations += report.generations
         self.total_no_change += report.generations_no_change
         self.total_propagations += report.propagations_succeeded
         self.total_bytes += report.bytes_propagated
         return report
+
+    def _db_versions(self) -> Optional[dict[str, int]]:
+        if self.legacy_pipeline:
+            return None
+        versions = getattr(self.db, "versions", None)
+        return versions() if callable(versions) else None
 
     # -- service scan ------------------------------------------------------------
 
@@ -172,8 +242,9 @@ class DCM:
             eligible.append(dict(row))
         return eligible
 
-    def _maybe_generate(self, service: dict, now: int,
-                        report: DCMReport) -> None:
+    def _maybe_generate(self, service: dict, now: int, report: DCMReport,
+                        cycle_ctx: GenContext,
+                        cycle_versions: Optional[dict[str, int]]) -> None:
         name = service["name"]
         interval_seconds = service["update_int"] * 60
         if now < service["dfcheck"] + interval_seconds and \
@@ -189,12 +260,14 @@ class DCM:
                                         dfgen=service["dfgen"],
                                         dfcheck=service["dfcheck"])
                 generator = get_generator(name)
-                if not self.always_regenerate and \
-                        service["dfgen"] and \
-                        not generator.changed_since(self.db,
-                                                    service["dfgen"]):
+                vector = (generator.vector_for(cycle_versions)
+                          if cycle_versions is not None else None)
+                if not self.always_regenerate and service["dfgen"] and \
+                        not self._inputs_changed(generator, service,
+                                                 vector):
                     # MR_NO_CHANGE: only dfcheck moves forward
                     report.generations_no_change += 1
+                    report.no_change_services.append(name)
                     report.log.append(f"dcm: {name}: no change")
                     self._set_service_flags(name, inprogress=0,
                                             dfgen=service["dfgen"],
@@ -204,8 +277,12 @@ class DCM:
                 try:
                     hosts = self.db.table("serverhosts").select(
                         {"service": name})
-                    ctx = GenContext(self.db, now, hosts=hosts)
-                    result = generator.generate(ctx)
+                    if self.legacy_pipeline:
+                        ctx = GenContext(self.db, now, hosts=hosts)
+                    else:
+                        ctx = cycle_ctx.for_service(hosts)
+                    result, incremental = self._generate(generator, name,
+                                                         ctx, vector)
                 except Exception as exc:  # a generator hard error
                     message = f"generator failed: {exc!r}"
                     report.generation_errors.append((name, message))
@@ -217,10 +294,16 @@ class DCM:
                     self._notify_hard_error(name, message)
                     return
                 self._generated[name] = result
+                if vector is not None:
+                    self._gen_versions[name] = vector
                 report.generations += 1
+                if incremental:
+                    report.generations_incremental += 1
+                report.generated_services.append(name)
                 report.files_generated += result.file_count()
+                how = "patched" if incremental else "generated"
                 report.log.append(
-                    f"dcm: {name}: generated {result.file_count()} files")
+                    f"dcm: {name}: {how} {result.file_count()} files")
                 self._set_service_flags(name, inprogress=0, dfgen=now,
                                         dfcheck=now)
                 service["dfgen"] = now
@@ -228,6 +311,50 @@ class DCM:
         except LockHeld:
             report.skipped_locked += 1
             report.log.append(f"dcm: {name}: locked, skipping")
+
+    def _inputs_changed(self, generator, service: dict,
+                        vector: Optional[dict[str, int]]) -> bool:
+        """Exact version-vector comparison, falling back to the modtime
+        scan when no vector was recorded (fresh DCM over an old
+        database, or the legacy pipeline)."""
+        recorded = self._gen_versions.get(service["name"])
+        if vector is not None and recorded is not None:
+            return vector != recorded
+        return generator.changed_since(self.db, service["dfgen"])
+
+    def _generate(self, generator, name: str, ctx: GenContext,
+                  vector: Optional[dict[str, int]]
+                  ) -> tuple[GeneratorResult, bool]:
+        """Run a generator, incrementally when it knows how."""
+        previous = self._generated.get(name)
+        recorded = self._gen_versions.get(name)
+        if previous is not None and recorded is not None and \
+                vector is not None and not self.always_regenerate:
+            changes = self._collect_changes(generator, recorded, vector)
+            patched = generator.generate_incremental(ctx, previous,
+                                                     changes)
+            if patched is not None:
+                return patched, True
+        return generator.generate(ctx), False
+
+    def _collect_changes(self, generator, recorded: dict[str, int],
+                         vector: dict[str, int]):
+        """Changed dependency tables -> their changed-row logs (None
+        where a log is unavailable or has overflowed)."""
+        changes = {}
+        for table_name, version in vector.items():
+            old = recorded.get(table_name)
+            if old == version:
+                continue
+            table = self.db.table(table_name)
+            log = getattr(table, "changes_since", None)
+            changes[table_name] = (log(old) if callable(log)
+                                   and old is not None else None)
+        # tables that vanished from the vector count as changed too
+        for table_name in recorded:
+            if table_name not in vector:
+                changes[table_name] = None
+        return changes
 
     def _any_override(self, service_name: str) -> bool:
         return any(row["override"]
@@ -243,8 +370,9 @@ class DCM:
 
     # -- host scan -----------------------------------------------------------------
 
-    def _host_scan(self, service: dict, now: int,
-                   report: DCMReport) -> None:
+    def _host_scan(self, service: dict, now: int, report: DCMReport,
+                   cycle_ctx: GenContext,
+                   cycle_versions: Optional[dict[str, int]]) -> None:
         name = service["name"]
         if service.get("harderror"):
             return
@@ -252,7 +380,8 @@ class DCM:
                 else LockMode.SHARED)
         try:
             with self.locks.held(f"service:{name}", mode):
-                self._update_hosts(service, now, report)
+                self._update_hosts(service, now, report, cycle_ctx,
+                                   cycle_versions)
         except LockHeld:
             report.skipped_locked += 1
             report.log.append(f"dcm: {name}: locked for host scan")
@@ -269,8 +398,9 @@ class DCM:
             out.append(dict(row))
         return out
 
-    def _update_hosts(self, service: dict, now: int,
-                      report: DCMReport) -> None:
+    def _update_hosts(self, service: dict, now: int, report: DCMReport,
+                      cycle_ctx: GenContext,
+                      cycle_versions: Optional[dict[str, int]]) -> None:
         name = service["name"]
         result = self._generated.get(name)
         pending = self._hosts_needing_update(service)
@@ -283,9 +413,15 @@ class DCM:
             # regenerate in place.
             generator = get_generator(name)
             hosts = self.db.table("serverhosts").select({"service": name})
-            result = generator.generate(GenContext(self.db, now,
-                                                   hosts=hosts))
+            if self.legacy_pipeline:
+                ctx = GenContext(self.db, now, hosts=hosts)
+            else:
+                ctx = cycle_ctx.for_service(hosts)
+            result = generator.generate(ctx)
             self._generated[name] = result
+            if cycle_versions is not None:
+                self._gen_versions[name] = generator.vector_for(
+                    cycle_versions)
             if not service["dfgen"]:
                 self._set_service_flags(name, inprogress=0, dfgen=now,
                                         dfcheck=now)
@@ -293,12 +429,36 @@ class DCM:
         if result is None:
             return  # nothing has ever been generated
 
+        targets = self._named_targets(service)
+        if not targets:
+            return
+        width = 1 if self.legacy_pipeline else self.push_pool_width
+        if width <= 1 or len(targets) <= 1:
+            self._push_sequential(service, targets, result, now, report)
+        else:
+            self._push_parallel(service, targets, result, now, report,
+                                width)
+
+    def _named_targets(self, service: dict) -> list[tuple[dict, str]]:
+        """Pending serverhost rows joined to machine names, in the
+        deterministic serverhosts order."""
+        targets = []
         for host_row in self._hosts_needing_update(service):
             machine = self.db.table("machine").select(
                 {"mach_id": host_row["mach_id"]})
             if not machine:
                 continue
-            machine_name = machine[0]["name"]
+            targets.append((host_row, machine[0]["name"]))
+        return targets
+
+    # -- sequential propagation (the paper's loop) ---------------------------------
+
+    def _push_sequential(self, service: dict,
+                         targets: list[tuple[dict, str]],
+                         result: GeneratorResult, now: int,
+                         report: DCMReport) -> None:
+        name = service["name"]
+        for host_row, machine_name in targets:
             try:
                 with self.locks.held(
                         f"host:{name}/{machine_name}",
@@ -315,11 +475,139 @@ class DCM:
             if service.get("harderror"):
                 break  # replicated service poisoned: stop updating hosts
 
+    # -- parallel propagation -------------------------------------------------------
+
+    def _push_parallel(self, service: dict,
+                       targets: list[tuple[dict, str]],
+                       result: GeneratorResult, now: int,
+                       report: DCMReport, width: int) -> None:
+        """Fan the per-host pushes over a bounded thread pool.
+
+        Safety comes from the existing per-host exclusive locks (taken
+        inside each worker) and the database's own lock; determinism
+        comes from prebuilding each distinct payload once and merging
+        every worker's counters back into the report in the original
+        serverhosts order.  A replicated hard failure sets the poison
+        event so not-yet-started pushes are cancelled, matching the
+        paper's "no more updates will be attempted".
+        """
+        name = service["name"]
+        # the expensive part — the tar — is built once per distinct file
+        # set; replicated hosts all share the "*" payload (the paper's
+        # "prepare only one set of files")
+        files_by_key: dict[str, dict[str, bytes]] = {}
+        payloads: dict[str, bytes] = {}
+        for _, machine_name in targets:
+            key = result.payload_key(machine_name)
+            if key not in payloads:
+                files_by_key[key] = result.payload_for(machine_name)
+                payloads[key] = build_payload(files_by_key[key],
+                                              mtime=now)
+        poison = threading.Event()
+        if service.get("harderror"):
+            poison.set()
+        slots: list[_HostOutcome] = [
+            _HostOutcome(machine=machine) for _, machine in targets]
+
+        def push_host(index: int) -> None:
+            host_row, machine_name = targets[index]
+            slot = slots[index]
+            if poison.is_set():
+                slot.cancelled = True
+                return
+            key = result.payload_key(machine_name)
+            try:
+                with self.locks.held(
+                        f"host:{name}/{machine_name}",
+                        LockMode.EXCLUSIVE):
+                    self._set_host_flags(name, machine_name, host_row,
+                                         inprogress=1)
+                    outcome = self._push_prebuilt(
+                        service, machine_name, payloads[key],
+                        files_by_key[key], slot)
+                    slot.result = outcome
+                    slot.hard = self._apply_host_outcome(
+                        service, machine_name, host_row, outcome, now,
+                        slot.log)
+                    if slot.hard:
+                        slot.message = (outcome.message or
+                                        error_message(outcome.error))
+                        if service["type"] == "REPLICAT":
+                            poison.set()
+            except LockHeld:
+                slot.locked = True
+
+        with ThreadPoolExecutor(
+                max_workers=min(width, len(targets)),
+                thread_name_prefix=f"dcm-push-{name}") as pool:
+            list(pool.map(push_host, range(len(targets))))
+
+        self._merge_outcomes(service, slots, report)
+
+    def _push_prebuilt(self, service: dict, machine_name: str,
+                       payload: bytes, files: dict[str, bytes],
+                       slot: _HostOutcome):
+        binding = self.binding_for(service["name"], machine_name)
+        if binding is None:
+            return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                                message="no binding for host")
+        slot.attempted = True
+        script = default_script(files, binding.post_command or None)
+        return push_update(
+            host=binding.host, daemon=binding.daemon,
+            network=self.network, target=service["target_file"],
+            payload=payload, script=script)
+
+    def _merge_outcomes(self, service: dict, slots: list[_HostOutcome],
+                        report: DCMReport) -> None:
+        """Fold worker results into the report in host order, then apply
+        service-level consequences exactly once."""
+        name = service["name"]
+        first_hard: Optional[_HostOutcome] = None
+        for slot in slots:
+            if slot.locked:
+                report.skipped_locked += 1
+                continue
+            if slot.cancelled or slot.result is None:
+                continue
+            if slot.attempted:
+                report.propagations_attempted += 1
+            outcome = slot.result
+            if outcome.ok:
+                report.propagations_succeeded += 1
+                report.bytes_propagated += outcome.bytes_sent
+            elif outcome.outcome is UpdateOutcome.SOFT_FAILURE:
+                report.soft_failures += 1
+            else:
+                report.hard_failures += 1
+                if first_hard is None:
+                    first_hard = slot
+            report.log.extend(slot.log)
+        for slot in slots:
+            if slot.hard:
+                self._notify_hard_error(f"{name}/{slot.machine}",
+                                        slot.message)
+                if self.mail_notify is not None:
+                    self.mail_notify(
+                        "moira-maintainers",
+                        f"{name}/{slot.machine}: {slot.message}")
+        if first_hard is not None and service["type"] == "REPLICAT" \
+                and not service.get("harderror"):
+            # "no more updates will be attempted to hosts supporting
+            # this service"
+            self._set_service_flags(name, inprogress=0,
+                                    dfgen=service["dfgen"],
+                                    dfcheck=service["dfcheck"],
+                                    harderror=1,
+                                    errmsg=first_hard.message)
+            service["harderror"] = 1
+
+    # -- the per-host push and its bookkeeping --------------------------------------
+
     def _push_one(self, service: dict, machine_name: str,
                   result: GeneratorResult, now: int, report: DCMReport):
         binding = self.binding_for(service["name"], machine_name)
         if binding is None:
-            from repro.dcm.update import UpdateResult
             return UpdateResult(UpdateOutcome.SOFT_FAILURE,
                                 message="no binding for host")
         files = result.payload_for(machine_name)
@@ -331,34 +619,59 @@ class DCM:
             network=self.network, target=service["target_file"],
             payload=payload, script=script)
 
+    def _apply_host_outcome(self, service: dict, machine_name: str,
+                            host_row: dict, outcome, now: int,
+                            log: list[str]) -> bool:
+        """Write one host's flags and log lines; True on hard failure.
+
+        Service-level consequences (notifications, replicated-service
+        poisoning) are the caller's job, so this is safe to run from
+        propagation workers.
+        """
+        name = service["name"]
+        if outcome.ok:
+            self._set_host_flags(name, machine_name, host_row,
+                                 inprogress=0, success=1, override=0,
+                                 ltt=now, lts=now, hosterror=0, errmsg="")
+            log.append(f"dcm: {name}/{machine_name}: updated")
+            return False
+        message = outcome.message or error_message(outcome.error)
+        if outcome.outcome is UpdateOutcome.SOFT_FAILURE:
+            self._set_host_flags(name, machine_name, host_row,
+                                 inprogress=0, success=0, ltt=now,
+                                 errmsg=message)
+            log.append(
+                f"dcm: {name}/{machine_name}: soft failure: {message}")
+            return False
+        self._set_host_flags(name, machine_name, host_row, inprogress=0,
+                             success=0, ltt=now, hosterror=outcome.error,
+                             errmsg=message)
+        log.append(
+            f"dcm: {name}/{machine_name}: HARD failure: {message}")
+        return True
+
     def _record_host_outcome(self, service: dict, machine_name: str,
                              host_row: dict, outcome, now: int,
                              report: DCMReport) -> None:
+        """Sequential-path bookkeeping: flags, counters, notifications,
+        and replicated-service poisoning, all in one step."""
         name = service["name"]
         if outcome.ok:
             report.propagations_succeeded += 1
             report.bytes_propagated += outcome.bytes_sent
-            self._set_host_flags(name, machine_name, host_row,
-                                 inprogress=0, success=1, override=0,
-                                 ltt=now, lts=now, hosterror=0, errmsg="")
-            report.log.append(f"dcm: {name}/{machine_name}: updated")
+            self._apply_host_outcome(service, machine_name, host_row,
+                                     outcome, now, report.log)
             return
         message = outcome.message or error_message(outcome.error)
         if outcome.outcome is UpdateOutcome.SOFT_FAILURE:
             report.soft_failures += 1
-            self._set_host_flags(name, machine_name, host_row,
-                                 inprogress=0, success=0, ltt=now,
-                                 errmsg=message)
-            report.log.append(
-                f"dcm: {name}/{machine_name}: soft failure: {message}")
+            self._apply_host_outcome(service, machine_name, host_row,
+                                     outcome, now, report.log)
             return
         # hard failure
         report.hard_failures += 1
-        self._set_host_flags(name, machine_name, host_row, inprogress=0,
-                             success=0, ltt=now, hosterror=outcome.error,
-                             errmsg=message)
-        report.log.append(
-            f"dcm: {name}/{machine_name}: HARD failure: {message}")
+        self._apply_host_outcome(service, machine_name, host_row,
+                                 outcome, now, report.log)
         self._notify_hard_error(f"{name}/{machine_name}", message)
         if self.mail_notify is not None:
             self.mail_notify("moira-maintainers",

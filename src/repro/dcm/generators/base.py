@@ -5,7 +5,16 @@ paper's DCM uses the direct "glue" library precisely because extraction
 touches most of the database and must not clog the server.  The
 :class:`GenContext` builds the cross-relation maps every generator
 needs (active users, group membership closures, machine names) once per
-DCM cycle so the four generators don't each re-derive them.
+DCM cycle; ``for_service`` hands each generator a view carrying its own
+serverhosts rows while sharing the cycle's memoised extracts, so the
+five generators never re-derive the same map.
+
+Each generator declares its input relations in ``depends``.  The DCM
+compares the per-table data versions of those relations (an exact
+version vector, see ``Database.versions()``) instead of scanning
+modtimes, and generators may implement ``generate_incremental`` to
+patch a previous :class:`GeneratorResult` from the tables' changed-row
+logs rather than re-extracting everything.
 """
 
 from __future__ import annotations
@@ -13,10 +22,9 @@ from __future__ import annotations
 import io
 import tarfile
 from dataclasses import dataclass, field
-from functools import cached_property
 from typing import Optional
 
-from repro.db.engine import Database, Row
+from repro.db.engine import Database, Row, TableChange
 from repro.db.schema import USER_STATE_ACTIVE
 
 __all__ = [
@@ -38,16 +46,26 @@ class GeneratorResult:
     ``files`` go to every host of the service; ``host_files`` adds or
     overrides per-machine content (NFS partitions differ per server;
     a serverhost's value3 selects a restricted credentials file).
+    ``meta`` is scratch space for incremental generators (e.g. keyed
+    line maps) — it never reaches a host.
     """
 
     files: dict[str, bytes] = field(default_factory=dict)
     host_files: dict[str, dict[str, bytes]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict, repr=False, compare=False)
 
     def payload_for(self, machine: str) -> dict[str, bytes]:
         """The files one machine should receive."""
         merged = dict(self.files)
         merged.update(self.host_files.get(machine.upper(), {}))
         return merged
+
+    def payload_key(self, machine: str) -> str:
+        """Cache key for a machine's payload: machines without per-host
+        overrides all share the ``*`` payload (the paper's "prepare only
+        one set of files and then ... propagate to several targets")."""
+        upper = machine.upper()
+        return upper if upper in self.host_files else "*"
 
     def total_bytes(self) -> int:
         """Total size of every produced file."""
@@ -77,57 +95,95 @@ def make_tar(files: dict[str, bytes], mtime: int = 0) -> bytes:
 
 
 class GenContext:
-    """One DCM cycle's view of the database, with memoised extracts."""
+    """One DCM cycle's view of the database, with memoised extracts.
+
+    Views created with :meth:`for_service` share one memo dictionary,
+    so whichever generator first touches ``active_users`` (or any other
+    cross-relation map) pays for it exactly once per cycle.
+    """
 
     def __init__(self, db: Database, now: int,
-                 hosts: Optional[list[Row]] = None):
+                 hosts: Optional[list[Row]] = None,
+                 _memo: Optional[dict] = None):
         self.db = db
         self.now = now
         # serverhosts rows for the service being generated (value1..3)
         self.hosts = hosts or []
+        self._memo = _memo if _memo is not None else {}
+
+    def for_service(self, hosts: Optional[list[Row]]) -> "GenContext":
+        """A per-service view sharing this cycle's memoised extracts."""
+        return GenContext(self.db, self.now, hosts=hosts,
+                          _memo=self._memo)
+
+    def _memoised(self, key: str, build):
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = self._memo[key] = build()
+            return value
 
     # -- memoised cross-relation maps ------------------------------------------
 
-    @cached_property
+    @property
     def active_users(self) -> list[Row]:
         """Users with status 1, memoised."""
-        return self.db.table("users").select({"status": USER_STATE_ACTIVE})
+        return self._memoised(
+            "active_users",
+            lambda: self.db.table("users").select(
+                {"status": USER_STATE_ACTIVE}))
 
-    @cached_property
+    @property
     def users_by_id(self) -> dict[int, Row]:
         """users_id -> user row, memoised."""
-        return {u["users_id"]: u for u in self.db.table("users").rows}
+        return self._memoised(
+            "users_by_id",
+            lambda: {u["users_id"]: u
+                     for u in self.db.table("users").rows})
 
-    @cached_property
+    @property
     def machine_names(self) -> dict[int, str]:
         """mach_id -> canonical name, memoised."""
-        return {m["mach_id"]: m["name"]
-                for m in self.db.table("machine").rows}
+        return self._memoised(
+            "machine_names",
+            lambda: {m["mach_id"]: m["name"]
+                     for m in self.db.table("machine").rows})
 
-    @cached_property
+    @property
     def active_groups(self) -> list[Row]:
         """Active unix-group lists, memoised."""
-        return self.db.table("list").select(
-            predicate=lambda r: r["grouplist"] and r["active"])
+        return self._memoised(
+            "active_groups",
+            lambda: self.db.table("list").select(
+                predicate=lambda r: r["grouplist"] and r["active"]))
 
-    @cached_property
+    @property
     def lists_by_id(self) -> dict[int, Row]:
         """list_id -> list row, memoised."""
-        return {l["list_id"]: l for l in self.db.table("list").rows}
+        return self._memoised(
+            "lists_by_id",
+            lambda: {l["list_id"]: l
+                     for l in self.db.table("list").rows})
 
-    @cached_property
+    @property
     def members_by_list(self) -> dict[int, list[Row]]:
         """list_id -> member rows, memoised."""
-        out: dict[int, list[Row]] = {}
-        for row in self.db.table("members").rows:
-            out.setdefault(row["list_id"], []).append(row)
-        return out
 
-    @cached_property
+        def build() -> dict[int, list[Row]]:
+            out: dict[int, list[Row]] = {}
+            for row in self.db.table("members").rows:
+                out.setdefault(row["list_id"], []).append(row)
+            return out
+
+        return self._memoised("members_by_list", build)
+
+    @property
     def strings_by_id(self) -> dict[int, str]:
         """string_id -> text, memoised."""
-        return {s["string_id"]: s["string"]
-                for s in self.db.table("strings").rows}
+        return self._memoised(
+            "strings_by_id",
+            lambda: {s["string_id"]: s["string"]
+                     for s in self.db.table("strings").rows})
 
     def expand_list_users(self, list_id: int) -> set[int]:
         """Recursive closure of USER members (sub-lists expanded)."""
@@ -146,39 +202,39 @@ class GenContext:
                     stack.append(member["member_id"])
         return found
 
-    @cached_property
-    def _groups_of_user(self) -> dict[int, list[Row]]:
-        out: dict[int, list[Row]] = {}
-        active_ids = {g["list_id"]: g for g in self.active_groups}
-        for row in self.db.table("members").rows:
-            if row["member_type"] != "USER":
-                continue
-            group = active_ids.get(row["list_id"])
-            if group is not None:
-                out.setdefault(row["member_id"], []).append(group)
-        return out
-
     def groups_of_user(self) -> dict[int, list[Row]]:
         """users_id -> active group rows (direct membership only, as in
         the grplist extract)."""
-        return self._groups_of_user
+
+        def build() -> dict[int, list[Row]]:
+            out: dict[int, list[Row]] = {}
+            active_ids = {g["list_id"]: g for g in self.active_groups}
+            for row in self.db.table("members").rows:
+                if row["member_type"] != "USER":
+                    continue
+                group = active_ids.get(row["list_id"])
+                if group is not None:
+                    out.setdefault(row["member_id"], []).append(group)
+            return out
+
+        return self._memoised("groups_of_user", build)
 
     def short_host(self, mach_id: int) -> str:
         """Lowercase unqualified hostname for a mach_id."""
         name = self.machine_names.get(mach_id, "???")
         return name.split(".")[0].lower()
 
-    @cached_property
-    def _home_dirs(self) -> dict[int, str]:
-        out: dict[int, str] = {}
-        for fs in self.db.table("filesys").rows:
-            if fs["lockertype"] == "HOMEDIR":
-                out.setdefault(fs["owner"], fs["mount"])
-        return out
-
     def home_dirs(self) -> dict[int, str]:
         """users_id -> home directory (mount point of their HOMEDIR)."""
-        return self._home_dirs
+
+        def build() -> dict[int, str]:
+            out: dict[int, str] = {}
+            for fs in self.db.table("filesys").rows:
+                if fs["lockertype"] == "HOMEDIR":
+                    out.setdefault(fs["owner"], fs["mount"])
+            return out
+
+        return self._memoised("home_dirs", build)
 
 
 class Generator:
@@ -186,25 +242,60 @@ class Generator:
 
     #: service name in the servers relation
     service: str = ""
-    #: relations whose modification implies regeneration is needed
-    tables: tuple[str, ...] = ()
+    #: input relations whose modification requires regeneration
+    depends: tuple[str, ...] = ()
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Legacy alias for :attr:`depends`."""
+        return self.depends
 
     def generate(self, ctx: GenContext) -> GeneratorResult:
         """Produce this service's files from the database."""
         raise NotImplementedError
 
+    def generate_incremental(
+        self,
+        ctx: GenContext,
+        previous: GeneratorResult,
+        changes: dict[str, Optional[list[TableChange]]],
+    ) -> Optional[GeneratorResult]:
+        """Patch *previous* given *changes* (changed table ->
+        changed-row log, or None when the log is unavailable).
+
+        Returning None asks the DCM to fall back to a full
+        :meth:`generate`; the default implementation always does.
+        """
+        return None
+
+    def vector_for(self, versions: dict[str, int]) -> dict[str, int]:
+        """This generator's slice of a database version vector."""
+        return {t: versions[t] for t in self.depends if t in versions}
+
     def changed_since(self, db: Database, since: int) -> bool:
         """Has any dependent relation changed since *since*?
 
-        This is the check behind MR_NO_CHANGE: "there is no effect on
-        system resources unless the information relevant to [the
-        service] has changed during the previous ... interval."
+        This is the modtime form of the check behind MR_NO_CHANGE —
+        retained as the fallback for databases without data versions
+        and for services whose generation predates this DCM process.
+        The version-vector comparison (:meth:`vector_for`) is exact
+        and is what the DCM uses when it has a recorded vector.
         """
-        return any(db.table(t).stats.modtime > since for t in self.tables)
+        return any(db.table(t).stats.modtime > since
+                   for t in self.depends if t in db)
 
 
 def register_generator(gen: Generator) -> Generator:
-    """Install a generator under its service name."""
+    """Install a generator under its service name.
+
+    Site-local generators written against the pre-version-vector API
+    may still declare ``tables = (...)``; normalise that spelling into
+    :attr:`Generator.depends` so the DCM's dependency tracking sees it.
+    """
+    if not gen.depends:
+        legacy = getattr(type(gen), "tables", None)
+        if isinstance(legacy, (tuple, list)) and legacy:
+            gen.depends = tuple(legacy)
     _GENERATORS[gen.service.upper()] = gen
     return gen
 

@@ -10,6 +10,10 @@ more than one cluster, and so on).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.db.engine import TableChange
+from repro.db.schema import USER_STATE_ACTIVE
 from repro.dcm.generators.base import (
     GenContext,
     Generator,
@@ -30,34 +34,127 @@ def _cname(name: str, target: str) -> str:
     return f"{name} HS CNAME {target}"
 
 
+def _encode(text: str) -> bytes:
+    return (text + "\n").encode("utf-8") if text else b""
+
+
+def _emit(lines: dict[str, str]) -> str:
+    """Join keyed record lines in key order (deterministic output)."""
+    return "\n".join(lines[key] for key in sorted(lines))
+
+
 class HesiodGenerator(Generator):
-    """The eleven .db files, formats per §5.8.2."""
+    """The eleven .db files, formats per §5.8.2.
+
+    This is the first *incremental* generator: each .db file declares
+    which relations back it (``FILE_DEPS``), so a change to ``machine``
+    rebuilds six files and leaves the other five byte-identical from
+    the previous run, and a users-only change patches ``passwd.db``/
+    ``uid.db``/``pobox.db`` row-by-row from the users changed-row log.
+    """
     service = "HESIOD"
-    tables = ("users", "machine", "cluster", "mcmap", "svc", "list",
-              "members", "filesys", "printcap", "services", "serverhosts",
-              "strings")
+    depends = ("users", "machine", "cluster", "mcmap", "svc", "list",
+               "members", "filesys", "printcap", "services",
+               "serverhosts", "strings")
+
+    #: relations backing each output file (the patch/rebuild granularity)
+    FILE_DEPS = {
+        "cluster.db": ("svc", "cluster", "mcmap", "machine"),
+        "filsys.db": ("filesys", "machine"),
+        "gid.db": ("list",),
+        "group.db": ("list",),
+        "grplist.db": ("users", "list", "members"),
+        "passwd.db": ("users", "filesys"),
+        "pobox.db": ("users", "machine"),
+        "printcap.db": ("printcap", "machine"),
+        "service.db": ("services",),
+        "sloc.db": ("serverhosts", "machine"),
+        "uid.db": ("users",),
+    }
+
+    #: files patchable one row at a time from the users changed-row log
+    USER_KEYED = ("passwd.db", "pobox.db", "uid.db")
 
     def generate(self, ctx: GenContext) -> GeneratorResult:
         """Extract all eleven BIND-format files."""
+        meta = {f"{name}_lines": getattr(self, f"_{name[:-3]}_lines")(ctx)
+                for name in self.USER_KEYED}
         files = {
             "cluster.db": self._cluster_db(ctx),
             "filsys.db": self._filsys_db(ctx),
             "gid.db": self._gid_db(ctx),
             "group.db": self._group_db(ctx),
             "grplist.db": self._grplist_db(ctx),
-            "passwd.db": self._passwd_db(ctx),
-            "pobox.db": self._pobox_db(ctx),
+            "passwd.db": _emit(meta["passwd.db_lines"]),
+            "pobox.db": _emit(meta["pobox.db_lines"]),
             "printcap.db": self._printcap_db(ctx),
             "service.db": self._service_db(ctx),
             "sloc.db": self._sloc_db(ctx),
-            "uid.db": self._uid_db(ctx),
+            "uid.db": _emit(meta["uid.db_lines"]),
         }
         # members carry their install path on the target host — the
         # hesiod daemon reads /etc/hesiod/*.db
         return GeneratorResult(
-            files={f"/etc/hesiod/{name}":
-                   (text + "\n").encode("utf-8") if text else b""
-                   for name, text in files.items()})
+            files={f"/etc/hesiod/{name}": _encode(text)
+                   for name, text in files.items()},
+            meta=meta)
+
+    def generate_incremental(
+        self,
+        ctx: GenContext,
+        previous: GeneratorResult,
+        changes: dict[str, Optional[list[TableChange]]],
+    ) -> Optional[GeneratorResult]:
+        """Rebuild only the files whose backing relations changed."""
+        if not previous.files:
+            return None
+        changed = set(changes)
+        user_log = changes.get("users")
+        meta = dict(previous.meta)
+        files: dict[str, bytes] = {}
+        patched: list[str] = []
+        rebuilt: list[str] = []
+        for name, deps in self.FILE_DEPS.items():
+            path = f"/etc/hesiod/{name}"
+            dirty = changed.intersection(deps)
+            if not dirty:
+                files[path] = previous.files[path]
+                continue
+            lines_key = f"{name}_lines"
+            if (name in self.USER_KEYED and dirty == {"users"}
+                    and user_log is not None
+                    and lines_key in previous.meta):
+                lines = dict(previous.meta[lines_key])
+                self._patch_user_lines(ctx, name, lines, user_log)
+                meta[lines_key] = lines
+                files[path] = _encode(_emit(lines))
+                patched.append(name)
+            else:
+                if name in self.USER_KEYED:
+                    meta[lines_key] = getattr(
+                        self, f"_{name[:-3]}_lines")(ctx)
+                    files[path] = _encode(_emit(meta[lines_key]))
+                else:
+                    files[path] = _encode(
+                        getattr(self, f"_{name[:-3]}_db")(ctx))
+                rebuilt.append(name)
+        meta["files_patched"] = patched
+        meta["files_rebuilt"] = rebuilt
+        return GeneratorResult(files=files, meta=meta)
+
+    def _patch_user_lines(self, ctx: GenContext, name: str,
+                          lines: dict[str, str],
+                          log: list[TableChange]) -> None:
+        """Apply a users changed-row log to one keyed line map."""
+        render = getattr(self, f"_{name[:-3]}_line_for")
+        for change in log:
+            if change.before is not None:
+                lines.pop(change.before["login"], None)
+            after = change.after
+            if after is not None and after["status"] == USER_STATE_ACTIVE:
+                line = render(ctx, after)
+                if line is not None:
+                    lines[after["login"]] = line
 
     # -- per-file extracts ----------------------------------------------------
 
@@ -145,22 +242,28 @@ class HesiodGenerator(Generator):
         return (f"{user['login']}:*:{user['uid']}:{DEFAULT_USERS_GID}:"
                 f"{gecos}:{home}:{user['shell']}")
 
-    def _passwd_db(self, ctx: GenContext) -> str:
-        return "\n".join(
-            _record(f"{user['login']}.passwd",
-                    self._passwd_line(ctx, user))
-            for user in sorted(ctx.active_users, key=lambda u: u["login"]))
+    def _passwd_line_for(self, ctx: GenContext, user) -> str:
+        return _record(f"{user['login']}.passwd",
+                       self._passwd_line(ctx, user))
 
-    def _pobox_db(self, ctx: GenContext) -> str:
-        lines = []
-        for user in sorted(ctx.active_users, key=lambda u: u["login"]):
-            if user["potype"] != "POP":
-                continue
-            machine = ctx.machine_names.get(user["pop_id"], "???")
-            lines.append(_record(
-                f"{user['login']}.pobox",
-                f"POP {machine} {user['login']}"))
-        return "\n".join(lines)
+    def _passwd_lines(self, ctx: GenContext) -> dict[str, str]:
+        return {user["login"]: self._passwd_line_for(ctx, user)
+                for user in ctx.active_users}
+
+    def _pobox_line_for(self, ctx: GenContext, user) -> Optional[str]:
+        if user["potype"] != "POP":
+            return None
+        machine = ctx.machine_names.get(user["pop_id"], "???")
+        return _record(f"{user['login']}.pobox",
+                       f"POP {machine} {user['login']}")
+
+    def _pobox_lines(self, ctx: GenContext) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for user in ctx.active_users:
+            line = self._pobox_line_for(ctx, user)
+            if line is not None:
+                out[user["login"]] = line
+        return out
 
     def _printcap_db(self, ctx: GenContext) -> str:
         lines = []
@@ -190,10 +293,12 @@ class HesiodGenerator(Generator):
             lines.append(f"{sh['service']}.sloc HS UNSPECA {machine}")
         return "\n".join(lines)
 
-    def _uid_db(self, ctx: GenContext) -> str:
-        return "\n".join(
-            _cname(f"{user['uid']}.uid", f"{user['login']}.passwd")
-            for user in sorted(ctx.active_users, key=lambda u: u["login"]))
+    def _uid_line_for(self, ctx: GenContext, user) -> str:
+        return _cname(f"{user['uid']}.uid", f"{user['login']}.passwd")
+
+    def _uid_lines(self, ctx: GenContext) -> dict[str, str]:
+        return {user["login"]: self._uid_line_for(ctx, user)
+                for user in ctx.active_users}
 
 
 register_generator(HesiodGenerator())

@@ -28,7 +28,7 @@ __all__ = ["KloginGenerator"]
 class KloginGenerator(Generator):
     """Per-host /.klogin files from hostaccess."""
     service = "KLOGIN"
-    tables = ("hostaccess", "list", "members", "users", "machine")
+    depends = ("hostaccess", "list", "members", "users", "machine")
 
     def generate(self, ctx: GenContext) -> GeneratorResult:
         """One /.klogin per KLOGIN serverhost."""

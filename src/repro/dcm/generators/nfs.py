@@ -23,7 +23,7 @@ __all__ = ["NFSGenerator"]
 class NFSGenerator(Generator):
     """credentials + per-host quotas/directories files."""
     service = "NFS"
-    tables = ("users", "list", "members", "filesys", "nfsphys", "nfsquota",
+    depends = ("users", "list", "members", "filesys", "nfsphys", "nfsquota",
               "serverhosts")
 
     def generate(self, ctx: GenContext) -> GeneratorResult:

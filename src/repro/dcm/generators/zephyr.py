@@ -25,7 +25,7 @@ _FUNCTIONS = ("xmt", "sub", "iws", "iui")
 class ZephyrGenerator(Generator):
     """Per-class ACL files, lists expanded."""
     service = "ZEPHYR"
-    tables = ("zephyr", "list", "members", "users")
+    depends = ("zephyr", "list", "members", "users")
 
     def generate(self, ctx: GenContext) -> GeneratorResult:
         """Four ACL files per zephyr class."""

@@ -76,7 +76,7 @@ class NFSServer:
             fields = line.split(":")
             table[fields[0]] = Credential(
                 login=fields[0], uid=int(fields[1]),
-                gids=tuple(int(g) for g in fields[2:]))
+                gids=tuple(map(int, fields[2:])))
         self.credentials = table
 
     def _apply_quotas(self) -> None:

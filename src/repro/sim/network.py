@@ -9,6 +9,7 @@ and byte corruption, all deterministic under a seeded RNG.
 from __future__ import annotations
 
 import random
+import threading
 
 __all__ = ["Network", "NetworkError"]
 
@@ -22,6 +23,9 @@ class Network:
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
+        # the DCM's propagation workers deliver concurrently; the RNG
+        # and counters need a mutex to stay consistent
+        self._lock = threading.Lock()
         self._partitioned: set[str] = set()
         self._loss_rate: dict[str, float] = {}
         self._corrupt_rate: dict[str, float] = {}
@@ -59,20 +63,22 @@ class Network:
         """Deliver *payload* to *host*; raises NetworkError or returns the
         possibly-corrupted bytes the host receives."""
         key = host.upper()
-        if key in self._partitioned:
-            self.messages_lost += 1
-            raise NetworkError(f"{host} is unreachable")
-        if self._rng.random() < self._loss_rate.get(key, 0.0):
-            self.messages_lost += 1
-            raise NetworkError(f"packet to {host} lost")
-        self.messages_delivered += 1
-        self.bytes_delivered += len(payload)
-        if payload and self._rng.random() < self._corrupt_rate.get(key, 0.0):
-            damaged = bytearray(payload)
-            pos = self._rng.randrange(len(damaged))
-            damaged[pos] ^= 0xFF
-            return bytes(damaged)
-        return payload
+        with self._lock:
+            if key in self._partitioned:
+                self.messages_lost += 1
+                raise NetworkError(f"{host} is unreachable")
+            if self._rng.random() < self._loss_rate.get(key, 0.0):
+                self.messages_lost += 1
+                raise NetworkError(f"packet to {host} lost")
+            self.messages_delivered += 1
+            self.bytes_delivered += len(payload)
+            if payload and \
+                    self._rng.random() < self._corrupt_rate.get(key, 0.0):
+                damaged = bytearray(payload)
+                pos = self._rng.randrange(len(damaged))
+                damaged[pos] ^= 0xFF
+                return bytes(damaged)
+            return payload
 
     def check_reachable(self, host: str) -> None:
         """Raise NetworkError if *host* is partitioned."""

@@ -1,0 +1,369 @@
+"""The incremental DCM pipeline: data versions, changed-row logs, the
+shared extraction cache, incremental generation, and parallel
+propagation (determinism + paper semantics under concurrency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.db.engine import Column, Database, Table
+from repro.dcm.generators.base import GenContext, get_generator
+from repro.workload import PopulationSpec
+
+SMALL = PopulationSpec(users=40, unregistered_users=5, nfs_servers=3,
+                       maillists=8, clusters=3, machines_per_cluster=2,
+                       printers=5, network_services=12)
+
+
+def make_deployment(**overrides) -> AthenaDeployment:
+    return AthenaDeployment(DeploymentConfig(population=SMALL,
+                                             **overrides))
+
+
+@pytest.fixture
+def deployment():
+    return make_deployment()
+
+
+def service_row(d, name):
+    return d.db.table("servers").select({"name": name})[0]
+
+
+def host_rows(d, name):
+    return d.db.table("serverhosts").select({"service": name})
+
+
+def simple_table(**kwargs) -> Table:
+    return Table(
+        "things",
+        [Column("name", str, max_len=32), Column("value", int)],
+        indexes=["name"],
+        **kwargs)
+
+
+# -- change tracking in the engine ---------------------------------------------
+
+
+class TestDataVersions:
+    def test_insert_update_delete_bump(self):
+        t = simple_table()
+        assert t.version == 0
+        row = t.insert({"name": "a", "value": 1})
+        assert t.version == 1
+        t.update_rows([row], {"value": 2})
+        assert t.version == 2
+        t.delete_rows([row])
+        assert t.version == 3
+
+    def test_touch_stats_false_does_not_bump(self):
+        """DCM bookkeeping writes are not data changes — the paper's
+        modtimes "refer only to modification by a user, not by the
+        DCM", and the version vector keeps that property."""
+        t = simple_table()
+        row = t.insert({"name": "a", "value": 1})
+        before = t.version
+        t.update_rows([row], {"value": 9}, touch_stats=False)
+        assert t.version == before
+
+    def test_bulk_delete_bumps_per_row(self):
+        t = simple_table()
+        rows = [t.insert({"name": f"n{i}", "value": i})
+                for i in range(5)]
+        before = t.version
+        assert t.delete_rows(rows[1:4]) == 3
+        assert t.version == before + 3
+        assert [r["name"] for r in t.rows] == ["n0", "n4"]
+        # indexes stay consistent after the one-pass delete
+        assert t.select({"name": "n4"})[0]["value"] == 4
+        assert t.select({"name": "n2"}) == []
+
+    def test_database_versions_vector(self):
+        db = Database()
+        db.create_table(simple_table())
+        assert db.versions()["things"] == 0
+        db.table("things").insert({"name": "a", "value": 1})
+        vec = db.versions()
+        assert vec["things"] == 1
+
+
+class TestChangelog:
+    def test_changes_since_replays_ops(self):
+        t = simple_table(changelog=16)
+        row = t.insert({"name": "a", "value": 1})
+        v1 = t.version
+        t.update_rows([row], {"value": 2})
+        t.delete_rows([row])
+        log = t.changes_since(v1)
+        assert [c.op for c in log] == ["update", "delete"]
+        assert log[0].before["value"] == 1
+        assert log[0].after["value"] == 2
+        assert log[1].after is None
+
+    def test_no_changes_is_empty_list(self):
+        t = simple_table(changelog=16)
+        t.insert({"name": "a", "value": 1})
+        assert t.changes_since(t.version) == []
+
+    def test_overflow_reports_gap(self):
+        t = simple_table(changelog=4)
+        for i in range(8):
+            t.insert({"name": f"n{i}", "value": i})
+        # version 1's successors have been evicted -> None, not a lie
+        assert t.changes_since(1) is None
+        # but the still-logged suffix replays fine
+        assert len(t.changes_since(t.version - 3)) == 3
+
+    def test_disabled_log_returns_none(self):
+        t = simple_table()
+        t.insert({"name": "a", "value": 1})
+        assert t.changes_since(0) is None
+
+    def test_clear_empties_log(self):
+        t = simple_table(changelog=16)
+        t.insert({"name": "a", "value": 1})
+        v = t.version
+        t.clear()
+        assert t.version == v + 1
+        assert t.changes_since(v) is None  # clear is not replayable
+
+
+class TestPrefixFastPath:
+    def test_prefix_wildcard_uses_index(self):
+        t = simple_table()
+        for i in range(50):
+            t.insert({"name": f"churn{i:02d}", "value": i})
+        t.insert({"name": "other", "value": 99})
+        got = t.select({"name": "churn1*"})
+        assert sorted(r["name"] for r in got) == \
+            [f"churn1{i}" for i in range(10)]
+
+    def test_fold_case_prefix(self):
+        t = Table(
+            "machines",
+            [Column("name", str, max_len=32, fold_case=True)],
+            indexes=["name"])
+        t.insert({"name": "CHURN1.MIT.EDU"})
+        t.insert({"name": "churn2.mit.edu"})
+        t.insert({"name": "OTHER.MIT.EDU"})
+        assert len(t.select({"name": "churn*"})) == 2
+        assert len(t.select({"name": "CHURN*"})) == 2
+
+    def test_non_prefix_wildcards_still_work(self):
+        t = simple_table()
+        t.insert({"name": "alpha", "value": 1})
+        t.insert({"name": "beta", "value": 2})
+        assert len(t.select({"name": "*a"})) == 2
+        assert len(t.select({"name": "a*a"})) == 1
+
+    def test_prefix_results_match_full_scan(self):
+        t = simple_table()
+        names = ["ab", "abc", "abd", "b", "a", "ab1"]
+        for i, name in enumerate(names):
+            t.insert({"name": name, "value": i})
+        fast = {r["name"] for r in t.select({"name": "ab*"})}
+        slow = {n for n in names if n.startswith("ab")}
+        assert fast == slow
+
+
+# -- the shared extraction cache ----------------------------------------------
+
+
+class TestSharedGenContext:
+    def test_for_service_shares_memo(self, deployment):
+        d = deployment
+        ctx = GenContext(d.db, d.clock.now())
+        a = ctx.for_service(hosts=[])
+        b = ctx.for_service(hosts=[])
+        assert a.active_users is b.active_users
+        assert a.members_by_list is b.members_by_list
+
+    def test_cycle_extracts_users_once(self, deployment):
+        """One cycle with all services due derives the active-user map
+        exactly once, however many generators consume it."""
+        d = deployment
+        d.clock.advance(25 * 3600)  # every service is now due at once
+        calls = {"n": 0}
+        users = d.db.table("users")
+        original = users.select
+
+        def counting(*args, **kwargs):
+            if args and args[0] == {"status": 1}:
+                calls["n"] += 1
+            return original(*args, **kwargs)
+
+        users.select = counting
+        try:
+            report = d.dcm.run_once()
+        finally:
+            users.select = original
+        assert report.generations == 4
+        assert calls["n"] == 1
+
+
+# -- version-vector change detection -------------------------------------------
+
+
+class TestVectorNoChange:
+    def test_quiet_cycle_reports_no_change(self, deployment):
+        d = deployment
+        d.run_hours(25)
+        report = None
+        d.clock.advance(7 * 3600)
+        report = d.dcm.run_once()
+        assert report.generations == 0
+        assert "HESIOD" in report.no_change_services
+
+    def test_machine_change_reruns_only_dependents(self, deployment):
+        """A machine-only change regenerates HESIOD and MAIL (which
+        declare ``machine``) and leaves NFS and ZEPHYR untouched."""
+        d = deployment
+        d.run_hours(25)
+        d.direct_client().query("add_machine", "NEWBOX.MIT.EDU", "VAX")
+        d.clock.advance(25 * 3600)
+        report = d.dcm.run_once()
+        assert set(report.generated_services) == {"HESIOD", "MAIL"}
+        assert set(report.no_change_services) == {"NFS", "ZEPHYR"}
+
+    def test_dcm_bookkeeping_does_not_dirty_vectors(self, deployment):
+        """The host-scan's serverhosts flag writes must not make NFS
+        (which declares ``serverhosts``) look changed next cycle."""
+        d = deployment
+        d.run_hours(13)  # NFS generated + propagated (flag writes)
+        dfgen = service_row(d, "NFS")["dfgen"]
+        d.run_hours(13)
+        assert service_row(d, "NFS")["dfgen"] == dfgen
+
+
+# -- incremental generation -----------------------------------------------------
+
+
+class TestIncrementalHesiod:
+    def test_user_change_patches_user_files(self, deployment):
+        d = deployment
+        d.run_hours(7)
+        login = d.handles.logins[0]
+        d.direct_client().query("update_user_shell", login, "/bin/tcsh")
+        d.clock.advance(7 * 3600)
+        report = d.dcm.run_once()
+        assert "HESIOD" in report.generated_services
+        assert report.generations_incremental == 1
+        result = d.dcm._generated["HESIOD"]
+        assert set(result.meta["files_patched"]) == \
+            {"passwd.db", "pobox.db", "uid.db"}
+        assert "grplist.db" in result.meta["files_rebuilt"]
+
+    def test_incremental_bytes_match_full_generate(self, deployment):
+        d = deployment
+        d.run_hours(7)
+        client = d.direct_client()
+        logins = d.handles.logins
+        client.query("update_user_shell", logins[0], "/bin/tcsh")
+        client.query("update_user_status", logins[1], "0")  # deactivate
+        d.clock.advance(7 * 3600)
+        report = d.dcm.run_once()
+        assert report.generations_incremental == 1
+        patched = d.dcm._generated["HESIOD"]
+        generator = get_generator("HESIOD")
+        full = generator.generate(GenContext(d.db, d.clock.now()))
+        assert patched.files == full.files
+
+    def test_machine_change_rebuilds_without_patch(self, deployment):
+        d = deployment
+        d.run_hours(7)
+        d.direct_client().query("add_machine", "NEWBOX.MIT.EDU", "VAX")
+        d.clock.advance(7 * 3600)
+        d.dcm.run_once()
+        result = d.dcm._generated["HESIOD"]
+        # machine-backed files rebuilt; user-keyed files untouched
+        assert result.meta["files_patched"] == []
+        assert "cluster.db" in result.meta["files_rebuilt"]
+        assert "passwd.db" not in result.meta["files_rebuilt"]
+        full = get_generator("HESIOD").generate(
+            GenContext(d.db, d.clock.now()))
+        assert result.files == full.files
+
+
+# -- parallel propagation -------------------------------------------------------
+
+
+def snapshot_host_files(d) -> dict[str, dict[str, bytes]]:
+    out = {}
+    for name, host in d.hosts.items():
+        out[name] = {path: host.fs.read(path)
+                     for path in host.fs.listdir("/")
+                     if host.fs.exists(path)}
+    return out
+
+
+class TestParallelPropagation:
+    def test_parallel_matches_sequential(self):
+        """Same seed, sequential vs 8-wide pool: byte-identical host
+        files and identical report counters."""
+        seq = make_deployment(push_pool_width=1)
+        par = make_deployment(push_pool_width=8)
+        seq.clock.advance(25 * 3600)  # everything due in one cycle
+        par.clock.advance(25 * 3600)
+        r1 = seq.dcm.run_once()
+        r2 = par.dcm.run_once()
+        assert r1.propagations_succeeded > 0
+        assert (r1.propagations_attempted, r1.propagations_succeeded,
+                r1.soft_failures, r1.hard_failures) == \
+            (r2.propagations_attempted, r2.propagations_succeeded,
+             r2.soft_failures, r2.hard_failures)
+        assert r1.bytes_propagated == r2.bytes_propagated
+        assert snapshot_host_files(seq) == snapshot_host_files(par)
+
+    def test_parallel_full_cycle_counters(self):
+        d = make_deployment(push_pool_width=8)
+        d.clock.advance(25 * 3600)
+        report = d.dcm.run_once()
+        # 1 hesiod + 3 nfs + 1 mailhub + 3 zephyr hosts
+        total_hosts = sum(len(host_rows(d, s))
+                          for s in ("HESIOD", "NFS", "MAIL", "ZEPHYR"))
+        assert report.propagations_succeeded == total_hosts
+        for s in ("HESIOD", "NFS", "MAIL", "ZEPHYR"):
+            assert all(h["success"] == 1 for h in host_rows(d, s))
+
+    def test_replicated_poisoning_under_concurrency(self):
+        """A replicated hard failure still poisons the service with an
+        8-wide pool; exactly one host records the hard error."""
+        d = make_deployment(push_pool_width=8)
+        first_zephyr = d.handles.zephyr_machines[0]
+        d.daemons[first_zephyr].register_command(
+            "install_zephyr_acls", lambda: 1)
+        d.run_hours(25)
+        assert service_row(d, "ZEPHYR")["harderror"] != 0
+        failed = [h for h in host_rows(d, "ZEPHYR")
+                  if h["hosterror"] != 0]
+        assert len(failed) == 1
+        # zephyrgram + mail fired exactly once for the one hard failure
+        assert sum(1 for n in d.notifications
+                   if n[0] == "MOIRA" and n[1] == "DCM") == 1
+
+    def test_poisoned_service_not_retried(self):
+        d = make_deployment(push_pool_width=8)
+        first_zephyr = d.handles.zephyr_machines[0]
+        d.daemons[first_zephyr].register_command(
+            "install_zephyr_acls", lambda: 1)
+        d.run_hours(25)
+        tried = {h["mach_id"]: h["ltt"]
+                 for h in host_rows(d, "ZEPHYR")}
+        d.run_hours(25)
+        assert {h["mach_id"]: h["ltt"]
+                for h in host_rows(d, "ZEPHYR")} == tried
+
+
+class TestLegacyPipeline:
+    def test_legacy_mode_still_converges(self):
+        d = make_deployment(legacy_dcm=True)
+        d.run_hours(25)
+        for s in ("HESIOD", "NFS", "MAIL", "ZEPHYR"):
+            assert all(h["success"] == 1 for h in host_rows(d, s))
+
+    def test_legacy_matches_new_pipeline_bytes(self):
+        old = make_deployment(legacy_dcm=True)
+        new = make_deployment()
+        old.run_hours(25)
+        new.run_hours(25)
+        assert snapshot_host_files(old) == snapshot_host_files(new)
