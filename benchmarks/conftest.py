@@ -20,6 +20,7 @@ from repro.workload import PopulationSpec
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_dcm.json"
+BENCH_SERVER_JSON = RESULTS_DIR / "BENCH_server.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:
@@ -31,8 +32,8 @@ def write_result(exp_id: str, lines: list[str]) -> Path:
     return path
 
 
-def record_bench(section: str, values: dict) -> Path:
-    """Merge *values* into ``BENCH_dcm.json`` under *section*.
+def record_bench_to(path: Path, section: str, values: dict) -> Path:
+    """Merge *values* into the JSON file at *path* under *section*.
 
     The machine-readable twin of :func:`write_result`: each experiment
     contributes its wall times / scaling numbers so the perf trajectory
@@ -41,15 +42,19 @@ def record_bench(section: str, values: dict) -> Path:
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     data: dict = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}
     data.setdefault(section, {}).update(values)
-    BENCH_JSON.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return BENCH_JSON
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_bench(section: str, values: dict) -> Path:
+    """Merge *values* into ``BENCH_dcm.json`` under *section*."""
+    return record_bench_to(BENCH_JSON, section, values)
 
 
 @pytest.fixture(scope="session")

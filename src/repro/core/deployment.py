@@ -57,6 +57,7 @@ class DeploymentConfig:
     journal_changes: bool = True
     push_pool_width: int = 8  # DCM propagation fan-out (1 = sequential)
     legacy_dcm: bool = False  # seed-era pipeline (benchmark baseline)
+    server_workers: Optional[int] = None  # None = min(8, cpus); 0 = inline
 
 
 class AthenaDeployment:
@@ -88,7 +89,8 @@ class AthenaDeployment:
         self.moira_host = self._make_host("MOIRA7.MIT.EDU")
         self.server = MoiraServer(
             self.db, self.clock, self.kdc, journal=self.journal,
-            access_cache=AccessCache(enabled=self.config.access_cache))
+            access_cache=AccessCache(enabled=self.config.access_cache),
+            workers=self.config.server_workers)
         self.dcm = DCM(
             self.db, self.clock, network=self.network,
             moira_host=self.moira_host, journal=self.journal,

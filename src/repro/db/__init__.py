@@ -11,6 +11,7 @@ ASCII backup format (mrbackup/mrrestore), and a change journal.
 from repro.db.engine import Column, Database, Row, Table, WildcardPattern
 from repro.db.locks import LockManager, LockMode
 from repro.db.journal import Journal
+from repro.db.rwlock import RWLock
 
 __all__ = [
     "Column",
@@ -21,4 +22,5 @@ __all__ = [
     "LockManager",
     "LockMode",
     "Journal",
+    "RWLock",
 ]

@@ -70,7 +70,10 @@ def mrbackup(db: Database, directory: Union[str, Path]) -> dict[str, int]:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     sizes: dict[str, int] = {}
-    with db.lock:
+    # a dump only reads; shared mode lets queries keep flowing while
+    # the nightly backup walks the relations
+    lock = db.read_locked() if hasattr(db, "read_locked") else db.lock
+    with lock:
         for name, table in sorted(db.tables.items()):
             path = directory / name
             with open(path, "w", encoding="utf-8", newline="\n") as fh:

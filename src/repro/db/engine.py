@@ -32,9 +32,10 @@ from __future__ import annotations
 import bisect
 import fnmatch
 import re
-import threading
 from collections import deque
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, ContextManager, Iterable, Iterator, Optional
+
+from repro.db.rwlock import RWLock
 
 from repro.errors import (
     MoiraError,
@@ -523,14 +524,30 @@ class Database:
     """A collection of relations plus the ID allocator and values helpers.
 
     The server holds exactly one Database (the paper's "one backend at
-    daemon start-up").  A coarse re-entrant lock serialises mutations —
-    INGRES gave Moira serialised transactions; concurrency control at
-    the *service/host* level is the DCM LockManager's job, not ours.
+    daemon start-up").  A writer-preferring reader/writer lock guards
+    it: mutations take exclusive mode (INGRES gave Moira serialised
+    transactions; ``with db.lock:`` still means exclusive), while
+    queries declared side-effect-free take shared mode and run
+    concurrently.  Concurrency control at the *service/host* level is
+    the DCM LockManager's job, not ours.
+
+    ``sim_backend_latency`` models the disk latency of the paper's
+    INGRES backend for benchmarks (seconds per query, applied while the
+    lock is held); it defaults to zero and costs nothing when unset.
     """
 
     def __init__(self) -> None:
         self.tables: dict[str, Table] = {}
-        self.lock = threading.RLock()
+        self.lock = RWLock()
+        self.sim_backend_latency = 0.0
+
+    def read_locked(self) -> ContextManager[None]:
+        """Shared-mode critical section for side-effect-free queries."""
+        return self.lock.shared()
+
+    def write_locked(self) -> ContextManager[None]:
+        """Exclusive-mode critical section for mutating queries."""
+        return self.lock.exclusive()
 
     def create_table(self, table: Table) -> Table:
         """Register a new relation."""

@@ -13,6 +13,7 @@ against a restored database through a query-execution callback.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Union
@@ -53,16 +54,21 @@ class Journal:
     """Ordered record of successful changes (optionally on disk)."""
     path: Optional[Union[str, Path]] = None
     entries: list[JournalEntry] = field(default_factory=list)
+    # worker-pool threads journal concurrently; the mutex keeps the
+    # in-memory order and the mirrored file lines consistent
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, when: int, who: str, query: str,
                args: tuple[str, ...]) -> JournalEntry:
         """Append an entry (and mirror it to the file, if any)."""
         entry = JournalEntry(when=when, who=who, query=query,
                              args=tuple(str(a) for a in args))
-        self.entries.append(entry)
-        if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(entry.to_line() + "\n")
+        with self._lock:
+            self.entries.append(entry)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(entry.to_line() + "\n")
         return entry
 
     def since(self, when: int) -> list[JournalEntry]:

@@ -263,6 +263,16 @@ class SqliteDatabase:
         self.conn.isolation_level = None  # autocommit
         self.tables: dict[str, SqliteTable] = {}
         self.lock = threading.RLock()
+        self.sim_backend_latency = 0.0
+
+    def read_locked(self):
+        """Same interface as engine.Database; one sqlite3 connection
+        cannot serve concurrent cursors, so reads serialise too."""
+        return self.lock
+
+    def write_locked(self):
+        """Exclusive critical section (the shared RLock)."""
+        return self.lock
 
     def create_table_from(self, spec) -> SqliteTable:
         """Create a relation from an engine Table (schema carrier)."""

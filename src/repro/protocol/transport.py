@@ -15,14 +15,31 @@ Two interchangeable transports exist:
 Both talk to a *dispatcher*: an object with ``open_connection(peer)``,
 ``handle_frame(conn_id, frame) -> list[bytes]`` and
 ``close_connection(conn_id)``.  The Moira server implements that
-interface.
+interface, and optionally the asynchronous
+``submit_frame(conn_id, frame, on_reply, on_done) -> bool`` extension:
+when present (and returning True), query execution happens on the
+dispatcher's worker pool instead of the selector thread.  Replies come
+back through a wakeup pipe — the selector blocks in ``select()`` with
+no timeout (an idle server sleeps instead of polling) and is woken by
+one pipe byte whenever a worker queues reply bytes.
+
+Per-connection guarantees with the pool: request frames are submitted
+in arrival order and the dispatcher serialises them FIFO per
+connection, so reply streams never interleave or reorder on one
+connection.  Per-connection buffered output is bounded: past
+``high_water`` bytes the producing worker blocks until the selector
+drains the socket below ``low_water`` (backpressure), and a connection
+with ``max_pipeline`` requests in flight stops being read until the
+backlog drains.
 """
 
 from __future__ import annotations
 
+import os
 import selectors
 import socket
 import threading
+from collections import deque
 from typing import Iterator, Protocol
 
 from repro.errors import (
@@ -121,9 +138,16 @@ class _InProcessConnection(ClientConnection):
     def _roundtrip(self, request_frame: bytes) -> Iterator[bytes]:
         if not self._open:
             raise MoiraError(MR_NOT_CONNECTED)
-        # strip the length prefix: dispatchers receive frame bodies
-        for frame in self.dispatcher.handle_frame(self.conn_id,
-                                                  request_frame[4:]):
+        # strip the length prefix: dispatchers receive frame bodies.
+        # Prefer the streaming variant so large retrieves flow tuple by
+        # tuple instead of materialising the whole reply list.
+        stream = getattr(self.dispatcher, "handle_frame_stream", None)
+        if stream is not None:
+            frames = stream(self.conn_id, request_frame[4:])
+        else:
+            frames = self.dispatcher.handle_frame(self.conn_id,
+                                                  request_frame[4:])
+        for frame in frames:
             yield frame[4:]
 
     def close(self) -> None:
@@ -142,12 +166,35 @@ def connect_inproc(dispatcher: Dispatcher,
 # -- TCP ---------------------------------------------------------------------------
 
 
+class _ConnState:
+    """Per-socket bookkeeping shared by the selector and the workers."""
+
+    __slots__ = ("conn_id", "inbuf", "outbuf", "pending", "cv",
+                 "buffered", "inflight", "open", "paused", "mask")
+
+    def __init__(self, conn_id: int):
+        self.conn_id = conn_id
+        self.inbuf = bytearray()      # selector thread only
+        self.outbuf = bytearray()     # selector thread only
+        self.pending: deque[bytes] = deque()  # workers -> selector (cv)
+        self.cv = threading.Condition(threading.Lock())
+        self.buffered = 0             # bytes in pending + outbuf (cv)
+        self.inflight = 0             # submitted, not yet done (cv)
+        self.open = True              # False after drop (cv)
+        self.paused = False           # reading paused: too many inflight
+        self.mask = 0                 # currently registered selector mask
+
+
 class TcpServerTransport:
     """Single-process, selector-driven TCP front end for a dispatcher."""
 
     def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, *, high_water: int = 1 << 20,
+                 low_water: int = 1 << 18, max_pipeline: int = 64):
         self.dispatcher = dispatcher
+        self.high_water = high_water
+        self.low_water = low_water
+        self.max_pipeline = max_pipeline
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -156,9 +203,18 @@ class TcpServerTransport:
         self.address = self._listener.getsockname()
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._listener, selectors.EVENT_READ, None)
+        # the wakeup pipe: workers (and stop()) write one byte to nudge
+        # the selector out of its fully blocking select()
+        self._wakeup_r, self._wakeup_w = os.pipe()
+        os.set_blocking(self._wakeup_r, False)
+        os.set_blocking(self._wakeup_w, False)
+        self._selector.register(self._wakeup_r, selectors.EVENT_READ, None)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._conn_state: dict[socket.socket, dict] = {}
+        self._conn_state: dict[socket.socket, _ConnState] = {}
+        self._flush_lock = threading.Lock()
+        self._flush_set: set[socket.socket] = set()
+        self._async = callable(getattr(dispatcher, "submit_frame", None))
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -172,21 +228,41 @@ class TcpServerTransport:
     def stop(self) -> None:
         """Stop serving and close every socket."""
         self._stop.set()
+        self._wake()
         if self._thread is not None:
             self._thread.join(timeout=5)
         for sock in list(self._conn_state):
             self._drop(sock)
         self._selector.close()
         self._listener.close()
+        os.close(self._wakeup_r)
+        os.close(self._wakeup_w)
+
+    # -- wakeup plumbing ------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wakeup_w, b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full = a wakeup is already pending, or stopping
+
+    def _request_flush(self, sock: socket.socket) -> None:
+        """Worker side: mark *sock* as having replies to ship."""
+        with self._flush_lock:
+            self._flush_set.add(sock)
+        self._wake()
 
     # -- event loop -----------------------------------------------------------
 
     def _serve(self) -> None:
         while not self._stop.is_set():
-            events = self._selector.select(timeout=0.05)
+            events = self._selector.select()  # blocks: no idle polling
+            woken = False
             for key, mask in events:
                 if key.fileobj is self._listener:
                     self._accept()
+                elif key.fileobj == self._wakeup_r:
+                    woken = True
                 else:
                     sock = key.fileobj
                     if mask & selectors.EVENT_READ:
@@ -194,6 +270,34 @@ class TcpServerTransport:
                     if sock in self._conn_state and \
                             mask & selectors.EVENT_WRITE:
                         self._writable(sock)
+            if woken:
+                try:
+                    while os.read(self._wakeup_r, 4096):
+                        pass
+                except (BlockingIOError, OSError):
+                    pass
+                self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Move worker-queued reply bytes into socket out-buffers and
+        resume paused reads whose backlog drained."""
+        with self._flush_lock:
+            socks, self._flush_set = self._flush_set, set()
+        for sock in socks:
+            state = self._conn_state.get(sock)
+            if state is None:
+                continue
+            with state.cv:
+                while state.pending:
+                    state.outbuf.extend(state.pending.popleft())
+                resume = state.paused and \
+                    state.inflight <= self.max_pipeline // 2
+            if resume:
+                state.paused = False
+                # decode whatever piled up while reading was paused
+                self._pump_frames(sock, state)
+            else:
+                self._update_interest(sock, state)
 
     def _accept(self) -> None:
         try:
@@ -202,12 +306,10 @@ class TcpServerTransport:
             return
         sock.setblocking(False)
         conn_id = self.dispatcher.open_connection(f"{addr[0]}:{addr[1]}")
-        self._conn_state[sock] = {
-            "conn_id": conn_id,
-            "inbuf": bytearray(),
-            "outbuf": bytearray(),
-        }
+        state = _ConnState(conn_id)
+        self._conn_state[sock] = state
         self._selector.register(sock, selectors.EVENT_READ, None)
+        state.mask = selectors.EVENT_READ
 
     def _readable(self, sock: socket.socket) -> None:
         state = self._conn_state.get(sock)
@@ -223,61 +325,127 @@ class TcpServerTransport:
         if not data:
             self._drop(sock)
             return
-        state["inbuf"].extend(data)
+        state.inbuf.extend(data)
         self._pump_frames(sock, state)
 
-    def _pump_frames(self, sock: socket.socket, state: dict) -> None:
-        buf = state["inbuf"]
+    def _pump_frames(self, sock: socket.socket, state: _ConnState) -> None:
+        buf = state.inbuf
         while len(buf) >= 4:
+            if self._async and state.inflight >= self.max_pipeline:
+                # pipelining bound: stop decoding (and reading) until
+                # the dispatcher drains this connection's backlog
+                state.paused = True
+                break
             length = int.from_bytes(buf[:4], "big")
             if len(buf) < 4 + length:
                 break
             frame = bytes(buf[4:4 + length])
             del buf[:4 + length]
-            try:
-                replies = self.dispatcher.handle_frame(state["conn_id"],
-                                                       frame)
-            except Exception:
-                self._drop(sock)
-                return
-            for reply in replies:
-                state["outbuf"].extend(reply)
+            if not self._submit(sock, state, frame):
+                return  # connection dropped
         self._update_interest(sock, state)
+
+    def _submit(self, sock: socket.socket, state: _ConnState,
+                frame: bytes) -> bool:
+        """Hand one decoded frame to the dispatcher (pool or inline)."""
+        if self._async:
+            with state.cv:
+                state.inflight += 1
+            on_reply, on_done = self._reply_sinks(sock, state)
+            if self.dispatcher.submit_frame(state.conn_id, frame,
+                                            on_reply, on_done):
+                return True
+            with state.cv:  # workers=0: dispatcher says "run it inline"
+                state.inflight -= 1
+        try:
+            replies = self.dispatcher.handle_frame(state.conn_id, frame)
+        except Exception:
+            self._drop(sock)
+            return False
+        for reply in replies:
+            state.outbuf.extend(reply)
+        with state.cv:
+            state.buffered += sum(len(r) for r in replies)
+        return True
+
+    def _reply_sinks(self, sock: socket.socket, state: _ConnState):
+        """(on_reply, on_done) callbacks for one submitted frame; they
+        run on worker threads."""
+
+        def on_reply(frame: bytes) -> bool:
+            with state.cv:
+                while state.open and state.buffered >= self.high_water:
+                    state.cv.wait()  # backpressure: selector will drain
+                if not state.open:
+                    return False
+                state.pending.append(frame)
+                state.buffered += len(frame)
+            self._request_flush(sock)
+            return True
+
+        def on_done() -> None:
+            with state.cv:
+                state.inflight -= 1
+            self._request_flush(sock)
+
+        return on_reply, on_done
 
     def _writable(self, sock: socket.socket) -> None:
         state = self._conn_state.get(sock)
         if state is None:
             return
-        out = state["outbuf"]
+        out = state.outbuf
         if out:
             try:
-                sent = sock.send(bytes(out[:65536]))
-                del out[:sent]
+                # memoryview: send a window without copying the buffer
+                with memoryview(out) as view:
+                    with view[:65536] as chunk:
+                        sent = sock.send(chunk)
             except (BlockingIOError, InterruptedError):
                 return
             except OSError:
                 self._drop(sock)
                 return
+            del out[:sent]
+            with state.cv:
+                state.buffered -= sent
+                if state.buffered < self.low_water:
+                    state.cv.notify_all()  # release backpressured workers
         self._update_interest(sock, state)
 
-    def _update_interest(self, sock: socket.socket, state: dict) -> None:
-        mask = selectors.EVENT_READ
-        if state["outbuf"]:
-            mask |= selectors.EVENT_WRITE
+    def _update_interest(self, sock: socket.socket,
+                         state: _ConnState) -> None:
+        mask = 0
+        if not state.paused:
+            mask |= selectors.EVENT_READ
+        with state.cv:
+            if state.outbuf or state.pending:
+                mask |= selectors.EVENT_WRITE
+        if mask == state.mask:
+            return
         try:
-            self._selector.modify(sock, mask, None)
-        except KeyError:  # pragma: no cover - dropped concurrently
+            if mask == 0:
+                self._selector.unregister(sock)
+            elif state.mask == 0:
+                self._selector.register(sock, mask, None)
+            else:
+                self._selector.modify(sock, mask, None)
+            state.mask = mask
+        except (KeyError, ValueError):  # pragma: no cover - racing drop
             pass
 
     def _drop(self, sock: socket.socket) -> None:
         state = self._conn_state.pop(sock, None)
         try:
             self._selector.unregister(sock)
-        except (KeyError, ValueError):
+        except (KeyError, ValueError, RuntimeError):
             pass
         sock.close()
         if state is not None:
-            self.dispatcher.close_connection(state["conn_id"])
+            with state.cv:
+                state.open = False
+                state.cv.notify_all()  # unblock backpressured workers
+            self.dispatcher.close_connection(state.conn_id)
 
 
 class _TcpClientConnection(ClientConnection):

@@ -57,6 +57,7 @@ __all__ = [
     "all_queries",
     "exactly_one",
     "no_wildcards",
+    "query_lock",
 ]
 
 _REGISTRY: dict[str, "Query"] = {}
@@ -384,6 +385,15 @@ def check_query_access(ctx: QueryContext, query: Query,
     raise MoiraError(MR_PERM, query.name)
 
 
+def query_lock(db, side_effects: bool):
+    """The right critical section for a query against *db*: shared mode
+    for side-effect-free retrievals (when the backend offers it),
+    exclusive mode for mutations."""
+    if side_effects:
+        return db.write_locked() if hasattr(db, "write_locked") else db.lock
+    return db.read_locked() if hasattr(db, "read_locked") else db.lock
+
+
 def execute_query(ctx: QueryContext, name: str,
                   args: Sequence[str]) -> list[tuple]:
     """Resolve, validate, access-check, run, and journal one query."""
@@ -403,8 +413,12 @@ def execute_query(ctx: QueryContext, name: str,
         # function, which then resolves the database and query"
         from dataclasses import replace as _replace
         ctx = _replace(ctx, db=target_db)
-    with ctx.db.lock:
+    with query_lock(ctx.db, query.side_effects):
         result = query.handler(ctx, args)
+        if not isinstance(result, list):
+            # lazy handlers stream on the server path; the direct
+            # library drains them under the lock
+            result = list(result)
     if query.side_effects and ctx.journal is not None:
         ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
                            query.name, tuple(str(a) for a in args))

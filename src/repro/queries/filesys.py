@@ -39,11 +39,14 @@ def _fs_tuple(ctx: QueryContext, row) -> tuple:
 
 @register("get_filesys_by_label", "gfsl", ("name",), _FS_FIELDS,
           side_effects=False, public=True)
-def get_filesys_by_label(ctx: QueryContext,
-                         args: Sequence[str]) -> list[tuple]:
-    """Filesystem info by (wildcardable) label."""
-    return [_fs_tuple(ctx, r)
-            for r in ctx.db.table("filesys").select({"label": args[0]})]
+def get_filesys_by_label(ctx: QueryContext, args: Sequence[str]):
+    """Filesystem info by (wildcardable) label.
+
+    Lazy: yields tuples as the scan produces them, so the server can
+    stream MR_MORE_DATA replies before a large wildcard scan finishes.
+    """
+    return (_fs_tuple(ctx, r)
+            for r in ctx.db.table("filesys").iter_select({"label": args[0]}))
 
 
 @register("get_filesys_by_machine", "gfsm", ("machine",), _FS_FIELDS,

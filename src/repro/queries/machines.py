@@ -20,10 +20,15 @@ from repro.queries.base import (QueryContext, exactly_one,
 @register("get_machine", "gmac", ("name",),
           ("name", "type", "modtime", "modby", "modwith"),
           side_effects=False, public=True)
-def get_machine(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
-    """Machine info by (wildcardable, case-insensitive) name."""
-    return [(r["name"], r["type"], r["modtime"], r["modby"], r["modwith"])
-            for r in ctx.db.table("machine").select({"name": args[0].upper()})]
+def get_machine(ctx: QueryContext, args: Sequence[str]):
+    """Machine info by (wildcardable, case-insensitive) name.
+
+    Lazy: yields tuples as the scan produces them, so the server can
+    stream MR_MORE_DATA replies before a large wildcard scan finishes.
+    """
+    return ((r["name"], r["type"], r["modtime"], r["modby"], r["modwith"])
+            for r in ctx.db.table("machine").iter_select(
+                {"name": args[0].upper()}))
 
 
 @register("add_machine", "amac", ("name", "type"), (), side_effects=True)

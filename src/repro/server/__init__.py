@@ -7,7 +7,9 @@ executes predefined queries against the one shared database backend
 opened "only once, at the start up time of the daemon".
 """
 
-from repro.server.access import AccessCache, seed_capacls
-from repro.server.moira_server import MoiraServer
+from repro.server.access import ACL_TABLES, AccessCache, seed_capacls
+from repro.server.dispatch import WorkerPool
+from repro.server.moira_server import MoiraServer, ServerStats
 
-__all__ = ["MoiraServer", "AccessCache", "seed_capacls"]
+__all__ = ["MoiraServer", "ServerStats", "AccessCache", "ACL_TABLES",
+           "WorkerPool", "seed_capacls"]

@@ -5,26 +5,48 @@ side-effect the database ... it is expected that many access checks
 will have to be performed twice ... some form of access caching will
 eventually be worked into the server for performance reasons."  The
 cache here is that anticipated optimisation, made toggleable so the E8
-benchmark can measure its effect.  Entries are invalidated wholesale on
-any database mutation (ACL-relevant state lives in many relations, so a
-generation counter is the honest invalidation scheme).
+benchmark can measure its effect.
+
+Invalidation is generation-based but **scoped by mutated relation**:
+the server diffs the engine's per-table data versions around each
+mutating query and passes the touched tables in; only mutations that
+touch an ACL-relevant relation (membership, capability, or ACE state)
+bump the generation, so a read-mostly workload no longer loses the
+whole cache to every quota update or string interning.  The cache is
+thread-safe: worker-pool threads look up, store, and invalidate
+concurrently.
 """
 
 from __future__ import annotations
 
+import threading
+from typing import Iterable, Optional
+
 from repro.db.engine import Database
 from repro.queries.base import all_queries
 
-__all__ = ["AccessCache", "seed_capacls"]
+__all__ = ["AccessCache", "ACL_TABLES", "seed_capacls"]
+
+# Relations whose contents can change an access decision: capability
+# lists and membership (capacls/list/members/users), plus every table
+# carrying an ACE that per-query relaxations consult ("someone on the
+# ACE of the target service", filesystem owners, host access).
+ACL_TABLES = frozenset({
+    "users", "list", "members", "capacls",
+    "servers", "filesys", "machine", "hostaccess",
+})
 
 
 class AccessCache:
     """Memoises (principal, query, args) -> allowed decisions."""
 
-    def __init__(self, enabled: bool = True, max_entries: int = 4096):
+    def __init__(self, enabled: bool = True, max_entries: int = 4096,
+                 acl_tables: Optional[frozenset[str]] = ACL_TABLES):
         self.enabled = enabled
         self.max_entries = max_entries
+        self.acl_tables = acl_tables  # None = every mutation invalidates
         self._cache: dict[tuple, bool] = {}
+        self._lock = threading.Lock()
         self.generation = 0
         self.hits = 0
         self.misses = 0
@@ -34,28 +56,47 @@ class AccessCache:
         """Cached decision for (principal, query, args), or None."""
         if not self.enabled:
             return None
-        key = (self.generation, principal, query, args)
-        found = self._cache.get(key)
-        if found is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return found
+        with self._lock:
+            key = (self.generation, principal, query, args)
+            found = self._cache.get(key)
+            if found is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return found
 
     def store(self, principal: str, query: str, args: tuple[str, ...],
               allowed: bool) -> None:
         """Remember a decision for the current generation."""
         if not self.enabled:
             return
-        if len(self._cache) >= self.max_entries:
-            self._cache.clear()
-        self._cache[(self.generation, principal, query, args)] = allowed
+        with self._lock:
+            # FIFO eviction: dict order is insertion order, so popping
+            # the first key drops the oldest entry (oldest generation
+            # first) — no wholesale clear, no thundering-herd refill
+            while len(self._cache) >= self.max_entries:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[(self.generation, principal, query, args)] = allowed
 
-    def invalidate(self) -> None:
-        """Any mutation may change who is allowed to do what."""
-        self.generation += 1
-        if len(self._cache) >= self.max_entries:
+    def invalidate(self,
+                   mutated: Optional[Iterable[str]] = None) -> bool:
+        """Drop cached decisions after a mutation.
+
+        *mutated* names the relations whose data versions moved; when
+        given and none of them is ACL-relevant the cache survives
+        untouched.  ``invalidate()`` with no argument keeps the old
+        contract: everything goes.  Returns True if the generation
+        bumped.
+        """
+        if mutated is not None and self.acl_tables is not None:
+            if self.acl_tables.isdisjoint(mutated):
+                return False
+        with self._lock:
+            self.generation += 1
+            # every existing entry is keyed to a dead generation now;
+            # dropping them eagerly keeps lookups from walking garbage
             self._cache.clear()
+        return True
 
 
 def seed_capacls(db: Database, admin_list: str = "moira-admins",

@@ -1,0 +1,92 @@
+"""The server's bounded worker pool with per-connection FIFO channels.
+
+MCS ("A Customizable Database Server") serves the same fixed-query
+architecture as Moira with per-query worker threads; this module is
+that upgrade, shaped for the selector transport: the I/O loop submits
+decoded frames here and goes straight back to ``select()``, and workers
+execute queries and push reply frames to the transport.
+
+Ordering contract: jobs submitted under one *key* (a connection id)
+run **one at a time, in submission order** — at most one worker ever
+drains a given key, so pipelined requests on one connection answer in
+request order while different connections proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Bounded thread pool with keyed FIFO serialisation."""
+
+    def __init__(self, size: int, *, name: str = "moira-worker"):
+        if size <= 0:
+            raise ValueError("WorkerPool needs at least one worker")
+        self.size = size
+        self._cv = threading.Condition(threading.Lock())
+        self._channels: dict[object, deque[Callable[[], None]]] = {}
+        self._ready: deque[object] = deque()  # keys with runnable work
+        self._active: set[object] = set()     # keys queued or running
+        self._stopping = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"{name}-{i}")
+            for i in range(size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, key: object, job: Callable[[], None]) -> None:
+        """Queue *job* on *key*'s channel (FIFO per key)."""
+        with self._cv:
+            if self._stopping:
+                raise RuntimeError("WorkerPool is shut down")
+            self._channels.setdefault(key, deque()).append(job)
+            if key not in self._active:
+                self._active.add(key)
+                self._ready.append(key)
+                self._cv.notify()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cv:
+                while not self._ready and not self._stopping:
+                    self._cv.wait()
+                if self._stopping and not self._ready:
+                    return
+                key = self._ready.popleft()
+                job = self._channels[key].popleft()
+            try:
+                job()
+            except Exception:  # pragma: no cover - jobs catch their own
+                pass
+            with self._cv:
+                channel = self._channels.get(key)
+                if channel:
+                    # more pipelined work for this connection: requeue
+                    # the key (still marked active, so no other worker
+                    # raced us here)
+                    self._ready.append(key)
+                    self._cv.notify()
+                else:
+                    self._active.discard(key)
+                    self._channels.pop(key, None)
+
+    def pending(self) -> int:
+        """Jobs queued but not yet started (for tests/stats)."""
+        with self._cv:
+            return sum(len(c) for c in self._channels.values())
+
+    def shutdown(self, *, wait: bool = True, timeout: float = 5.0) -> None:
+        """Stop accepting work; drain queued jobs, then stop workers."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)

@@ -11,13 +11,28 @@ every connection shares it.  Authentication is per-connection: after a
 successful Authenticate request, subsequent requests run as that
 principal.  ``_list_users`` is answered from the live connection table,
 not the database (§7.0.8).
+
+Concurrency (beyond the paper, after MCS's multithreaded engine):
+
+* Queries declared ``side_effects=False`` run under the database's
+  **shared** lock mode and proceed concurrently; mutations take
+  exclusive mode, so journal ordering and the DCM's per-table data
+  versions keep their invariants.
+* A bounded :class:`~repro.server.dispatch.WorkerPool` (``workers``
+  constructor knob; 0 = the original inline path) executes requests
+  off the transport's I/O loop, FIFO per connection.
+* :meth:`handle_frame_stream` yields reply frames as tuples are
+  produced, so a 10k-tuple retrieve starts answering before the scan
+  finishes instead of materialising every encoded reply in a list.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.db.engine import Database
 from repro.db.journal import Journal
@@ -27,6 +42,7 @@ from repro.errors import (
     MR_INTERNAL,
     MR_MORE_DATA,
     MR_NO_HANDLE,
+    MR_NO_MATCH,
     MR_PERM,
 )
 from repro.kerberos.kdc import KDC
@@ -37,30 +53,67 @@ from repro.protocol.wire import (
     unpack_authenticator,
 )
 from repro.queries.base import (
+    Query,
     QueryContext,
     check_query_access,
     get_query,
+    query_lock,
 )
 from repro.server.access import AccessCache
+from repro.server.dispatch import WorkerPool
 from repro.sim.clock import Clock
 
-__all__ = ["MoiraServer", "ServerStats"]
+__all__ = ["MoiraServer", "ServerStats", "default_workers"]
 
 MOIRA_SERVICE_PRINCIPAL = "moira"
 
 
-@dataclass
+def default_workers() -> int:
+    """The default serve-pool width: ``min(8, cpus)``."""
+    return min(8, os.cpu_count() or 1)
+
+
 class ServerStats:
-    """Counters the daemon keeps about itself."""
-    connections_opened: int = 0
-    connections_closed: int = 0
-    requests_handled: int = 0
-    queries_executed: int = 0
-    access_checks: int = 0
-    auth_successes: int = 0
-    auth_failures: int = 0
-    tuples_returned: int = 0
-    errors_returned: int = 0
+    """Counters the daemon keeps about itself (thread-safe).
+
+    Counters stay plain integer attributes (read them directly), but
+    increments go through :meth:`incr`, which serialises on one of a
+    small set of sharded locks — counters on different shards never
+    contend with each other under the worker pool.
+    """
+
+    FIELDS = (
+        "connections_opened",
+        "connections_closed",
+        "requests_handled",
+        "queries_executed",
+        "access_checks",
+        "auth_successes",
+        "auth_failures",
+        "tuples_returned",
+        "errors_returned",
+    )
+    _SHARDS = 4
+
+    def __init__(self) -> None:
+        locks = tuple(threading.Lock() for _ in range(self._SHARDS))
+        self._shard = {name: locks[i % self._SHARDS]
+                       for i, name in enumerate(self.FIELDS)}
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Atomically add *amount* to the counter *name*."""
+        with self._shard[name]:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of every counter."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ServerStats({inner})"
 
 
 @dataclass
@@ -86,6 +139,7 @@ class MoiraServer:
         access_cache: Optional[AccessCache] = None,
         dcm_trigger: Optional[Callable[[], None]] = None,
         service_principal: str = MOIRA_SERVICE_PRINCIPAL,
+        workers: Optional[int] = None,
     ):
         self.db = db
         self.clock = clock
@@ -95,11 +149,20 @@ class MoiraServer:
         self.dcm_trigger = dcm_trigger
         self.service_principal = service_principal
         self.stats = ServerStats()
+        self.workers = default_workers() if workers is None else workers
+        self._pool: Optional[WorkerPool] = (
+            WorkerPool(self.workers) if self.workers > 0 else None)
         self._connections: dict[int, _Connection] = {}
         self._next_conn = 1
         self._lock = threading.Lock()
         if kdc is not None and not kdc.principal_exists(service_principal):
             kdc.add_service(service_principal)
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent; inline mode is a no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     # -- Dispatcher interface ---------------------------------------------------
 
@@ -110,46 +173,87 @@ class MoiraServer:
             self._next_conn += 1
             self._connections[conn_id] = _Connection(
                 conn_id=conn_id, peer=peer, connect_time=self.clock.now())
-            self.stats.connections_opened += 1
-            return conn_id
+        self.stats.incr("connections_opened")
+        return conn_id
 
     def close_connection(self, conn_id: int) -> None:
         """Forget a departed connection."""
         with self._lock:
-            if self._connections.pop(conn_id, None) is not None:
-                self.stats.connections_closed += 1
+            gone = self._connections.pop(conn_id, None) is not None
+        if gone:
+            self.stats.incr("connections_closed")
 
     def handle_frame(self, conn_id: int, frame: bytes) -> list[bytes]:
         """Decode, dispatch, and answer one request frame."""
+        return list(self.handle_frame_stream(conn_id, frame))
+
+    def handle_frame_stream(self, conn_id: int,
+                            frame: bytes) -> Iterator[bytes]:
+        """Like :meth:`handle_frame`, but yields reply frames as they
+        are produced — large retrieves start answering before the scan
+        completes, bounding per-connection server memory."""
         conn = self._connections.get(conn_id)
         if conn is None:
-            return [encode_reply(MR_INTERNAL)]
-        self.stats.requests_handled += 1
+            yield encode_reply(MR_INTERNAL)
+            return
+        self.stats.incr("requests_handled")
         conn.requests += 1
         try:
             request = decode_request(frame)
         except MoiraError as exc:
-            self.stats.errors_returned += 1
-            return [encode_reply(exc.code)]
+            self.stats.incr("errors_returned")
+            yield encode_reply(exc.code)
+            return
         try:
             if request.major is MajorRequest.NOOP:
-                return [encode_reply(0)]
-            if request.major is MajorRequest.AUTHENTICATE:
-                return self._do_auth(conn, request.args)
-            if request.major is MajorRequest.QUERY:
-                return self._do_query(conn, request.str_args())
-            if request.major is MajorRequest.ACCESS:
-                return self._do_access(conn, request.str_args())
-            if request.major is MajorRequest.TRIGGER_DCM:
-                return self._do_trigger_dcm(conn)
-            return [encode_reply(MR_NO_HANDLE)]
+                yield encode_reply(0)
+            elif request.major is MajorRequest.AUTHENTICATE:
+                yield from self._do_auth(conn, request.args)
+            elif request.major is MajorRequest.QUERY:
+                yield from self._do_query(conn, request.str_args())
+            elif request.major is MajorRequest.ACCESS:
+                yield from self._do_access(conn, request.str_args())
+            elif request.major is MajorRequest.TRIGGER_DCM:
+                yield from self._do_trigger_dcm(conn)
+            else:
+                yield encode_reply(MR_NO_HANDLE)
         except MoiraError as exc:
-            self.stats.errors_returned += 1
-            return [encode_reply(exc.code, (exc.detail,) if exc.detail
-                                 else ())]
+            self.stats.incr("errors_returned")
+            yield encode_reply(exc.code, (exc.detail,) if exc.detail
+                               else ())
         except Exception as exc:  # never crash the daemon on one request
-            self.stats.errors_returned += 1
-            return [encode_reply(MR_INTERNAL, (repr(exc),))]
+            self.stats.incr("errors_returned")
+            yield encode_reply(MR_INTERNAL, (repr(exc),))
+
+    def submit_frame(self, conn_id: int, frame: bytes,
+                     on_reply: Callable[[bytes], bool],
+                     on_done: Callable[[], None]) -> bool:
+        """Dispatch one frame asynchronously on the worker pool.
+
+        Returns False when there is no pool (``workers=0``) — the
+        caller must fall back to inline :meth:`handle_frame`.  Replies
+        go to ``on_reply(frame) -> bool`` (return False to abandon the
+        stream, e.g. the connection died); ``on_done()`` always fires
+        exactly once, after the last reply.
+        """
+        if self._pool is None:
+            return False
+        self._pool.submit(
+            conn_id, lambda: self._run_frame(conn_id, frame,
+                                             on_reply, on_done))
+        return True
+
+    def _run_frame(self, conn_id: int, frame: bytes,
+                   on_reply: Callable[[bytes], bool],
+                   on_done: Callable[[], None]) -> None:
+        stream = self.handle_frame_stream(conn_id, frame)
+        try:
+            for reply in stream:
+                if not on_reply(reply):
+                    break
+        finally:
+            stream.close()  # releases a held shared lock mid-stream
+            on_done()
 
     # -- major request handlers ---------------------------------------------------
 
@@ -164,11 +268,11 @@ class MoiraServer:
             principal = self.kdc.verify_authenticator(
                 auth, self.service_principal)
         except MoiraError:
-            self.stats.auth_failures += 1
+            self.stats.incr("auth_failures")
             raise
         conn.principal = principal
         conn.client_name = client_name
-        self.stats.auth_successes += 1
+        self.stats.incr("auth_successes")
         return [encode_reply(0)]
 
     def _context_for(self, conn: _Connection) -> QueryContext:
@@ -180,60 +284,117 @@ class MoiraServer:
             journal=self.journal,
         )
 
-    def _do_query(self, conn: _Connection, args: list[str]) -> list[bytes]:
+    def _do_query(self, conn: _Connection,
+                  args: list[str]) -> Iterator[bytes]:
         if not args:
             raise MoiraError(MR_ARGS, "query wants a handle name")
         name, query_args = args[0], args[1:]
         if name == "_list_users":
-            return self._list_users()
+            yield from self._list_users()
+            return
         query = get_query(name)
         if query is None:
             raise MoiraError(MR_NO_HANDLE, name)
         ctx = self._context_for(conn)
-        self._checked_access(ctx, name, tuple(query_args))
-        tuples = self._execute_unchecked(ctx, query, query_args)
-        self.stats.queries_executed += 1
+        self._checked_access(ctx, query, tuple(query_args))
         if query.side_effects:
-            self.access_cache.invalidate()
-        replies = [encode_reply(MR_MORE_DATA, t) for t in tuples]
-        self.stats.tuples_returned += len(tuples)
-        replies.append(encode_reply(0))
-        return replies
+            tuples, mutated = self._execute_write(ctx, query, query_args)
+            self.stats.incr("queries_executed")
+            self.access_cache.invalidate(mutated)
+            for t in tuples:
+                yield encode_reply(MR_MORE_DATA, t)
+            self.stats.incr("tuples_returned", len(tuples))
+            yield encode_reply(0)
+            return
+        count = 0
+        for t in self._execute_read(ctx, query, query_args):
+            count += 1
+            yield encode_reply(MR_MORE_DATA, t)
+        self.stats.incr("queries_executed")
+        self.stats.incr("tuples_returned", count)
+        yield encode_reply(0)
 
-    def _execute_unchecked(self, ctx: QueryContext, query, query_args):
-        """Run a query whose access was already checked (and cached)."""
-        from repro.errors import MR_NO_MATCH
-
+    @staticmethod
+    def _check_argc(query: Query, query_args: list[str]) -> None:
         if not query.variable_args and len(query_args) != len(query.args):
             raise MoiraError(MR_ARGS, query.name)
-        with ctx.db.lock:
+
+    @staticmethod
+    def _backend_delay(db) -> None:
+        delay = getattr(db, "sim_backend_latency", 0.0)
+        if delay:
+            time.sleep(delay)
+
+    def _execute_write(self, ctx: QueryContext, query: Query,
+                       query_args: list[str]) -> tuple[list, set[str]]:
+        """Run a mutating query under the exclusive lock.
+
+        Returns (result tuples, names of tables whose data version
+        moved) — the latter scopes the access-cache invalidation.
+        """
+        self._check_argc(query, query_args)
+        with query_lock(ctx.db, True):
+            self._backend_delay(ctx.db)
+            before = ctx.db.versions()
             result = query.handler(ctx, query_args)
-        if query.side_effects and ctx.journal is not None:
+            if not isinstance(result, list):
+                result = list(result)
+            after = ctx.db.versions()
+        mutated = {name for name, version in after.items()
+                   if before.get(name) != version}
+        if ctx.journal is not None:
             ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
                                query.name, tuple(str(a) for a in query_args))
-        if not query.side_effects and not result:
-            raise MoiraError(MR_NO_MATCH, query.name)
-        return result
+        return result, mutated
 
-    def _checked_access(self, ctx: QueryContext, name: str,
+    def _execute_read(self, ctx: QueryContext, query: Query,
+                      query_args: list[str]) -> Iterator[tuple]:
+        """Run a retrieval under the shared lock, yielding tuples.
+
+        List results release the lock before streaming; lazy handler
+        results stream *under* the shared lock (writers wait until the
+        scan drains, readers do not).
+        """
+        self._check_argc(query, query_args)
+        with query_lock(ctx.db, False):
+            self._backend_delay(ctx.db)
+            result = query.handler(ctx, query_args)
+            if not isinstance(result, list):
+                iterator = iter(result)
+                try:
+                    first = next(iterator)
+                except StopIteration:
+                    raise MoiraError(MR_NO_MATCH, query.name) from None
+                yield first
+                yield from iterator
+                return
+        if not result:
+            raise MoiraError(MR_NO_MATCH, query.name)
+        yield from result
+
+    def _execute_unchecked(self, ctx: QueryContext, query: Query,
+                           query_args: list[str]) -> list:
+        """Run a query whose access was already checked (and cached)."""
+        if query.side_effects:
+            return self._execute_write(ctx, query, query_args)[0]
+        return list(self._execute_read(ctx, query, query_args))
+
+    def _checked_access(self, ctx: QueryContext, query: Query,
                         args: tuple[str, ...]) -> None:
         """check_query_access with the §5.5 access cache in front."""
-        self.stats.access_checks += 1
-        query = get_query(name)
-        if query is None:
-            raise MoiraError(MR_NO_HANDLE, name)
-        cached = self.access_cache.lookup(ctx.caller, name, args)
+        self.stats.incr("access_checks")
+        cached = self.access_cache.lookup(ctx.caller, query.name, args)
         if cached is True:
             return
         if cached is False:
-            raise MoiraError(MR_PERM, name)
+            raise MoiraError(MR_PERM, query.name)
         try:
             check_query_access(ctx, query, args)
         except MoiraError as exc:
             if exc.code == MR_PERM:
-                self.access_cache.store(ctx.caller, name, args, False)
+                self.access_cache.store(ctx.caller, query.name, args, False)
             raise
-        self.access_cache.store(ctx.caller, name, args, True)
+        self.access_cache.store(ctx.caller, query.name, args, True)
 
     def _do_access(self, conn: _Connection, args: list[str]) -> list[bytes]:
         """The Access major request: would this query be allowed?"""
@@ -243,10 +404,9 @@ class MoiraServer:
         query = get_query(name)
         if query is None:
             raise MoiraError(MR_NO_HANDLE, name)
-        if not query.variable_args and len(query_args) != len(query.args):
-            raise MoiraError(MR_ARGS, name)
+        self._check_argc(query, query_args)
         ctx = self._context_for(conn)
-        self._checked_access(ctx, name, tuple(query_args))
+        self._checked_access(ctx, query, tuple(query_args))
         return [encode_reply(0)]
 
     def _do_trigger_dcm(self, conn: _Connection) -> list[bytes]:

@@ -1,17 +1,21 @@
 """Concurrency tests: simultaneous clients, competing DCMs, threaded
-TCP traffic against the single-process server."""
+TCP traffic against the single-process server, the reader–writer
+database lock, the worker pool, and the thread-safe access cache."""
 
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.client import MoiraClient
 from repro.core import AthenaDeployment, DeploymentConfig
 from repro.db.locks import LockManager, LockMode
+from repro.db.rwlock import RWLock
 from repro.dcm.dcm import DCM
 from repro.protocol.transport import TcpServerTransport
+from repro.server import AccessCache, WorkerPool
 from repro.workload import PopulationSpec
 
 
@@ -138,3 +142,267 @@ class TestCompetingDCMs:
         row = d.db.table("servers").select({"name": "HESIOD"})[0]
         assert row["dfgen"] > 0  # updated anyway
         assert row["inprogress"] == 0
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.shared():
+                inside.wait()  # both threads inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert lock.readers == 0
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        observed = []
+        lock.acquire_exclusive()
+        done = threading.Event()
+
+        def reader():
+            with lock.shared():
+                observed.append(lock.write_locked)
+            done.set()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # reader parked behind the writer
+        lock.release_exclusive()
+        assert done.wait(timeout=5)
+        t.join(timeout=5)
+        assert observed == [False]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: once a writer queues, fresh readers wait
+        behind it instead of starving it."""
+        lock = RWLock()
+        lock.acquire_shared()
+        writer_got_it = threading.Event()
+        reader_got_it = threading.Event()
+
+        def writer():
+            with lock.exclusive():
+                writer_got_it.set()
+
+        def late_reader():
+            with lock.shared():
+                reader_got_it.set()
+
+        wt = threading.Thread(target=writer)
+        wt.start()
+        time.sleep(0.05)  # writer is now waiting on the held shared lock
+        rt = threading.Thread(target=late_reader)
+        rt.start()
+        time.sleep(0.05)
+        assert not reader_got_it.is_set()  # queued behind the writer
+        assert not writer_got_it.is_set()
+        lock.release_shared()
+        assert writer_got_it.wait(timeout=5)
+        assert reader_got_it.wait(timeout=5)
+        wt.join(timeout=5)
+        rt.join(timeout=5)
+
+    def test_exclusive_is_reentrant(self):
+        lock = RWLock()
+        with lock.exclusive():
+            with lock.exclusive():  # Database.next_id under a mutation
+                assert lock.write_locked
+            assert lock.write_locked
+        assert not lock.write_locked
+
+    def test_shared_reentry_and_shared_under_exclusive(self):
+        lock = RWLock()
+        with lock.shared():
+            with lock.shared():
+                assert lock.readers == 1
+        with lock.exclusive():
+            with lock.shared():  # read helper inside a mutation: no-op
+                assert lock.write_locked
+        assert lock.readers == 0
+
+    def test_upgrade_raises(self):
+        lock = RWLock()
+        with lock.shared():
+            with pytest.raises(RuntimeError):
+                lock.acquire_exclusive()
+
+    def test_plain_with_is_exclusive(self):
+        """``with lock:`` keeps the old coarse-mutex contract."""
+        lock = RWLock()
+        with lock:
+            assert lock.write_locked
+
+
+class TestWorkerPool:
+    def test_fifo_per_key(self):
+        pool = WorkerPool(4)
+        order: list[int] = []
+        done = threading.Event()
+
+        def job(i):
+            order.append(i)
+            if i == 49:
+                done.set()
+
+        for i in range(50):
+            pool.submit("conn-1", lambda i=i: job(i))
+        assert done.wait(timeout=10)
+        pool.shutdown()
+        assert order == list(range(50))
+
+    def test_different_keys_run_in_parallel(self):
+        pool = WorkerPool(2)
+        both_running = threading.Barrier(2, timeout=5)
+        ok: list[bool] = []
+
+        def job():
+            both_running.wait()  # only passes if both keys run at once
+            ok.append(True)
+
+        pool.submit("a", job)
+        pool.submit("b", job)
+        deadline = time.monotonic() + 5
+        while len(ok) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        pool.shutdown()
+        assert ok == [True, True]
+
+    def test_shutdown_drains_queued_jobs(self):
+        pool = WorkerPool(1)
+        ran: list[int] = []
+        for i in range(10):
+            pool.submit("k", lambda i=i: ran.append(i))
+        pool.shutdown(wait=True)
+        assert ran == list(range(10))
+        with pytest.raises(RuntimeError):
+            pool.submit("k", lambda: None)
+
+
+class TestAccessCacheEviction:
+    def test_fifo_eviction_keeps_newest(self):
+        cache = AccessCache(max_entries=4)
+        for i in range(4):
+            cache.store("p", f"q{i}", (), True)
+        cache.store("p", "q4", (), True)  # evicts q0 only, not the lot
+        assert len(cache._cache) == 4
+        assert cache.lookup("p", "q0", ()) is None
+        for i in range(1, 5):
+            assert cache.lookup("p", f"q{i}", ()) is True
+
+    def test_store_never_exceeds_max(self):
+        cache = AccessCache(max_entries=8)
+        for i in range(50):
+            cache.store("p", f"q{i}", (), bool(i % 2))
+        assert len(cache._cache) <= 8
+
+    def test_scoped_invalidation(self):
+        cache = AccessCache()
+        cache.store("p", "q", (), True)
+        gen = cache.generation
+        # a mutation that touched no ACL-relevant relation: cache survives
+        assert cache.invalidate({"cluster", "numvalues"}) is False
+        assert cache.generation == gen
+        assert cache.lookup("p", "q", ()) is True
+        # membership moved: everything goes
+        assert cache.invalidate({"members"}) is True
+        assert cache.generation == gen + 1
+        assert cache.lookup("p", "q", ()) is None
+
+    def test_unscoped_invalidation_still_clears(self):
+        cache = AccessCache()
+        cache.store("p", "q", (), True)
+        assert cache.invalidate() is True
+        assert cache.lookup("p", "q", ()) is None
+
+    def test_server_skips_invalidation_for_non_acl_mutations(
+            self, deployment):
+        """End to end: a cluster add (no ACL-relevant table touched)
+        keeps the access cache; a machine add clears it."""
+        d = deployment
+        client = MoiraClient(dispatcher=d.server)
+        client.connect()
+        client.query("get_machine", "*")  # warm a cache entry
+        login = d.handles.logins[0]
+        d.make_admin(login)
+        ac = d.client_for(login, "pw")
+        gen = d.server.access_cache.generation
+        ac.query("add_cluster", "cache-test", "d", "l")
+        assert d.server.access_cache.generation == gen
+        ac.query("add_machine", "CACHETEST.MIT.EDU", "VAX")
+        assert d.server.access_cache.generation > gen
+        ac.close()
+        client.close()
+
+
+class TestConcurrentReads:
+    def test_readers_overlap_under_simulated_backend_latency(
+            self, deployment):
+        """Four pooled readers with a 0.2 s simulated INGRES round trip
+        finish in ~one round trip, not four (shared lock mode)."""
+        d = deployment
+        d.db.sim_backend_latency = 0.2
+        try:
+            errors: list[Exception] = []
+
+            def reader(i):
+                try:
+                    client = MoiraClient(dispatcher=d.server)
+                    client.connect()
+                    client.query("get_machine", "*")
+                    client.close()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reader, args=(i,))
+                       for i in range(4)]
+            start = time.monotonic()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            elapsed = time.monotonic() - start
+        finally:
+            d.db.sim_backend_latency = 0.0
+        assert not errors
+        assert elapsed < 0.6  # serial would be >= 0.8
+
+    def test_writers_still_serialise(self, deployment):
+        """Two mutations with the same simulated latency take two round
+        trips (exclusive mode is untouched by the rwlock change)."""
+        d = deployment
+        login = d.handles.logins[1]
+        d.make_admin(login)
+        clients = [d.client_for(login, "pw2") for _ in range(2)]
+        d.db.sim_backend_latency = 0.1
+        try:
+            errors: list[Exception] = []
+
+            def writer(i):
+                try:
+                    clients[i].query(
+                        "add_machine", f"SER{i}.MIT.EDU", "VAX")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=writer, args=(i,))
+                       for i in range(2)]
+            start = time.monotonic()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            elapsed = time.monotonic() - start
+        finally:
+            d.db.sim_backend_latency = 0.0
+            for c in clients:
+                c.close()
+        assert not errors
+        assert elapsed >= 0.19

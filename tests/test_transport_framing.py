@@ -1,0 +1,166 @@
+"""Wire-level edge cases for the TCP transport: coalesced frames,
+frames split across segments, and pipelined request/reply ordering.
+
+These drive raw sockets (no MoiraClient) so TCP segmentation is under
+the test's control, and run against both dispatch modes: ``inline``
+(workers=0, queries on the selector thread — the seed behaviour) and
+``pooled`` (worker-pool dispatch with the wakeup-pipe reply path).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.db.schema import build_database
+from repro.errors import MR_MORE_DATA, MR_NO_MATCH
+from repro.kerberos import KDC
+from repro.protocol.transport import TcpServerTransport, connect_tcp
+from repro.protocol.wire import (
+    MajorRequest,
+    decode_reply,
+    encode_request,
+    read_frame,
+)
+from repro.queries.base import QueryContext, execute_query
+from repro.server import MoiraServer, seed_capacls
+from repro.sim.clock import Clock
+
+MACHINES = 5
+
+
+def _make_server(workers: int) -> MoiraServer:
+    db = build_database()
+    clock = Clock()
+    server = MoiraServer(db, clock, KDC(clock), workers=workers)
+    seed_capacls(db)
+    ctx = QueryContext(db=db, clock=clock, caller="root",
+                       client="framing", privileged=True)
+    for i in range(MACHINES):
+        execute_query(ctx, "add_machine", [f"FRAME{i}.MIT.EDU", "VAX"])
+    return server
+
+
+@pytest.fixture(params=[0, 4], ids=["inline", "pooled"])
+def tcp(request):
+    server = _make_server(request.param)
+    transport = TcpServerTransport(server).start()
+    yield transport
+    transport.stop()
+    server.shutdown()
+
+
+def _gmac(pattern: str) -> bytes:
+    return encode_request(MajorRequest.QUERY, ["get_machine", pattern])
+
+
+def _read_reply_stream(sock: socket.socket) -> list:
+    """Frames until (and including) the final non-MORE_DATA reply."""
+    replies = []
+    while True:
+        frame = read_frame(sock.recv)
+        assert frame, "server closed connection mid-stream"
+        reply = decode_reply(frame)
+        replies.append(reply)
+        if reply.code != MR_MORE_DATA:
+            return replies
+
+
+class TestFraming:
+    def test_two_frames_coalesced_in_one_segment(self, tcp):
+        """Both requests of a single send() answer, in order."""
+        with socket.create_connection(tcp.address, timeout=10) as sock:
+            sock.sendall(_gmac("FRAME*") + _gmac("FRAME1.MIT.EDU"))
+            first = _read_reply_stream(sock)
+            second = _read_reply_stream(sock)
+        assert [r.code for r in first].count(MR_MORE_DATA) == MACHINES
+        assert first[-1].code == 0
+        assert len(second) == 2
+        assert second[0].fields[0] == b"FRAME1.MIT.EDU"
+
+    def test_frame_split_across_segments(self, tcp):
+        """A request dribbled in 3-byte segments still parses whole."""
+        request = _gmac("FRAME2.MIT.EDU")
+        with socket.create_connection(tcp.address, timeout=10) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            for i in range(0, len(request), 3):
+                sock.sendall(request[i:i + 3])
+                time.sleep(0.002)
+            replies = _read_reply_stream(sock)
+        assert replies[0].fields[0] == b"FRAME2.MIT.EDU"
+        assert replies[-1].code == 0
+
+    def test_error_replies_frame_correctly(self, tcp):
+        with socket.create_connection(tcp.address, timeout=10) as sock:
+            sock.sendall(_gmac("NOPE*"))
+            replies = _read_reply_stream(sock)
+        assert len(replies) == 1
+        assert replies[0].code == MR_NO_MATCH
+
+
+class TestPipelining:
+    def test_pipelined_replies_arrive_in_request_order(self, tcp):
+        """One connection, many requests in flight: reply streams come
+        back strictly in request order, never interleaved."""
+        wanted = [f"FRAME{i % MACHINES}.MIT.EDU" for i in range(20)]
+        with socket.create_connection(tcp.address, timeout=10) as sock:
+            sock.sendall(b"".join(_gmac(name) for name in wanted))
+            for name in wanted:
+                replies = _read_reply_stream(sock)
+                assert replies[0].fields[0] == name.encode()
+                assert len(replies) == 2  # exactly one tuple + status
+
+    def test_connections_interleave_but_streams_do_not(self, tcp):
+        """Two pipelining connections get disjoint, in-order answers."""
+        socks = [socket.create_connection(tcp.address, timeout=10)
+                 for _ in range(2)]
+        try:
+            plans = [[f"FRAME{(i + j) % MACHINES}.MIT.EDU"
+                      for i in range(10)] for j in range(2)]
+            for sock, plan in zip(socks, plans):
+                sock.sendall(b"".join(_gmac(name) for name in plan))
+            for sock, plan in zip(socks, plans):
+                for name in plan:
+                    replies = _read_reply_stream(sock)
+                    assert replies[0].fields[0] == name.encode()
+        finally:
+            for sock in socks:
+                sock.close()
+
+    def test_client_helper_still_works(self, tcp):
+        host, port = tcp.address
+        conn = connect_tcp(host, port)
+        try:
+            replies = conn.call(MajorRequest.QUERY,
+                                ["get_machine", "FRAME0.MIT.EDU"])
+            assert replies[0].fields[0] == b"FRAME0.MIT.EDU"
+            assert replies[-1].code == 0
+        finally:
+            conn.close()
+
+
+class TestBackpressure:
+    def test_tiny_high_water_mark_does_not_deadlock(self):
+        """A big retrieve through a 2 KiB output window completes
+        byte-perfect: workers block on the high-water mark and resume
+        as the (slow) client drains."""
+        server = _make_server(workers=4)
+        ctx = QueryContext(db=server.db, clock=server.clock,
+                           caller="root", client="framing",
+                           privileged=True)
+        for i in range(300):
+            execute_query(ctx, "add_machine", [f"BULK{i}.MIT.EDU", "VAX"])
+        transport = TcpServerTransport(server, high_water=2048,
+                                       low_water=512).start()
+        try:
+            with socket.create_connection(transport.address,
+                                          timeout=30) as sock:
+                sock.sendall(_gmac("BULK*"))
+                replies = _read_reply_stream(sock)
+            assert [r.code for r in replies].count(MR_MORE_DATA) == 300
+            assert replies[-1].code == 0
+        finally:
+            transport.stop()
+            server.shutdown()
