@@ -31,6 +31,14 @@ connection.  Per-connection buffered output is bounded: past
 drains the socket below ``low_water`` (backpressure), and a connection
 with ``max_pipeline`` requests in flight stops being read until the
 backlog drains.
+
+The backpressure wait is client-paced, and a worker mid-stream may be
+holding the database's shared lock, so the wait cannot be unbounded: a
+connection that makes no drain progress for ``stall_timeout`` seconds
+is dropped (``on_reply`` returns False, the server closes the reply
+generator, and any held lock is released) rather than letting one
+stalled client wedge writers — and, through writer preference, every
+other client — indefinitely.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ import os
 import selectors
 import socket
 import threading
+import time
 from collections import deque
 from typing import Iterator, Protocol
 
@@ -190,11 +199,13 @@ class TcpServerTransport:
 
     def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
                  port: int = 0, *, high_water: int = 1 << 20,
-                 low_water: int = 1 << 18, max_pipeline: int = 64):
+                 low_water: int = 1 << 18, max_pipeline: int = 64,
+                 stall_timeout: float = 15.0):
         self.dispatcher = dispatcher
         self.high_water = high_water
         self.low_water = low_water
         self.max_pipeline = max_pipeline
+        self.stall_timeout = stall_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -214,6 +225,7 @@ class TcpServerTransport:
         self._conn_state: dict[socket.socket, _ConnState] = {}
         self._flush_lock = threading.Lock()
         self._flush_set: set[socket.socket] = set()
+        self._kill_set: set[socket.socket] = set()
         self._async = callable(getattr(dispatcher, "submit_frame", None))
 
     # -- lifecycle ----------------------------------------------------------
@@ -252,6 +264,13 @@ class TcpServerTransport:
             self._flush_set.add(sock)
         self._wake()
 
+    def _request_drop(self, sock: socket.socket) -> None:
+        """Worker side: ask the selector thread to drop *sock* (only
+        the selector may touch sockets and selector registrations)."""
+        with self._flush_lock:
+            self._kill_set.add(sock)
+        self._wake()
+
     # -- event loop -----------------------------------------------------------
 
     def _serve(self) -> None:
@@ -283,6 +302,10 @@ class TcpServerTransport:
         resume paused reads whose backlog drained."""
         with self._flush_lock:
             socks, self._flush_set = self._flush_set, set()
+            kills, self._kill_set = self._kill_set, set()
+        for sock in kills:
+            self._drop(sock)
+            socks.discard(sock)
         for sock in socks:
             state = self._conn_state.get(sock)
             if state is None:
@@ -373,15 +396,36 @@ class TcpServerTransport:
         run on worker threads."""
 
         def on_reply(frame: bytes) -> bool:
+            stalled = False
+            queued = False
             with state.cv:
+                # backpressure: wait for the selector to drain, but
+                # never indefinitely — the worker may hold the DB's
+                # shared lock, and this wait is paced by the client.
+                # A connection with no drain progress for
+                # stall_timeout seconds gets dropped instead.
+                deadline = None
                 while state.open and state.buffered >= self.high_water:
-                    state.cv.wait()  # backpressure: selector will drain
-                if not state.open:
-                    return False
-                state.pending.append(frame)
-                state.buffered += len(frame)
-            self._request_flush(sock)
-            return True
+                    now = time.monotonic()
+                    if deadline is None:
+                        deadline = now + self.stall_timeout
+                    elif now >= deadline:
+                        state.open = False
+                        stalled = True
+                        break
+                    before = state.buffered
+                    state.cv.wait(deadline - now)
+                    if state.buffered < before:
+                        deadline = None  # progress: restart the clock
+                if state.open:
+                    state.pending.append(frame)
+                    state.buffered += len(frame)
+                    queued = True
+            if stalled:
+                self._request_drop(sock)
+            if queued:
+                self._request_flush(sock)
+            return queued
 
         def on_done() -> None:
             with state.cv:

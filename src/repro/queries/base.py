@@ -419,9 +419,11 @@ def execute_query(ctx: QueryContext, name: str,
             # lazy handlers stream on the server path; the direct
             # library drains them under the lock
             result = list(result)
-    if query.side_effects and ctx.journal is not None:
-        ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
-                           query.name, tuple(str(a) for a in args))
+        if query.side_effects and ctx.journal is not None:
+            # inside the exclusive section: journal order always
+            # matches the order mutations hit the database
+            ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
+                               query.name, tuple(str(a) for a in args))
     if not query.side_effects and not result:
         raise MoiraError(MR_NO_MATCH, query.name)
     return result

@@ -65,12 +65,27 @@ class AccessCache:
                 self.hits += 1
             return found
 
+    def generation_now(self) -> int:
+        """The current generation, for :meth:`store`'s guard."""
+        with self._lock:
+            return self.generation
+
     def store(self, principal: str, query: str, args: tuple[str, ...],
-              allowed: bool) -> None:
-        """Remember a decision for the current generation."""
+              allowed: bool, *, generation: Optional[int] = None) -> None:
+        """Remember a decision for the current generation.
+
+        *generation* is the value of :meth:`generation_now` captured
+        **before** the access check ran.  If an invalidation landed in
+        between, the decision was computed against dead ACL state and
+        the store is discarded — otherwise a pre-mutation allow/deny
+        would be cached under the new generation and served until the
+        next ACL-relevant mutation.
+        """
         if not self.enabled:
             return
         with self._lock:
+            if generation is not None and generation != self.generation:
+                return
             # FIFO eviction: dict order is insertion order, so popping
             # the first key drops the oldest entry (oldest generation
             # first) — no wholesale clear, no thundering-herd refill

@@ -340,11 +340,15 @@ class MoiraServer:
             if not isinstance(result, list):
                 result = list(result)
             after = ctx.db.versions()
+            if ctx.journal is not None:
+                # still inside the exclusive section: journal order
+                # always matches the order mutations hit the database,
+                # so replay after a restore converges
+                ctx.journal.record(
+                    ctx.now, ctx.caller or "unauthenticated",
+                    query.name, tuple(str(a) for a in query_args))
         mutated = {name for name, version in after.items()
                    if before.get(name) != version}
-        if ctx.journal is not None:
-            ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
-                               query.name, tuple(str(a) for a in query_args))
         return result, mutated
 
     def _execute_read(self, ctx: QueryContext, query: Query,
@@ -383,6 +387,11 @@ class MoiraServer:
                         args: tuple[str, ...]) -> None:
         """check_query_access with the §5.5 access cache in front."""
         self.stats.incr("access_checks")
+        # capture the generation before the check runs: if an
+        # ACL-relevant mutation invalidates mid-check, store() discards
+        # the now-stale decision instead of caching it under the new
+        # generation (TOCTOU)
+        generation = self.access_cache.generation_now()
         cached = self.access_cache.lookup(ctx.caller, query.name, args)
         if cached is True:
             return
@@ -392,9 +401,11 @@ class MoiraServer:
             check_query_access(ctx, query, args)
         except MoiraError as exc:
             if exc.code == MR_PERM:
-                self.access_cache.store(ctx.caller, query.name, args, False)
+                self.access_cache.store(ctx.caller, query.name, args,
+                                        False, generation=generation)
             raise
-        self.access_cache.store(ctx.caller, query.name, args, True)
+        self.access_cache.store(ctx.caller, query.name, args, True,
+                                generation=generation)
 
     def _do_access(self, conn: _Connection, args: list[str]) -> list[bytes]:
         """The Access major request: would this query be allowed?"""

@@ -4,6 +4,7 @@ database lock, the worker pool, and the thread-safe access cache."""
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 
@@ -340,6 +341,163 @@ class TestAccessCacheEviction:
         assert d.server.access_cache.generation > gen
         ac.close()
         client.close()
+
+
+class TestAccessCacheTOCTOU:
+    def test_store_with_stale_generation_is_discarded(self):
+        """An invalidation landing between check and store must not let
+        the pre-mutation decision into the new generation."""
+        cache = AccessCache()
+        gen = cache.generation_now()
+        assert cache.invalidate({"members"}) is True  # mid-check bump
+        cache.store("p", "q", (), True, generation=gen)
+        assert cache.lookup("p", "q", ()) is None  # discarded
+
+    def test_store_with_current_generation_lands(self):
+        cache = AccessCache()
+        cache.store("p", "q", (), True, generation=cache.generation_now())
+        assert cache.lookup("p", "q", ()) is True
+
+
+class TestJournalOrdering:
+    def test_server_journals_inside_exclusive_lock(self, deployment):
+        """Journal.record must run while the writer still holds the
+        exclusive lock, so journal order always matches mutation order
+        (replay after a restore converges)."""
+        d = deployment
+        login = d.handles.logins[0]
+        d.make_admin(login)
+        client = d.client_for(login, "pw")
+        seen: list[bool] = []
+        original = d.server.journal.record
+
+        def spying_record(when, who, query, args):
+            seen.append(d.db.lock.write_locked)
+            return original(when, who, query, args)
+
+        d.server.journal.record = spying_record
+        try:
+            client.query("add_machine", "JORDER.MIT.EDU", "VAX")
+        finally:
+            d.server.journal.record = original
+            client.close()
+        assert seen == [True]
+
+    def test_direct_library_journals_inside_exclusive_lock(
+            self, deployment):
+        """Same invariant on the execute_query (glue library) path."""
+        d = deployment
+        direct = d.direct_client()
+        seen: list[bool] = []
+        original = d.server.journal.record
+
+        def spying_record(when, who, query, args):
+            seen.append(d.db.lock.write_locked)
+            return original(when, who, query, args)
+
+        d.server.journal.record = spying_record
+        try:
+            direct.query("add_machine", "JDIRECT.MIT.EDU", "VAX")
+        finally:
+            d.server.journal.record = original
+        assert seen == [True]
+
+
+class TestBackpressureStall:
+    """A connected-but-stalled client must not hold workers (and any
+    shared DB lock they carry) hostage: past stall_timeout without
+    drain progress the backpressure wait gives up and the connection
+    is handed to the selector for dropping."""
+
+    def _transport_and_state(self, deployment, **kwargs):
+        tcp = TcpServerTransport(deployment.server, **kwargs)
+        from repro.protocol.transport import _ConnState
+        a, b = socket.socketpair()
+        state = _ConnState(deployment.server.open_connection("stall"))
+        tcp._conn_state[a] = state
+        return tcp, a, b, state
+
+    def test_stalled_connection_is_dropped(self, deployment):
+        tcp, a, b, state = self._transport_and_state(
+            deployment, high_water=64, low_water=32, stall_timeout=0.2)
+        try:
+            on_reply, on_done = tcp._reply_sinks(a, state)
+            with state.cv:
+                state.buffered = tcp.high_water  # nothing ever drains
+            start = time.monotonic()
+            assert on_reply(b"x" * 16) is False
+            assert time.monotonic() - start >= 0.2
+            with tcp._flush_lock:
+                assert a in tcp._kill_set  # queued for selector drop
+            assert state.open is False
+            on_done()
+        finally:
+            b.close()
+            tcp.stop()  # never started: just drops conns, closes fds
+
+    def test_draining_connection_survives_past_timeout(self, deployment):
+        """Progress resets the stall clock: a slow-but-draining client
+        waits through several timeout windows without being dropped."""
+        tcp, a, b, state = self._transport_and_state(
+            deployment, high_water=64, low_water=32, stall_timeout=0.3)
+        try:
+            on_reply, on_done = tcp._reply_sinks(a, state)
+            with state.cv:
+                state.buffered = tcp.high_water
+
+            def drain_slowly():
+                # two partial drains inside separate timeout windows,
+                # then drop below high_water
+                for step in (8, 8, 40):
+                    time.sleep(0.2)
+                    with state.cv:
+                        state.buffered -= step
+                        state.cv.notify_all()
+
+            t = threading.Thread(target=drain_slowly)
+            t.start()
+            assert on_reply(b"x" * 16) is True  # not dropped
+            t.join(timeout=5)
+            with tcp._flush_lock:
+                assert a not in tcp._kill_set
+            on_done()
+        finally:
+            b.close()
+            tcp.stop()
+
+    def test_stalled_reader_releases_shared_lock_for_writers(
+            self, deployment):
+        """End to end at the server layer: a lazy retrieve whose client
+        sink stalls forever is abandoned, the reply generator is
+        closed, and the shared lock is released (a writer proceeds)."""
+        d = deployment
+        server = d.server
+        from repro.protocol.wire import MajorRequest, encode_request
+        conn_id = server.open_connection("stall-e2e")
+        frame = encode_request(
+            MajorRequest.QUERY, ["get_machine", "*"])[4:]
+        abandoned = threading.Event()
+
+        def on_reply(reply: bytes) -> bool:
+            return False  # client sink gives up immediately (stall)
+
+        def on_done() -> None:
+            abandoned.set()
+
+        server._run_frame(conn_id, frame, on_reply, on_done)
+        assert abandoned.wait(timeout=5)
+        # the shared lock must be free again: a writer gets through
+        got_exclusive = threading.Event()
+
+        def writer():
+            with d.db.lock:
+                got_exclusive.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert got_exclusive.wait(timeout=5)
+        t.join(timeout=5)
+        server.close_connection(conn_id)
 
 
 class TestConcurrentReads:
