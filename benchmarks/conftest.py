@@ -21,6 +21,7 @@ from repro.workload import PopulationSpec
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_dcm.json"
 BENCH_SERVER_JSON = RESULTS_DIR / "BENCH_server.json"
+BENCH_QUERIES_JSON = RESULTS_DIR / "BENCH_queries.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

@@ -14,7 +14,17 @@ characters and ``?`` a single character, anywhere in a string argument.
 
 *Indexes* are plain hash indexes maintained on insert/update/delete; the
 query layer requests them on the columns its handles filter by, which is
-what keeps the 10,000-user design point fast.
+what keeps the 10,000-user design point fast.  *Composite* indexes hash
+several columns at once for the hot multi-column WHERE shapes (the
+``members`` existence probe, ``alias`` type rows, ACE probes); a fully
+covered exact WHERE answers straight from one bucket.
+
+*Query plans* are compiled per (table, WHERE-shape) and cached: the ~100
+predefined query handles hit a small fixed set of shapes, so column
+classification (exact vs wildcard), coercion dispatch, and index choice
+happen once and replay with zero re-analysis.  Compiled wildcard
+patterns live in a bounded LRU.  Plans are invalidated by a schema
+epoch that moves on ``add_index``/``add_composite_index``.
 
 *Statistics* reproduce the TBLSTATS relation: per-table append/update/
 delete counters plus a modtime, maintained automatically.
@@ -32,7 +42,8 @@ from __future__ import annotations
 import bisect
 import fnmatch
 import re
-from collections import deque
+import threading
+from collections import OrderedDict, deque
 from typing import Any, Callable, ContextManager, Iterable, Iterator, Optional
 
 from repro.db.rwlock import RWLock
@@ -80,12 +91,56 @@ class WildcardPattern:
         """Does *value* contain a Moira wildcard character?"""
         return any(ch in value for ch in _WILDCARD_CHARS)
 
+    @classmethod
+    def compile(cls, pattern: str,
+                fold_case: bool = False) -> "WildcardPattern":
+        """A compiled pattern from the bounded process-wide LRU."""
+        return _PATTERN_LRU.get(pattern, fold_case)
+
     def matches(self, value: str) -> bool:
         """Does *value* match this pattern?"""
         return bool(self._regex.match(value))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WildcardPattern({self.pattern!r})"
+
+
+class _PatternLRU:
+    """Bounded LRU of compiled :class:`WildcardPattern` objects.
+
+    The predefined handles send the same handful of patterns over and
+    over (``*``, caller-typed prefixes); regex compilation is the
+    expensive part of wildcard classification, so it is paid once per
+    distinct (pattern, fold) pair.  Thread-safe: worker-pool readers
+    compile concurrently.
+    """
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, bool], WildcardPattern] = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, pattern: str, fold_case: bool) -> WildcardPattern:
+        key = (pattern, fold_case)
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return found
+            self.misses += 1
+        compiled = WildcardPattern(pattern, fold_case)
+        with self._lock:
+            self._entries[key] = compiled
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return compiled
+
+
+_PATTERN_LRU = _PatternLRU()
 
 
 def _literal_prefix(pattern: str) -> Optional[str]:
@@ -224,11 +279,17 @@ class _Index:
         return self.buckets.get(self._key(value), [])
 
     def prefix_lookup(self, prefix: str) -> list[Row]:
-        """All rows whose (folded) key starts with *prefix*."""
+        """All rows whose (folded) key starts with *prefix*.
+
+        Non-string keys (an index on an int-typed column) can never
+        match a string prefix, so they are excluded from the sorted key
+        list instead of crashing ``key.startswith``.
+        """
         if self.column.fold_case:
             prefix = prefix.lower()
         if self._sorted_keys is None:
-            self._sorted_keys = sorted(self.buckets)
+            self._sorted_keys = sorted(
+                k for k in self.buckets if isinstance(k, str))
         keys = self._sorted_keys
         out: list[Row] = []
         for i in range(bisect.bisect_left(keys, prefix), len(keys)):
@@ -237,6 +298,109 @@ class _Index:
                 break
             out.extend(self.buckets[key])
         return out
+
+
+class _CompositeIndex:
+    """Hash index over several columns (tuple-keyed buckets).
+
+    Declared in the schema for hot multi-column WHERE shapes; a bucket
+    holds exactly the rows equal (per column semantics, case folded
+    where declared) on every indexed column, so an exact WHERE fully
+    covered by the index needs no residual filtering at all.
+    """
+
+    def __init__(self, columns: list[Column]):
+        self.columns = tuple(columns)
+        self.names = tuple(c.name for c in columns)
+        self.buckets: dict[tuple, list[Row]] = {}
+
+    @staticmethod
+    def _fold(column: Column, value: Any) -> Any:
+        if column.kind is str and column.fold_case:
+            return str(value).lower()
+        return value
+
+    def _row_key(self, row: Row) -> tuple:
+        return tuple(self._fold(c, row[c.name]) for c in self.columns)
+
+    def add(self, row: Row) -> None:
+        """Index *row* under its tuple of column values."""
+        self.buckets.setdefault(self._row_key(row), []).append(row)
+
+    def remove(self, row: Row) -> None:
+        """Drop *row* from its bucket."""
+        key = self._row_key(row)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            raise MoiraError(MR_INTERNAL,
+                             f"composite index missing bucket {key!r}")
+        bucket.remove(row)
+        if not bucket:
+            del self.buckets[key]
+
+    def lookup_values(self, values: dict) -> list[Row]:
+        """All rows whose indexed columns equal *values* (coerced)."""
+        key = tuple(self._fold(c, values[c.name]) for c in self.columns)
+        return self.buckets.get(key, [])
+
+
+# WHERE-shapes per table kept compiled; ad-hoc callers with unbounded
+# shape variety (tests) just recompile instead of growing the dict.
+_PLAN_CACHE_LIMIT = 64
+
+
+class _Plan:
+    """A compiled (table, WHERE-shape) execution plan.
+
+    A *shape* is the name-sorted tuple of (column, is-wildcard) pairs of
+    a WHERE dict.  The plan fixes everything that does not depend on the
+    actual argument values: resolved Column objects for coercion, the
+    widest composite index contained in the exact columns, the
+    single-column indexes available for selectivity comparison, and
+    whether the plan is fully *covered* (one bucket answers the query
+    with no residual filtering; its length answers ``count()``).
+    Compiled once, replayed with zero re-analysis until the table's
+    schema epoch moves.
+    """
+
+    __slots__ = ("epoch", "exact", "wild", "composite", "covered", "single")
+
+    def __init__(self, table: "Table", shape: tuple[tuple[str, bool], ...],
+                 epoch: int):
+        self.epoch = epoch
+        self.exact: tuple[tuple[str, Column], ...] = tuple(
+            (name, table.columns[name])
+            for name, is_wild in shape if not is_wild)
+        # wildcard columns carry their single index (or None) for the
+        # literal-prefix fast path
+        self.wild: tuple[tuple[str, Column, Optional[_Index]], ...] = tuple(
+            (name, table.columns[name], table._indexes.get(name))
+            for name, is_wild in shape if is_wild)
+        exact_names = {name for name, _ in self.exact}
+        self.composite: Optional[_CompositeIndex] = None
+        for comp in table._composites.values():
+            if set(comp.names) <= exact_names:
+                if self.composite is None or \
+                        len(comp.names) > len(self.composite.names):
+                    self.composite = comp
+        self.single: tuple[tuple[str, _Index], ...] = tuple(
+            (name, table._indexes[name])
+            for name, _ in self.exact if name in table._indexes)
+        # covered: no wildcards, and one bucket *is* the full answer —
+        # either a composite over every exact column, or a single
+        # indexed column that is the whole WHERE
+        self.covered = not self.wild and (
+            (self.composite is not None
+             and len(self.composite.names) == len(self.exact))
+            or (len(self.exact) == 1 and len(self.single) == 1))
+
+    def covered_bucket(self, exact_values: dict) -> list[Row]:
+        """The one bucket answering a covered plan (see ``covered``)."""
+        if self.composite is not None and \
+                len(self.composite.names) == len(self.exact):
+            return self.composite.lookup_values(exact_values)
+        name, index = self.single[0]
+        return index.lookup(exact_values[name])
 
 
 class TableStats:
@@ -267,6 +431,7 @@ class Table:
         *,
         unique: Iterable[tuple[str, ...]] = (),
         indexes: Iterable[str] = (),
+        composite_indexes: Iterable[tuple[str, ...]] = (),
         changelog: int = 0,
     ):
         self.name = name
@@ -276,6 +441,10 @@ class Table:
         self.rows: list[Row] = []
         self.unique_keys: list[tuple[str, ...]] = [tuple(u) for u in unique]
         self._indexes: dict[str, _Index] = {}
+        self._composites: dict[tuple[str, ...], _CompositeIndex] = {}
+        self._plans: dict[tuple, _Plan] = {}
+        self._schema_epoch = 0
+        self._fast_path = True
         self.stats = TableStats()
         # data version: bumped once per mutated row (never by DCM
         # bookkeeping writes), the basis of the generators' exact
@@ -285,6 +454,8 @@ class Table:
             deque(maxlen=changelog) if changelog > 0 else None)
         for col in indexes:
             self.add_index(col)
+        for cols in composite_indexes:
+            self.add_composite_index(cols)
         # every unique key's first column gets an index so uniqueness
         # checks don't scan
         for key in self.unique_keys:
@@ -308,6 +479,27 @@ class Table:
         for row in self.rows:
             index.add(row)
         self._indexes[column_name] = index
+        self._schema_epoch += 1  # cached plans re-analyse lazily
+
+    def add_composite_index(self, column_names: Iterable[str]) -> None:
+        """Create (and backfill) a hash index over several columns."""
+        columns = [self.column(name) for name in column_names]
+        if len(columns) < 2:
+            raise ValueError("composite index needs at least two columns")
+        index = _CompositeIndex(columns)
+        for row in self.rows:
+            index.add(row)
+        self._composites[index.names] = index
+        self._schema_epoch += 1
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle the compiled-plan path (benchmark/oracle knob).
+
+        Disabled, ``iter_select`` runs the seed's per-call analysis
+        (single-column index pick, fresh pattern compilation) — results
+        are identical either way, which the oracle tests assert.
+        """
+        self._fast_path = bool(enabled)
 
     # -- change tracking ----------------------------------------------------
 
@@ -372,6 +564,8 @@ class Table:
         self.rows.append(row)
         for index in self._indexes.values():
             index.add(row)
+        for comp in self._composites.values():
+            comp.add(row)
         self.stats.appends += 1
         self.stats.modtime = now
         self._bump("insert", None, dict(row))
@@ -395,13 +589,19 @@ class Table:
                 raise MoiraError(MR_EXISTS, f"{self.name}: {changes}")
         touched_indexes = [idx for name, idx in self._indexes.items()
                            if name in coerced]
+        touched_composites = [comp for comp in self._composites.values()
+                              if any(name in coerced for name in comp.names)]
         for row in rows:
             before = dict(row) if touch_stats else None
             for index in touched_indexes:
                 index.remove(row)
+            for comp in touched_composites:
+                comp.remove(row)
             row.update(coerced)
             for index in touched_indexes:
                 index.add(row)
+            for comp in touched_composites:
+                comp.add(row)
             if touch_stats:
                 self._bump("update", before, dict(row))
         if touch_stats:
@@ -416,6 +616,8 @@ class Table:
         for row in rows:
             for index in self._indexes.values():
                 index.remove(row)
+            for comp in self._composites.values():
+                comp.remove(row)
             self._bump("delete", dict(row), None)
         # identity-set filter: one O(rows) pass instead of one
         # list.remove() scan per deleted row
@@ -431,6 +633,8 @@ class Table:
         for index in self._indexes.values():
             index.buckets.clear()
             index._sorted_keys = None
+        for comp in self._composites.values():
+            comp.buckets.clear()
         self._bump("clear", None, None)
         if self._changelog is not None:
             # a wholesale reload can't be described row-by-row; empty the
@@ -462,6 +666,118 @@ class Table:
     ) -> Iterator[Row]:
         """Yield matching rows (see select())."""
         where = where or {}
+        if not self._fast_path:
+            yield from self._iter_select_legacy(where, predicate)
+            return
+        if not where:
+            for row in self.rows:
+                if predicate is None or predicate(row):
+                    yield row
+            return
+
+        plan, exact, wild = self._bind_plan(where)
+
+        # fully covered exact WHERE: one bucket is the whole answer,
+        # no residual filtering
+        if plan.covered:
+            bucket = plan.covered_bucket(exact)
+            for row in bucket:
+                if predicate is None or predicate(row):
+                    yield row
+            return
+
+        # pick the most selective available bucket
+        best: Optional[list[Row]] = None
+        if plan.composite is not None:
+            best = plan.composite.lookup_values(exact)
+        for name, index in plan.single:
+            bucket = index.lookup(exact[name])
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        # literal-prefix wildcards ("CHURN*") can use an index too —
+        # the common prefix-query shape must not force a full scan
+        for (name, _column, index), pattern in zip(plan.wild, wild):
+            if index is None:
+                continue
+            prefix = _literal_prefix(pattern.pattern)
+            if prefix is None:
+                continue
+            bucket = index.prefix_lookup(prefix)
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        if best is not None and not best:
+            return
+        candidates: Iterable[Row] = self.rows if best is None else best
+
+        columns = self.columns
+        for row in candidates:
+            ok = True
+            for name, _column in plan.exact:
+                if not columns[name].equal(row[name], exact[name]):
+                    ok = False
+                    break
+            if ok:
+                for (name, _column, _index), pattern in zip(plan.wild, wild):
+                    if not pattern.matches(str(row[name])):
+                        ok = False
+                        break
+            if ok and predicate is not None and not predicate(row):
+                ok = False
+            if ok:
+                yield row
+
+    def _bind_plan(self, where: dict) -> tuple[
+            _Plan, dict[str, Any], list[WildcardPattern]]:
+        """Resolve the cached plan for *where* and bind its values.
+
+        Returns (plan, coerced exact values, compiled wildcard patterns
+        aligned with ``plan.wild``).  Classification per column is one
+        ``is_wild`` string scan; everything else replays from the plan.
+        """
+        shape_parts = []
+        for name in sorted(where):
+            column = self.column(name)
+            is_wild = (column.kind is str
+                       and WildcardPattern.is_wild(str(where[name])))
+            shape_parts.append((name, is_wild))
+        shape = tuple(shape_parts)
+        plan = self._plans.get(shape)
+        if plan is None or plan.epoch != self._schema_epoch:
+            if len(self._plans) >= _PLAN_CACHE_LIMIT:
+                self._plans.clear()
+            plan = _Plan(self, shape, self._schema_epoch)
+            self._plans[shape] = plan
+        exact = {name: column.coerce(where[name])
+                 for name, column in plan.exact}
+        wild = [WildcardPattern.compile(str(where[name]), column.fold_case)
+                for name, column, _index in plan.wild]
+        return plan, exact, wild
+
+    def count(self, where: Optional[dict] = None) -> int:
+        """Number of rows matching *where*.
+
+        An exact-only WHERE fully covered by a (composite) index
+        answers from the bucket length without iterating rows.
+        """
+        if not where:
+            return len(self.rows)
+        if self._fast_path:
+            plan, exact, wild = self._bind_plan(where)
+            if plan.covered and not wild:
+                return len(plan.covered_bucket(exact))
+        return sum(1 for _ in self.iter_select(where))
+
+    def _iter_select_legacy(
+        self,
+        where: dict,
+        predicate: Optional[Callable[[Row], bool]] = None,
+    ) -> Iterator[Row]:
+        """The seed's per-call path: re-classify, re-compile, re-pick.
+
+        Kept verbatim as the ``set_fast_path(False)`` baseline — the
+        E11 benchmark and the oracle tests compare the compiled-plan
+        path against it for byte-identical results.
+        """
         exact: dict[str, Any] = {}
         wild: dict[str, WildcardPattern] = {}
         for name, value in where.items():
@@ -481,8 +797,6 @@ class Table:
             bucket = index.lookup(value)
             if best is None or len(bucket) < len(best[1]):
                 best = (name, bucket)
-        # literal-prefix wildcards ("CHURN*") can use an index too —
-        # the common prefix-query shape must not force a full scan
         for name, pattern in wild.items():
             index = self._indexes.get(name)
             prefix = _literal_prefix(pattern.pattern)
@@ -510,12 +824,6 @@ class Table:
             if ok:
                 yield row
 
-    def count(self, where: Optional[dict] = None) -> int:
-        """Number of rows matching *where*."""
-        if not where:
-            return len(self.rows)
-        return sum(1 for _ in self.iter_select(where))
-
     def __len__(self) -> int:
         return len(self.rows)
 
@@ -540,6 +848,31 @@ class Database:
         self.tables: dict[str, Table] = {}
         self.lock = RWLock()
         self.sim_backend_latency = 0.0
+        # the incrementally maintained membership-closure index (lazy;
+        # ``closure_enabled=False`` falls back to the recursive walk)
+        self.closure_enabled = True
+        self._closure = None
+
+    def membership_closure(self):
+        """The membership-closure index over the ``members`` relation.
+
+        Built lazily the first time an access-control path asks for it;
+        None when this database has no ``members`` relation (ad-hoc
+        test databases, §5.1 D extra databases).
+        """
+        if self._closure is None:
+            if "members" not in self.tables:
+                return None
+            from repro.db.closure import MembershipClosure
+            self._closure = MembershipClosure(self.tables["members"])
+        return self._closure
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle every fast path at once (benchmark knob): compiled
+        plans on each table and the membership-closure index."""
+        self.closure_enabled = bool(enabled)
+        for table in self.tables.values():
+            table.set_fast_path(enabled)
 
     def read_locked(self) -> ContextManager[None]:
         """Shared-mode critical section for side-effect-free queries."""

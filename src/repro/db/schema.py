@@ -136,6 +136,7 @@ def build_database() -> Database:
         ],
         unique=[("mach_id", "clu_id")],
         indexes=["mach_id", "clu_id"],
+        composite_indexes=[("mach_id", "clu_id")],  # mapping probe
     ))
 
     db.create_table(Table(
@@ -165,6 +166,7 @@ def build_database() -> Database:
         ] + _audit(),
         unique=[("name",), ("list_id",)],
         indexes=["name", "list_id", "gid", "acl_id"],
+        composite_indexes=[("acl_type", "acl_id")],  # ACE reverse probe
     ))
 
     db.create_table(Table(
@@ -176,6 +178,13 @@ def build_database() -> Database:
         ],
         unique=[("list_id", "member_type", "member_id")],
         indexes=["list_id", "member_id"],
+        # the two hottest shapes on the access path: the exact
+        # existence probe and the "which lists hold this member"
+        # reverse probe the closure index builds on
+        composite_indexes=[("list_id", "member_type", "member_id"),
+                           ("member_type", "member_id")],
+        # feeds the incrementally maintained membership-closure index
+        changelog=4096,
     ))
 
     db.create_table(Table(
@@ -197,6 +206,7 @@ def build_database() -> Database:
         ] + _audit(),
         unique=[("name",)],
         indexes=["name"],
+        composite_indexes=[("acl_type", "acl_id")],  # ACE reverse probe
     ))
 
     db.create_table(Table(
@@ -268,6 +278,7 @@ def build_database() -> Database:
         ] + _audit(),
         unique=[("users_id", "filsys_id")],
         indexes=["users_id", "filsys_id", "phys_id"],
+        composite_indexes=[("users_id", "filsys_id")],  # quota probe
     ))
 
     db.create_table(Table(
@@ -285,6 +296,9 @@ def build_database() -> Database:
         ] + _audit(),
         unique=[("class",)],
         indexes=["class"],
+        # each Zephyr ACL slot is probed as an (entity type, id) pair
+        composite_indexes=[("xmt_type", "xmt_id"), ("sub_type", "sub_id"),
+                           ("iws_type", "iws_id"), ("iui_type", "iui_id")],
     ))
 
     db.create_table(Table(
@@ -296,6 +310,7 @@ def build_database() -> Database:
         ] + _audit(),
         unique=[("mach_id",)],
         indexes=["mach_id"],
+        composite_indexes=[("acl_type", "acl_id")],  # ACE reverse probe
     ))
 
     db.create_table(Table(
@@ -352,6 +367,7 @@ def build_database() -> Database:
             Column("trans", str, max_len=128),
         ],
         indexes=["name", "type"],
+        composite_indexes=[("name", "type")],  # the check_type probe
     ))
 
     db.create_table(Table(

@@ -91,6 +91,9 @@ class Query:
         return f"{self.name} ({self.shortname}): args: {args}; returns: {rets}"
 
 
+_UNSET = object()  # caller-row memo sentinel (None is a valid cached miss)
+
+
 @dataclass
 class QueryContext:
     """Everything a query handler needs to run on behalf of a caller."""
@@ -104,6 +107,14 @@ class QueryContext:
     # additional databases reachable through the same query mechanism
     # (§5.1 D); keys are database names referenced by Query.database.
     extra_databases: Optional[dict[str, Database]] = None
+    # caller-row memo, validated against the users table data version so
+    # a long-lived context (DirectClient) never serves a stale row;
+    # init=False keeps dataclasses.replace() from carrying it across
+    # databases
+    _caller_row_cache: object = field(default=_UNSET, init=False,
+                                      repr=False, compare=False)
+    _caller_row_version: object = field(default=None, init=False,
+                                        repr=False, compare=False)
 
     def database_for(self, query: "Query") -> Database:
         """Resolve the database a query handle runs against."""
@@ -124,11 +135,25 @@ class QueryContext:
     # -- identity helpers -------------------------------------------------
 
     def caller_row(self) -> Optional[Row]:
-        """The caller's users row, or None."""
+        """The caller's users row, or None (memoised per data version).
+
+        The access path used to re-select this row on every capability
+        and ACE check; the memo is validated against the users table's
+        data version, so it is exact even on a long-lived context that
+        spans mutations.
+        """
         if not self.caller:
             return None
-        rows = self.db.table("users").select({"login": self.caller})
-        return rows[0] if rows else None
+        users = self.db.table("users")
+        version = getattr(users, "version", None)
+        if (version is not None and self._caller_row_cache is not _UNSET
+                and self._caller_row_version == version):
+            return self._caller_row_cache  # type: ignore[return-value]
+        rows = users.select({"login": self.caller})
+        row = rows[0] if rows else None
+        self._caller_row_cache = row
+        self._caller_row_version = version
+        return row
 
     def is_caller(self, login: str) -> bool:
         """Is *login* the authenticated caller?"""
@@ -152,12 +177,44 @@ class QueryContext:
             return False
         return self.user_on_list_id(rows[0]["list_id"], self.caller)
 
+    def _membership_closure(self):
+        """The database's closure index, or None (disabled / no
+        ``members`` relation / backend without one)."""
+        if not getattr(self.db, "closure_enabled", False):
+            return None
+        factory = getattr(self.db, "membership_closure", None)
+        return factory() if factory is not None else None
+
+    def _login_users_id(self, login: str) -> Optional[int]:
+        """users_id for *login* (via the caller-row memo when it is
+        the caller being resolved), or None."""
+        if self.caller and login == self.caller:
+            row = self.caller_row()
+            return None if row is None else row["users_id"]
+        rows = self.db.table("users").select({"login": login})
+        return rows[0]["users_id"] if rows else None
+
     def user_on_list_id(self, list_id: int, login: str) -> bool:
-        """Recursive list membership check (sub-lists expanded)."""
-        user = self.db.table("users").select({"login": login})
-        if not user:
+        """Recursive list membership check (sub-lists expanded).
+
+        Answered from the membership-closure index when available —
+        O(direct lists of the user) instead of a per-call graph walk —
+        with the seed's recursive walk as the fallback, so the
+        optimisation can never change an answer.
+        """
+        users_id = self._login_users_id(login)
+        if users_id is None:
             return False
-        users_id = user[0]["users_id"]
+        closure = self._membership_closure()
+        if closure is not None:
+            try:
+                return closure.contains(int(list_id), "USER", users_id)
+            except Exception:
+                pass  # fall back to the walk rather than fail the check
+        return self._user_on_list_walk(int(list_id), users_id)
+
+    def _user_on_list_walk(self, list_id: int, users_id: int) -> bool:
+        """The seed's downward graph walk (closure fallback/oracle)."""
         seen: set[int] = set()
         stack = [int(list_id)]
         members = self.db.table("members")
@@ -172,6 +229,37 @@ class QueryContext:
                 if row["member_type"] == "LIST":
                     stack.append(int(row["member_id"]))
         return False
+
+    def lists_containing(self, member_type: str, member_id: int) -> set[int]:
+        """Every list_id transitively containing (member_type, member_id).
+
+        The R-typed retrievals (``get_lists_of_member``,
+        ``get_ace_use``) build on this; closure-indexed when available,
+        upward walk otherwise.
+        """
+        closure = self._membership_closure()
+        if closure is not None:
+            try:
+                return closure.lists_containing(member_type, int(member_id))
+            except Exception:
+                pass
+        return self._lists_containing_walk(member_type, int(member_id))
+
+    def _lists_containing_walk(self, member_type: str,
+                               member_id: int) -> set[int]:
+        """Upward breadth-first walk over ``members`` (closure oracle)."""
+        members = self.db.table("members")
+        found: set[int] = set()
+        frontier = [m["list_id"] for m in members.select(
+            {"member_type": member_type, "member_id": member_id})]
+        while frontier:
+            lid = frontier.pop()
+            if lid in found:
+                continue
+            found.add(lid)
+            frontier.extend(m["list_id"] for m in members.select(
+                {"member_type": "LIST", "member_id": lid}))
+        return found
 
     def caller_satisfies_ace(self, ace_type: str, ace_id: int) -> bool:
         """True if the caller matches an (acl_type, acl_id) entity."""

@@ -290,20 +290,12 @@ def get_lists_of_member(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
         raise MoiraError(MR_TYPE, mtype)
     _, member_id = _resolve_member(ctx, base_type, value)
 
-    members = ctx.db.table("members")
-    direct = {m["list_id"] for m in members.select(
-        {"member_type": base_type, "member_id": member_id})}
-    found = set(direct)
     if recursive:
-        frontier = list(direct)
-        while frontier:
-            lid = frontier.pop()
-            for parent in members.select(
-                    {"member_type": "LIST", "member_id": lid}):
-                pid = parent["list_id"]
-                if pid not in found:
-                    found.add(pid)
-                    frontier.append(pid)
+        # closure-indexed: direct lists plus every ancestor, no walk
+        found = ctx.lists_containing(base_type, member_id)
+    else:
+        found = {m["list_id"] for m in ctx.db.table("members").select(
+            {"member_type": base_type, "member_id": member_id})}
 
     lists = ctx.db.table("list")
     out = []
@@ -352,42 +344,49 @@ def get_ace_use(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     _, target_id = _resolve_member(ctx, base_type, ace_name)
 
     # Candidate ACE entities: the target itself, plus (recursively) every
-    # list the target is a member of when the R-type is used.
+    # list the target is a member of when the R-type is used — one
+    # closure-index lookup instead of a per-call graph walk.
     entities: set[tuple[str, int]] = {(base_type, target_id)}
     if recursive:
-        members = ctx.db.table("members")
-        frontier = [m["list_id"] for m in members.select(
-            {"member_type": base_type, "member_id": target_id})]
-        seen = set()
-        while frontier:
-            lid = frontier.pop()
-            if lid in seen:
-                continue
-            seen.add(lid)
-            entities.add(("LIST", lid))
-            frontier.extend(m["list_id"] for m in members.select(
-                {"member_type": "LIST", "member_id": lid}))
+        entities |= {("LIST", lid)
+                     for lid in ctx.lists_containing(base_type, target_id)}
 
-    out = []
-    for row in ctx.db.table("list").rows:
-        if (row["acl_type"], row["acl_id"]) in entities:
-            out.append(("LIST", row["name"]))
-    for row in ctx.db.table("servers").rows:
-        if (row["acl_type"], row["acl_id"]) in entities:
-            out.append(("SERVICE", row["name"]))
-    for row in ctx.db.table("filesys").rows:
-        if ("USER", row["owner"]) in entities or \
-                ("LIST", row["owners"]) in entities:
-            out.append(("FILESYS", row["label"]))
-    for row in ctx.db.table("capacls").rows:
-        if ("LIST", row["list_id"]) in entities:
-            out.append(("QUERY", row["capability"]))
-    for row in ctx.db.table("hostaccess").rows:
-        if (row["acl_type"], row["acl_id"]) in entities:
-            machines = ctx.db.table("machine").select(
+    # Per-entity *reverse* probes against the ACE composite indexes
+    # (and the filesys owner / capacls list_id single indexes) instead
+    # of five full-table scans: O(entities + results), not O(database).
+    # Each category is emitted name-sorted, so the answer is a function
+    # of the data alone.
+    db = ctx.db
+    out: list[tuple[str, str]] = []
+    for kind, table in (("LIST", "list"), ("SERVICE", "servers")):
+        names = {row["name"]
+                 for acl_type, acl_id in entities
+                 for row in db.table(table).select(
+                     {"acl_type": acl_type, "acl_id": acl_id})}
+        out.extend((kind, name) for name in sorted(names))
+    # a filesys row can match through owner AND owners: dedupe by row
+    matched_filesys: dict[int, str] = {}
+    filesys = db.table("filesys")
+    for acl_type, acl_id in entities:
+        column = {"USER": "owner", "LIST": "owners"}.get(acl_type)
+        if column is not None:
+            for row in filesys.select({column: acl_id}):
+                matched_filesys[id(row)] = row["label"]
+    out.extend(("FILESYS", label)
+               for label in sorted(matched_filesys.values()))
+    caps = {row["capability"]
+            for acl_type, acl_id in entities if acl_type == "LIST"
+            for row in db.table("capacls").select({"list_id": acl_id})}
+    out.extend(("QUERY", cap) for cap in sorted(caps))
+    hosts = set()
+    for acl_type, acl_id in entities:
+        for row in db.table("hostaccess").select(
+                {"acl_type": acl_type, "acl_id": acl_id}):
+            machines = db.table("machine").select(
                 {"mach_id": row["mach_id"]})
             if machines:
-                out.append(("HOSTACCESS", machines[0]["name"]))
+                hosts.add(machines[0]["name"])
+    out.extend(("HOSTACCESS", host) for host in sorted(hosts))
     for row in ctx.db.table("zephyr").rows:
         for col in ("xmt", "sub", "iws", "iui"):
             if (row[f"{col}_type"], row[f"{col}_id"]) in entities:

@@ -15,6 +15,11 @@ bump the generation, so a read-mostly workload no longer loses the
 whole cache to every quota update or string interning.  The cache is
 thread-safe: worker-pool threads look up, store, and invalidate
 concurrently.
+
+This cache memoises whole access *decisions*; the membership-closure
+index (``repro.db.closure``, see docs/QUERY_ENGINE.md) accelerates the
+recursive-membership primitive underneath them, so cold checks after an
+invalidation are cheap too — the two layers compose.
 """
 
 from __future__ import annotations
@@ -112,6 +117,17 @@ class AccessCache:
             # dropping them eagerly keeps lookups from walking garbage
             self._cache.clear()
         return True
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters for benchmarks and ``_query_stats``
+        companions."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "generation": self.generation,
+                "entries": len(self._cache),
+            }
 
 
 def seed_capacls(db: Database, admin_list: str = "moira-admins",

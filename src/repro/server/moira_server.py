@@ -24,6 +24,11 @@ Concurrency (beyond the paper, after MCS's multithreaded engine):
 * :meth:`handle_frame_stream` yields reply frames as tuples are
   produced, so a 10k-tuple retrieve starts answering before the scan
   finishes instead of materialising every encoded reply in a list.
+
+Every query execution is folded into a per-handle
+:class:`~repro.server.metrics.QueryMetrics` row (calls, errors, tuples,
+wall/lock-wait histograms), surfaced through the ``_query_stats``
+pseudo-query the same way ``_list_users`` reads the connection table.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ from repro.queries.base import (
 )
 from repro.server.access import AccessCache
 from repro.server.dispatch import WorkerPool
+from repro.server.metrics import QueryMetrics
 from repro.sim.clock import Clock
 
 __all__ = ["MoiraServer", "ServerStats", "default_workers"]
@@ -140,6 +146,7 @@ class MoiraServer:
         dcm_trigger: Optional[Callable[[], None]] = None,
         service_principal: str = MOIRA_SERVICE_PRINCIPAL,
         workers: Optional[int] = None,
+        metrics: Optional[QueryMetrics] = None,
     ):
         self.db = db
         self.clock = clock
@@ -149,6 +156,7 @@ class MoiraServer:
         self.dcm_trigger = dcm_trigger
         self.service_principal = service_principal
         self.stats = ServerStats()
+        self.metrics = metrics if metrics is not None else QueryMetrics()
         self.workers = default_workers() if workers is None else workers
         self._pool: Optional[WorkerPool] = (
             WorkerPool(self.workers) if self.workers > 0 else None)
@@ -292,27 +300,51 @@ class MoiraServer:
         if name == "_list_users":
             yield from self._list_users()
             return
+        if name == "_query_stats":
+            yield from self._query_stats(query_args)
+            return
         query = get_query(name)
         if query is None:
             raise MoiraError(MR_NO_HANDLE, name)
         ctx = self._context_for(conn)
-        self._checked_access(ctx, query, tuple(query_args))
-        if query.side_effects:
-            tuples, mutated = self._execute_write(ctx, query, query_args)
-            self.stats.incr("queries_executed")
-            self.access_cache.invalidate(mutated)
-            for t in tuples:
-                yield encode_reply(MR_MORE_DATA, t)
-            self.stats.incr("tuples_returned", len(tuples))
-            yield encode_reply(0)
-            return
+        started = time.perf_counter()
+        timing = {"lock_wait_s": 0.0}
         count = 0
-        for t in self._execute_read(ctx, query, query_args):
-            count += 1
-            yield encode_reply(MR_MORE_DATA, t)
-        self.stats.incr("queries_executed")
-        self.stats.incr("tuples_returned", count)
-        yield encode_reply(0)
+        failed = True
+        try:
+            self._checked_access(ctx, query, tuple(query_args))
+            if query.side_effects:
+                tuples, mutated = self._execute_write(
+                    ctx, query, query_args, timing=timing)
+                self.stats.incr("queries_executed")
+                self.access_cache.invalidate(mutated)
+                if "members" in mutated:
+                    self._poke_closure()
+                for t in tuples:
+                    count += 1
+                    yield encode_reply(MR_MORE_DATA, t)
+                self.stats.incr("tuples_returned", count)
+                failed = False
+                yield encode_reply(0)
+                return
+            for t in self._execute_read(ctx, query, query_args,
+                                        timing=timing):
+                count += 1
+                yield encode_reply(MR_MORE_DATA, t)
+            self.stats.incr("queries_executed")
+            self.stats.incr("tuples_returned", count)
+            failed = False
+            yield encode_reply(0)
+        except GeneratorExit:
+            failed = False  # client abandoned the stream; not a failure
+            raise
+        finally:
+            # streamed retrievals are timed to the last tuple drained —
+            # the latency a client actually sees
+            self.metrics.record(
+                query.name, wall_s=time.perf_counter() - started,
+                tuples=count, error=failed,
+                lock_wait_s=timing["lock_wait_s"])
 
     @staticmethod
     def _check_argc(query: Query, query_args: list[str]) -> None:
@@ -326,14 +358,20 @@ class MoiraServer:
             time.sleep(delay)
 
     def _execute_write(self, ctx: QueryContext, query: Query,
-                       query_args: list[str]) -> tuple[list, set[str]]:
+                       query_args: list[str],
+                       timing: Optional[dict] = None
+                       ) -> tuple[list, set[str]]:
         """Run a mutating query under the exclusive lock.
 
         Returns (result tuples, names of tables whose data version
         moved) — the latter scopes the access-cache invalidation.
+        *timing*, when given, receives ``lock_wait_s``.
         """
         self._check_argc(query, query_args)
+        wait_started = time.perf_counter()
         with query_lock(ctx.db, True):
+            if timing is not None:
+                timing["lock_wait_s"] = time.perf_counter() - wait_started
             self._backend_delay(ctx.db)
             before = ctx.db.versions()
             result = query.handler(ctx, query_args)
@@ -352,15 +390,20 @@ class MoiraServer:
         return result, mutated
 
     def _execute_read(self, ctx: QueryContext, query: Query,
-                      query_args: list[str]) -> Iterator[tuple]:
+                      query_args: list[str],
+                      timing: Optional[dict] = None) -> Iterator[tuple]:
         """Run a retrieval under the shared lock, yielding tuples.
 
         List results release the lock before streaming; lazy handler
         results stream *under* the shared lock (writers wait until the
-        scan drains, readers do not).
+        scan drains, readers do not).  *timing*, when given, receives
+        ``lock_wait_s``.
         """
         self._check_argc(query, query_args)
+        wait_started = time.perf_counter()
         with query_lock(ctx.db, False):
+            if timing is not None:
+                timing["lock_wait_s"] = time.perf_counter() - wait_started
             self._backend_delay(ctx.db)
             result = query.handler(ctx, query_args)
             if not isinstance(result, list):
@@ -428,6 +471,29 @@ class MoiraServer:
             raise MoiraError(MR_INTERNAL, "no DCM attached")
         self.dcm_trigger()
         return [encode_reply(0)]
+
+    def _poke_closure(self) -> None:
+        """Opportunistically sync the membership-closure index after a
+        members mutation, so the replay cost lands here instead of on
+        the next access check's critical path.  Best-effort: the
+        closure self-heals lazily if this fails."""
+        get = getattr(self.db, "membership_closure", None)
+        if get is None:
+            return
+        try:
+            closure = get()
+            if closure is not None:
+                closure.poke()
+        except Exception:
+            pass
+
+    def _query_stats(self, query_args: list[str]) -> Iterator[bytes]:
+        """The ``_query_stats`` pseudo-query: per-handle metrics rows,
+        optionally filtered to one handle name (first argument)."""
+        handle = query_args[0] if query_args else None
+        for t in self.metrics.report_tuples(handle):
+            yield encode_reply(MR_MORE_DATA, t)
+        yield encode_reply(0)
 
     def _list_users(self) -> list[bytes]:
         replies = []
