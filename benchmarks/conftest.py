@@ -22,6 +22,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_dcm.json"
 BENCH_SERVER_JSON = RESULTS_DIR / "BENCH_server.json"
 BENCH_QUERIES_JSON = RESULTS_DIR / "BENCH_queries.json"
+BENCH_ROBUSTNESS_JSON = RESULTS_DIR / "BENCH_robustness.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

@@ -16,6 +16,7 @@ Two client classes:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Sequence
 
 from repro.db.engine import Database
@@ -24,6 +25,7 @@ from repro.errors import (
     MoiraError,
     MR_ABORTED,
     MR_ALREADY_CONNECTED,
+    MR_BUSY,
     MR_MORE_DATA,
     MR_NOT_CONNECTED,
 )
@@ -54,6 +56,8 @@ class MoiraClient:
         credentials: Optional[CredentialCache] = None,
         clock: Optional[Clock] = None,
         service_principal: str = "moira",
+        busy_retries: int = 3,
+        busy_backoff: float = 0.01,
     ):
         if (dispatcher is None) == (tcp_address is None):
             raise ValueError("give exactly one of dispatcher/tcp_address")
@@ -63,6 +67,11 @@ class MoiraClient:
         self.credentials = credentials
         self.clock = clock
         self.service_principal = service_principal
+        # MR_BUSY (load shed / deadline expired) is retryable; only
+        # queries known to be idempotent are retried automatically
+        self.busy_retries = busy_retries
+        self.busy_backoff = busy_backoff
+        self.busy_retried = 0    # lifetime counter, for tests/stats
         self._conn: Optional[ClientConnection] = None
 
     # -- C-style API: integer return codes ------------------------------------
@@ -144,23 +153,49 @@ class MoiraClient:
 
         The callback signature matches the paper: (number of elements,
         the tuple data, callarg).
+
+        A final ``MR_BUSY`` (the server shed the request or its queue
+        deadline expired before a worker picked it up) is retried with
+        exponential backoff — but only for **idempotent** queries
+        (retrievals and the ``_``-pseudo-queries); a busy mutation is
+        reported to the caller, who knows whether re-running is safe.
         """
         if self._conn is None:
             return MR_NOT_CONNECTED
-        try:
-            final = 0
-            for reply in self._conn.stream(
-                    MajorRequest.QUERY, [name, *map(str, args)]):
-                if reply.code == MR_MORE_DATA:
-                    fields = reply.str_fields()
-                    if callproc is not None:
-                        callproc(len(fields), fields, callarg)
-                else:
-                    final = reply.code
-            return final
-        except MoiraError as exc:
-            self._abort()
-            return exc.code
+        attempts = 1 + (self.busy_retries
+                        if self._idempotent(name) else 0)
+        final = 0
+        for attempt in range(attempts):
+            if attempt:
+                self.busy_retried += 1
+                time.sleep(self.busy_backoff * (2 ** (attempt - 1)))
+            try:
+                final = 0
+                for reply in self._conn.stream(
+                        MajorRequest.QUERY, [name, *map(str, args)]):
+                    if reply.code == MR_MORE_DATA:
+                        fields = reply.str_fields()
+                        if callproc is not None:
+                            callproc(len(fields), fields, callarg)
+                    else:
+                        final = reply.code
+            except MoiraError as exc:
+                self._abort()
+                return exc.code
+            if final != MR_BUSY:
+                return final
+        return final
+
+    @staticmethod
+    def _idempotent(name: str) -> bool:
+        """Safe to re-issue: pseudo-queries and side-effect-free
+        retrievals.  Unknown handles are not retried (the server will
+        answer MR_NO_HANDLE on the first attempt anyway)."""
+        if name.startswith("_"):
+            return True
+        from repro.queries.base import get_query
+        query = get_query(name)
+        return query is not None and not query.side_effects
 
     def mr_trigger_dcm(self) -> int:
         """Request an immediate DCM run (the Trigger_DCM major request)."""

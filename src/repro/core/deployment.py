@@ -12,12 +12,14 @@ Kerberos realm everybody authenticates against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.client.lib import DirectClient, MoiraClient
 from repro.db.journal import Journal
 from repro.db.schema import build_database
 from repro.dcm.dcm import DCM, ServiceBinding
+from repro.dcm.retry import RetryPolicy
 from repro.hosts.host import SimulatedHost
 from repro.hosts.update_daemon import UpdateDaemon
 from repro.kerberos.kdc import KDC
@@ -29,6 +31,7 @@ from repro.servers.nfs import NFSServer
 from repro.servers.zephyrd import ZephyrServer
 from repro.sim.clock import Clock
 from repro.sim.cron import Cron
+from repro.sim.faults import FaultInjector
 from repro.sim.network import Network
 from repro.workload.population import PopulationSpec, load_population
 
@@ -58,6 +61,12 @@ class DeploymentConfig:
     push_pool_width: int = 8  # DCM propagation fan-out (1 = sequential)
     legacy_dcm: bool = False  # seed-era pipeline (benchmark baseline)
     server_workers: Optional[int] = None  # None = min(8, cpus); 0 = inline
+    # robustness knobs
+    faults: Optional[FaultInjector] = None  # shared injection harness
+    wal_path: Optional[Union[str, Path]] = None  # fsync'd on-disk journal
+    retry_policy: Optional[RetryPolicy] = None  # backoff/breaker/budget
+    admission_limit: Optional[int] = None  # queued frames before MR_BUSY
+    request_deadline: Optional[float] = None  # seconds in queue before shed
 
 
 class AthenaDeployment:
@@ -66,10 +75,14 @@ class AthenaDeployment:
     def __init__(self, config: Optional[DeploymentConfig] = None):
         self.config = config or DeploymentConfig()
         self.clock = Clock()
-        self.network = Network(seed=self.config.population.seed)
+        self.faults = self.config.faults
+        self.network = Network(seed=self.config.population.seed,
+                               faults=self.faults)
         self.db = build_database()
         self.kdc = KDC(self.clock)
-        self.journal = Journal() if self.config.journal_changes else None
+        self.journal = (Journal(path=self.config.wal_path,
+                                faults=self.faults)
+                        if self.config.journal_changes else None)
 
         # the synthetic campus
         self.handles = load_population(self.db, self.config.population,
@@ -90,7 +103,10 @@ class AthenaDeployment:
         self.server = MoiraServer(
             self.db, self.clock, self.kdc, journal=self.journal,
             access_cache=AccessCache(enabled=self.config.access_cache),
-            workers=self.config.server_workers)
+            workers=self.config.server_workers,
+            faults=self.faults,
+            admission_limit=self.config.admission_limit,
+            request_deadline=self.config.request_deadline)
         self.dcm = DCM(
             self.db, self.clock, network=self.network,
             moira_host=self.moira_host, journal=self.journal,
@@ -98,8 +114,11 @@ class AthenaDeployment:
             mail_notify=self._mail_notify,
             always_regenerate=self.config.always_regenerate,
             push_pool_width=self.config.push_pool_width,
-            legacy_pipeline=self.config.legacy_dcm)
+            legacy_pipeline=self.config.legacy_dcm,
+            faults=self.faults,
+            retry_policy=self.config.retry_policy)
         self.server.dcm_trigger = self.dcm.run_once
+        self.server.dcm_stats = self.dcm.dcm_stats_tuples
         self._register_services()
         self._bind_dcm()
 
@@ -115,7 +134,7 @@ class AthenaDeployment:
     def _make_host(self, name: str) -> SimulatedHost:
         host = SimulatedHost(name)
         self.hosts[host.name] = host
-        self.daemons[host.name] = UpdateDaemon(host)
+        self.daemons[host.name] = UpdateDaemon(host, faults=self.faults)
         return host
 
     def _build_hosts(self) -> None:

@@ -1,22 +1,37 @@
-"""The Moira server journal (paper §5.2.2).
+"""The Moira server journal — a crash-safe write-ahead log (paper §5.2.2).
 
 "The journal file kept by the Moira server daemon contains a listing of
 all successful changes to the database."  Combined with the nightly
 ASCII backups this bounds data loss to the journal-replay window.
 
-Entries record the timestamp, authenticated principal, query name, and
-arguments of every successful side-effecting query.  The journal can be
-kept purely in memory (tests) or mirrored to a file, and replayed
-against a restored database through a query-execution callback.
+Entries record a monotonic sequence number, the timestamp, authenticated
+principal, query name, and arguments of every successful side-effecting
+query.  The journal can be kept purely in memory (tests) or mirrored to
+an **fsync'd on-disk WAL**: ``record`` is called inside the database's
+exclusive-lock section, and when a path is configured the entry is
+flushed and fsync'd before ``record`` returns — a Moira-server crash at
+any instant loses at most the mutation whose record had not yet reached
+the disk.  :mod:`repro.db.recovery` replays the WAL on top of the most
+recent :mod:`repro.db.backup` snapshot; ``checkpoint``/``truncate``
+bound the file's growth.
+
+Crash tolerance on the read side: :meth:`JournalEntry.from_line` rejects
+malformed input with ``ValueError`` instead of arbitrary exceptions, and
+:meth:`Journal.load` stops cleanly at a torn final record (the expected
+artifact of dying mid-append).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Union
+
+from repro.sim.faults import FaultInjector, TornWrite
 
 __all__ = ["Journal", "JournalEntry"]
 
@@ -28,52 +43,153 @@ class JournalEntry:
     who: str
     query: str
     args: tuple[str, ...]
+    seq: int = 0    # monotonic WAL sequence number (0 = legacy record)
+    client: str = ""  # program name -> modwith; "" = legacy record
 
     def to_line(self) -> str:
         """Serialise to one JSON line."""
         return json.dumps(
-            {"when": self.when, "who": self.who,
-             "query": self.query, "args": list(self.args)},
+            {"seq": self.seq, "when": self.when, "who": self.who,
+             "client": self.client, "query": self.query,
+             "args": list(self.args)},
             separators=(",", ":"),
         )
 
     @classmethod
     def from_line(cls, line: str) -> "JournalEntry":
-        """Parse a line written by to_line()."""
-        data = json.loads(line)
-        return cls(
-            when=int(data["when"]),
-            who=data["who"],
-            query=data["query"],
-            args=tuple(data["args"]),
-        )
+        """Parse a line written by to_line().
+
+        Raises ``ValueError`` on anything malformed or truncated — a
+        torn final record after a crash, a partial flush, stray bytes —
+        so WAL replay can stop cleanly instead of exploding on a
+        ``KeyError`` / ``TypeError`` deep inside recovery.
+        """
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed journal line: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError("malformed journal line: not an object")
+        try:
+            args = data["args"]
+            if not isinstance(args, list):
+                raise ValueError("malformed journal line: args not a list")
+            return cls(
+                when=int(data["when"]),
+                who=str(data["who"]),
+                query=str(data["query"]),
+                args=tuple(str(a) for a in args),
+                seq=int(data.get("seq", 0)),
+                client=str(data.get("client", "")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed journal line: {exc!r}") from exc
 
 
 @dataclass
 class Journal:
-    """Ordered record of successful changes (optionally on disk)."""
+    """Ordered record of successful changes (optionally a durable WAL)."""
     path: Optional[Union[str, Path]] = None
     entries: list[JournalEntry] = field(default_factory=list)
+    faults: Optional[FaultInjector] = None
+    # True when load() hit a torn/malformed tail and truncated there
+    torn_tail: bool = field(default=False, compare=False)
     # worker-pool threads journal concurrently; the mutex keeps the
     # in-memory order and the mirrored file lines consistent
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
+    _fh: object = field(default=None, repr=False, compare=False)
+    _next_seq: int = field(default=1, repr=False, compare=False)
+    # entries arrive in mutation order; `when` is normally nondecreasing
+    # (virtual clock), letting since() bisect — tracked, not assumed
+    _when_monotonic: bool = field(default=True, repr=False, compare=False)
 
     def record(self, when: int, who: str, query: str,
-               args: tuple[str, ...]) -> JournalEntry:
-        """Append an entry (and mirror it to the file, if any)."""
-        entry = JournalEntry(when=when, who=who, query=query,
-                             args=tuple(str(a) for a in args))
+               args: tuple[str, ...], client: str = "") -> JournalEntry:
+        """Append an entry; when a path is set, fsync it to the WAL.
+
+        Fault points: ``journal.record`` fires before anything is
+        appended (a crash here loses the record entirely),
+        ``journal.write`` fires as the line is written (a
+        :class:`~repro.sim.faults.TornWrite` leaves a partial record on
+        disk), and ``journal.appended`` fires after the fsync (a crash
+        here is the "after append #N" boundary — the record is durable).
+        """
         with self._lock:
+            if self.faults is not None:
+                self.faults.fire("journal.record", query=query, who=who,
+                                 seq=self._next_seq)
+            entry = JournalEntry(when=when, who=who, query=query,
+                                 args=tuple(str(a) for a in args),
+                                 seq=self._next_seq, client=client)
+            self._next_seq += 1
+            if self.entries and when < self.entries[-1].when:
+                self._when_monotonic = False
             self.entries.append(entry)
             if self.path is not None:
-                with open(self.path, "a", encoding="utf-8") as fh:
-                    fh.write(entry.to_line() + "\n")
+                self._append_durable(entry)
+            if self.faults is not None:
+                self.faults.fire("journal.appended", query=query,
+                                 who=who, seq=entry.seq)
         return entry
 
+    # -- the durable tail --------------------------------------------------
+
+    def _file(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _append_durable(self, entry: JournalEntry) -> None:
+        line = entry.to_line()
+        fh = self._file()
+        if self.faults is not None:
+            try:
+                self.faults.fire("journal.write", seq=entry.seq)
+            except TornWrite as torn:
+                # crash mid-write: a prefix of the record reaches disk
+                keep = max(1, int(len(line) * torn.fraction))
+                fh.write(line[:keep])
+                fh.flush()
+                os.fsync(fh.fileno())
+                raise
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        """Close the WAL file handle (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- queries over the log ----------------------------------------------
+
+    def last_seq(self) -> int:
+        """Sequence number of the newest entry (0 when empty)."""
+        with self._lock:
+            return self.entries[-1].seq if self.entries else 0
+
     def since(self, when: int) -> list[JournalEntry]:
-        """Entries at or after *when* — the replay window after a restore."""
-        return [e for e in self.entries if e.when >= when]
+        """Entries at or after *when* — the replay window after a restore.
+
+        Bisects when timestamps are nondecreasing (the normal case under
+        the virtual clock); falls back to a linear scan if out-of-order
+        stamps were ever appended.
+        """
+        with self._lock:
+            if self._when_monotonic:
+                lo = bisect_left(self.entries, when,
+                                 key=lambda e: e.when)
+                return self.entries[lo:]
+            return [e for e in self.entries if e.when >= when]
+
+    def after_seq(self, seq: int) -> list[JournalEntry]:
+        """Entries with sequence numbers strictly greater than *seq*."""
+        with self._lock:
+            lo = bisect_left(self.entries, seq + 1, key=lambda e: e.seq)
+            return self.entries[lo:]
 
     def replay(
         self,
@@ -94,18 +210,64 @@ class Journal:
             count += 1
         return count
 
+    # -- checkpoint / truncate ---------------------------------------------
+
+    def truncate(self, upto_seq: int) -> int:
+        """Drop entries with ``seq <= upto_seq`` (they are covered by a
+        snapshot); atomically rewrite the WAL file with the remainder.
+        Returns the number of entries dropped."""
+        with self._lock:
+            keep_from = bisect_left(self.entries, upto_seq + 1,
+                                    key=lambda e: e.seq)
+            dropped = keep_from
+            self.entries = self.entries[keep_from:]
+            if self.path is not None:
+                if self._fh is not None:
+                    self._fh.close()
+                    self._fh = None
+                tmp = Path(str(self.path) + ".tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for entry in self.entries:
+                        fh.write(entry.to_line() + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            return dropped
+
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Journal":
-        """Read a journal file from disk."""
+    def load(cls, path: Union[str, Path], *,
+             strict: bool = False) -> "Journal":
+        """Read a journal file from disk.
+
+        A malformed line (the torn final record of a crash mid-append)
+        ends the load: everything before it is kept, ``torn_tail`` is
+        set, and the remainder is discarded.  ``strict=True`` raises
+        instead.  Legacy records without sequence numbers are assigned
+        their 1-based file position so replay windows keep working.
+        """
         journal = cls(path=path)
         path = Path(path)
-        if path.exists():
-            with open(path, encoding="utf-8") as fh:
-                journal.entries = [
-                    JournalEntry.from_line(line)
-                    for line in fh
-                    if line.strip()
-                ]
+        if not path.exists():
+            return journal
+        entries: list[JournalEntry] = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    entry = JournalEntry.from_line(line)
+                except ValueError:
+                    if strict:
+                        raise
+                    journal.torn_tail = True
+                    break
+                if entry.seq == 0:
+                    entry = replace(entry, seq=len(entries) + 1)
+                entries.append(entry)
+        journal.entries = entries
+        journal._next_seq = (entries[-1].seq + 1) if entries else 1
+        journal._when_monotonic = all(
+            a.when <= b.when for a, b in zip(entries, entries[1:]))
         return journal
 
     def __len__(self) -> int:

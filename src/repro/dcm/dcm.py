@@ -65,10 +65,12 @@ from repro.dcm.update import (
     default_script,
     push_update,
 )
+from repro.dcm.retry import PropagationGovernor, RetryPolicy
 from repro.errors import error_message
 from repro.hosts.host import SimulatedHost
 from repro.hosts.update_daemon import UpdateDaemon
 from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
 from repro.sim.network import Network
 
 __all__ = ["DCM", "DCMReport", "ServiceBinding"]
@@ -108,6 +110,13 @@ class DCMReport:
     bytes_propagated: int = 0
     files_generated: int = 0
     skipped_locked: int = 0
+    # resilience counters (backoff / breaker / budget admission control)
+    retries_deferred: int = 0      # backoff window not yet elapsed
+    breaker_skips: int = 0         # breaker OPEN, no attempt made
+    breaker_probes: int = 0        # half-open probes admitted
+    budget_deferred: int = 0       # per-cycle retry budget exhausted
+    breaker_open_hosts: list[tuple[str, str]] = field(
+        default_factory=list)
     log: list[str] = field(default_factory=list)
 
 
@@ -141,6 +150,8 @@ class DCM:
         always_regenerate: bool = False,
         push_pool_width: int = DEFAULT_PUSH_POOL_WIDTH,
         legacy_pipeline: bool = False,
+        faults: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.db = db
         self.clock = clock
@@ -158,6 +169,13 @@ class DCM:
         # benchmark baseline: per-service contexts, modtime checks,
         # sequential pushes, per-host tar builds (the seed behaviour)
         self.legacy_pipeline = legacy_pipeline
+        # fault-injection harness (tests/benchmarks); begin_cycle applies
+        # scheduled network weather at the top of each invocation
+        self.faults = faults
+        # backoff + circuit breakers + retry budget for propagation;
+        # admission is skipped on the legacy pipeline (the paper's
+        # retry-every-cycle loop, and the benchmark baseline)
+        self.governor = PropagationGovernor(retry_policy)
         self._bindings: dict[tuple[str, str], ServiceBinding] = {}
         self._generated: dict[str, GeneratorResult] = {}
         # service -> data-version vector of its inputs at generation time
@@ -200,6 +218,9 @@ class DCM:
             return report
         report.ran = True
         self.runs += 1
+        if self.faults is not None:
+            self.faults.begin_cycle(self.network)
+        self.governor.begin_cycle()
 
         # one extraction snapshot and one version vector for the whole
         # cycle: versions are captured before any data is read, so a
@@ -218,6 +239,11 @@ class DCM:
         self.total_no_change += report.generations_no_change
         self.total_propagations += report.propagations_succeeded
         self.total_bytes += report.bytes_propagated
+        report.retries_deferred = self.governor.cycle_deferred
+        report.breaker_skips = self.governor.cycle_breaker_skips
+        report.breaker_probes = self.governor.cycle_probes
+        report.budget_deferred = self.governor.cycle_budget_deferred
+        report.breaker_open_hosts = self.governor.open_hosts()
         return report
 
     def _db_versions(self) -> Optional[dict[str, int]]:
@@ -430,6 +456,8 @@ class DCM:
             return  # nothing has ever been generated
 
         targets = self._named_targets(service)
+        if not self.legacy_pipeline:
+            targets = self._admit_targets(service, targets, now)
         if not targets:
             return
         width = 1 if self.legacy_pipeline else self.push_pool_width
@@ -438,6 +466,20 @@ class DCM:
         else:
             self._push_parallel(service, targets, result, now, report,
                                 width)
+
+    def _admit_targets(self, service: dict,
+                       targets: list[tuple[dict, str]],
+                       now: int) -> list[tuple[dict, str]]:
+        """Filter pending hosts through the propagation governor:
+        backoff deferrals, open breakers, and the per-cycle retry
+        budget all skip a host *without* burning a timeout on it."""
+        admitted = []
+        name = service["name"]
+        for host_row, machine_name in targets:
+            ok, _reason = self.governor.admit(name, machine_name, now)
+            if ok:
+                admitted.append((host_row, machine_name))
+        return admitted
 
     def _named_targets(self, service: dict) -> list[tuple[dict, str]]:
         """Pending serverhost rows joined to machine names, in the
@@ -556,7 +598,7 @@ class DCM:
         return push_update(
             host=binding.host, daemon=binding.daemon,
             network=self.network, target=service["target_file"],
-            payload=payload, script=script)
+            payload=payload, script=script, faults=self.faults)
 
     def _merge_outcomes(self, service: dict, slots: list[_HostOutcome],
                         report: DCMReport) -> None:
@@ -617,7 +659,7 @@ class DCM:
         return push_update(
             host=binding.host, daemon=binding.daemon,
             network=self.network, target=service["target_file"],
-            payload=payload, script=script)
+            payload=payload, script=script, faults=self.faults)
 
     def _apply_host_outcome(self, service: dict, machine_name: str,
                             host_row: dict, outcome, now: int,
@@ -630,6 +672,7 @@ class DCM:
         """
         name = service["name"]
         if outcome.ok:
+            self.governor.record_success(name, machine_name)
             self._set_host_flags(name, machine_name, host_row,
                                  inprogress=0, success=1, override=0,
                                  ltt=now, lts=now, hosterror=0, errmsg="")
@@ -637,12 +680,14 @@ class DCM:
             return False
         message = outcome.message or error_message(outcome.error)
         if outcome.outcome is UpdateOutcome.SOFT_FAILURE:
+            self.governor.record_soft(name, machine_name, now)
             self._set_host_flags(name, machine_name, host_row,
                                  inprogress=0, success=0, ltt=now,
                                  errmsg=message)
             log.append(
                 f"dcm: {name}/{machine_name}: soft failure: {message}")
             return False
+        self.governor.record_hard(name, machine_name)
         self._set_host_flags(name, machine_name, host_row, inprogress=0,
                              success=0, ltt=now, hosterror=outcome.error,
                              errmsg=message)
@@ -705,3 +750,11 @@ class DCM:
         """Hard errors zephyr class MOIRA instance DCM (§5.7.1)."""
         if self.zephyr_notify is not None:
             self.zephyr_notify("MOIRA", "DCM", f"{what}: {message}")
+
+    # -- observability ---------------------------------------------------------------
+
+    def dcm_stats_tuples(self) -> list[tuple[str, ...]]:
+        """Per-target retry/breaker rows for the ``_dcm_stats``
+        pseudo-query: (service, machine, breaker, attempts, successes,
+        soft, hard, breaker_opens, consecutive_soft)."""
+        return self.governor.stats_tuples()

@@ -12,6 +12,15 @@ Failures are classified the way the DCM's tables need them:
 *soft* (host down, network loss, checksum mismatch, timeout — retry
 later) versus *hard* (the install script itself failed — needs human
 attention, sets hosterror).
+
+The §5.9 per-operation timeout is enforced **observationally**: each
+protocol operation is run and its simulated cost (the daemon's
+``response_delay`` plus any latency injected at the operation's fault
+point) compared against the ceiling afterwards, exactly as a real
+socket timeout fires after the slow operation has already consumed the
+wire.  The paper makes this safe: a duplicate of a half-applied update
+is harmless ("either the file will have been installed or it will
+not" — both converge on retry).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.errors import (
 )
 from repro.hosts.host import HostDown, SimulatedHost
 from repro.hosts.update_daemon import InstallScript, UpdateDaemon, checksum
+from repro.sim.faults import FaultInjector
 from repro.sim.network import Network, NetworkError
 
 __all__ = ["push_update", "UpdateOutcome", "UpdateResult", "build_payload"]
@@ -53,6 +63,10 @@ class UpdateResult:
     def ok(self) -> bool:
         """True on success."""
         return self.outcome is UpdateOutcome.SUCCESS
+
+
+class _OpTimeout(Exception):
+    """One protocol operation blew the §5.9 per-operation ceiling."""
 
 
 def build_payload(files: dict[str, bytes], mtime: int = 0) -> bytes:
@@ -85,37 +99,58 @@ def push_update(
     script: InstallScript,
     principal: str = "moira",
     timeout: int = 120,
+    faults: Optional[FaultInjector] = None,
 ) -> UpdateResult:
     """Run the full three-phase update against one host.
 
     *timeout* is the per-operation ceiling of §5.9 A: "If any single
     operation takes longer than a reasonable amount of time, the
     connection is closed, and the installation assumed to have failed
-    ... so that the installation will be attempted again later."  A
-    host whose daemon is wedged (``response_delay`` exceeding it) is a
-    soft failure even though the machine is up.
+    ... so that the installation will be attempted again later."  Every
+    operation's observed cost — the daemon's ``response_delay`` plus
+    any injected latency — is measured against it, so a wedged daemon
+    and an injected slow link classify identically: soft failure,
+    retry next cycle.
+
+    *faults* arms the per-operation injection points
+    ``update.authenticate`` / ``update.cleanup`` / ``update.transfer``
+    / ``update.script`` / ``update.flush`` / ``update.execute``;
+    exceptions raised there flow through the same soft/hard
+    classification as organic failures.
     """
-    if daemon.response_delay > timeout:
-        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
-                            error=MR_UPDATE_TIMEOUT,
-                            message=f"{host.name}: operation exceeded "
-                                    f"{timeout}s")
+    def op(name: str, fn, *args):
+        """Run one protocol operation under the per-op timeout."""
+        injected = 0.0
+        if faults is not None:
+            injected = faults.fire(f"update.{name}", host=host.name,
+                                   target=target)
+        result = fn(*args)
+        cost = daemon.response_delay + injected
+        if cost > timeout:
+            raise _OpTimeout(f"{host.name}: {name} took {cost:.0f}s, "
+                             f"exceeded {timeout}s")
+        return result
+
     # -- A. transfer phase -----------------------------------------------------
     try:
         network.check_reachable(host.name)
         host.check_alive()
-        daemon.authenticate(principal)
+        op("authenticate", daemon.authenticate, principal)
         # a fresh update invalidates any stale staged file (§5.9 B)
-        daemon.cleanup_stale_update(target)
-        received = network.deliver(host.name, payload)
+        op("cleanup", daemon.cleanup_stale_update, target)
+        received = op("transfer", network.deliver, host.name, payload)
         daemon.receive_file(target, received, checksum(payload))
         script_blob = script.serialize()
-        received_script = network.deliver(host.name, script_blob)
+        received_script = op("script", network.deliver, host.name,
+                             script_blob)
         daemon.receive_script(received_script)
-        daemon.flush()
+        op("flush", daemon.flush)
     except (HostDown, NetworkError) as exc:
         return UpdateResult(UpdateOutcome.SOFT_FAILURE,
                             error=MR_HOST_UNREACHABLE, message=str(exc))
+    except _OpTimeout as exc:
+        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                            error=MR_UPDATE_TIMEOUT, message=str(exc))
     except MoiraError as exc:
         if exc.code == MR_CHECKSUM:
             # damaged in transit; valid data files still exist on Moira,
@@ -127,13 +162,19 @@ def push_update(
 
     # -- B. execution phase -------------------------------------------------------
     try:
-        status = daemon.execute(target)
+        status = op("execute", daemon.execute, target)
     except HostDown as exc:
         # crash during installation: "either the file will have been
         # installed or it will not" — both converge on retry/reboot,
         # and the DCM sees it as a timeout (soft).
         return UpdateResult(UpdateOutcome.SOFT_FAILURE,
                             error=MR_UPDATE_TIMEOUT, message=str(exc))
+    except _OpTimeout as exc:
+        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                            error=MR_UPDATE_TIMEOUT, message=str(exc))
+    except NetworkError as exc:
+        return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                            error=MR_HOST_UNREACHABLE, message=str(exc))
 
     # -- C. confirmation -------------------------------------------------------------
     if status == 0:

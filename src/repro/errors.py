@@ -288,6 +288,8 @@ MOIRA_ERRORS = ErrorTable(
         ("MR_LOGIN_TAKEN", "Login name already taken"),
         ("MR_BAD_AUTHENTICATOR", "Registration authenticator did not verify"),
         ("MR_HALF_REGISTERED", "Account is half registered"),
+        # Graceful degradation (load shedding; retryable)
+        ("MR_BUSY", "Server busy; try again later"),
     ],
 )
 

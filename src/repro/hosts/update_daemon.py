@@ -106,8 +106,11 @@ class UpdateDaemon:
 
     SCRIPT_TEMP = "/tmp/moira_install_script"
 
-    def __init__(self, host: SimulatedHost):
+    def __init__(self, host: SimulatedHost, faults=None):
         self.host = host
+        # optional FaultInjector; adds the ``daemon.receive_file``,
+        # ``daemon.execute``, and per-instruction ``daemon.step`` points
+        self.faults = faults
         self.authenticated_peer: Optional[str] = None
         # "Execute a supplied command" — commands are registered by the
         # services living on this host (e.g. restart_hesiod).
@@ -138,6 +141,9 @@ class UpdateDaemon:
         treats it as a soft failure and retries later.
         """
         self.host.check_alive()
+        if self.faults is not None:
+            self.faults.fire("daemon.receive_file", host=self.host.name,
+                             target=target)
         if self.authenticated_peer is None:
             raise MoiraError(MR_OCONFIG, "transfer before authentication")
         if checksum(data) != digest:
@@ -165,6 +171,9 @@ class UpdateDaemon:
         contract the DCM records in the serverhosts relation.
         """
         self.host.check_alive()
+        if self.faults is not None:
+            self.faults.fire("daemon.execute", host=self.host.name,
+                             target=target)
         try:
             blob = self.host.fs.read(self.SCRIPT_TEMP)
         except FileNotFoundError:
@@ -172,7 +181,10 @@ class UpdateDaemon:
         script = InstallScript.deserialize(blob)
         extracted: dict[str, bytes] = {}
         try:
-            for step in script.steps:
+            for index, step in enumerate(script.steps):
+                if self.faults is not None:
+                    self.faults.fire("daemon.step", host=self.host.name,
+                                     op=step[0], index=index)
                 self._run_step(step, target, extracted)
         except MoiraError as exc:
             return exc.code

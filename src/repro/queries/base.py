@@ -511,7 +511,8 @@ def execute_query(ctx: QueryContext, name: str,
             # inside the exclusive section: journal order always
             # matches the order mutations hit the database
             ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
-                               query.name, tuple(str(a) for a in args))
+                               query.name, tuple(str(a) for a in args),
+                               client=ctx.client)
     if not query.side_effects and not result:
         raise MoiraError(MR_NO_MATCH, query.name)
     return result

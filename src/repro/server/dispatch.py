@@ -32,6 +32,7 @@ class WorkerPool:
         self._channels: dict[object, deque[Callable[[], None]]] = {}
         self._ready: deque[object] = deque()  # keys with runnable work
         self._active: set[object] = set()     # keys queued or running
+        self._queued = 0                      # jobs accepted, not started
         self._stopping = False
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
@@ -47,6 +48,7 @@ class WorkerPool:
             if self._stopping:
                 raise RuntimeError("WorkerPool is shut down")
             self._channels.setdefault(key, deque()).append(job)
+            self._queued += 1
             if key not in self._active:
                 self._active.add(key)
                 self._ready.append(key)
@@ -61,6 +63,7 @@ class WorkerPool:
                     return
                 key = self._ready.popleft()
                 job = self._channels[key].popleft()
+                self._queued -= 1
             try:
                 job()
             except Exception:  # pragma: no cover - jobs catch their own
@@ -81,6 +84,12 @@ class WorkerPool:
         """Jobs queued but not yet started (for tests/stats)."""
         with self._cv:
             return sum(len(c) for c in self._channels.values())
+
+    def queued(self) -> int:
+        """O(1) count of accepted-but-not-started jobs — the admission
+        depth the server's load shedding compares against its limit."""
+        with self._cv:
+            return self._queued
 
     def shutdown(self, *, wait: bool = True, timeout: float = 5.0) -> None:
         """Stop accepting work; drain queued jobs, then stop workers."""

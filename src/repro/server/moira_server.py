@@ -44,6 +44,7 @@ from repro.db.journal import Journal
 from repro.errors import (
     MoiraError,
     MR_ARGS,
+    MR_BUSY,
     MR_INTERNAL,
     MR_MORE_DATA,
     MR_NO_HANDLE,
@@ -68,6 +69,7 @@ from repro.server.access import AccessCache
 from repro.server.dispatch import WorkerPool
 from repro.server.metrics import QueryMetrics
 from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
 
 __all__ = ["MoiraServer", "ServerStats", "default_workers"]
 
@@ -98,6 +100,8 @@ class ServerStats:
         "auth_failures",
         "tuples_returned",
         "errors_returned",
+        "requests_shed",
+        "deadlines_expired",
     )
     _SHARDS = 4
 
@@ -147,6 +151,10 @@ class MoiraServer:
         service_principal: str = MOIRA_SERVICE_PRINCIPAL,
         workers: Optional[int] = None,
         metrics: Optional[QueryMetrics] = None,
+        faults: Optional[FaultInjector] = None,
+        admission_limit: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+        dcm_stats: Optional[Callable[[], list]] = None,
     ):
         self.db = db
         self.clock = clock
@@ -160,6 +168,16 @@ class MoiraServer:
         self.workers = default_workers() if workers is None else workers
         self._pool: Optional[WorkerPool] = (
             WorkerPool(self.workers) if self.workers > 0 else None)
+        # graceful degradation: bound the admission queue in front of
+        # the pool (None = unbounded, the historical behaviour) and give
+        # each accepted request a real-time completion deadline; both
+        # answer MR_BUSY, which idempotent clients retry with backoff
+        self.faults = faults
+        self.admission_limit = admission_limit
+        self.request_deadline = request_deadline
+        # provider of per-target DCM retry/breaker rows for _dcm_stats
+        # (wired by the deployment to DCM.dcm_stats_tuples)
+        self.dcm_stats = dcm_stats
         self._connections: dict[int, _Connection] = {}
         self._next_conn = 1
         self._lock = threading.Lock()
@@ -200,6 +218,10 @@ class MoiraServer:
         """Like :meth:`handle_frame`, but yields reply frames as they
         are produced — large retrieves start answering before the scan
         completes, bounding per-connection server memory."""
+        if self.faults is not None:
+            # a ServerCrash armed here is a BaseException: it sails past
+            # the blanket handlers below, exactly like a real SIGKILL
+            self.faults.fire("server.frame", conn_id=conn_id)
         conn = self._connections.get(conn_id)
         if conn is None:
             yield encode_reply(MR_INTERNAL)
@@ -243,17 +265,44 @@ class MoiraServer:
         go to ``on_reply(frame) -> bool`` (return False to abandon the
         stream, e.g. the connection died); ``on_done()`` always fires
         exactly once, after the last reply.
+
+        Graceful degradation: when ``admission_limit`` is set and that
+        many accepted requests are already waiting for a worker, the
+        frame is **shed** — answered immediately with the retryable
+        ``MR_BUSY`` instead of joining a queue the server cannot drain.
         """
         if self._pool is None:
             return False
+        if self.admission_limit is not None and \
+                self._pool.queued() >= self.admission_limit:
+            self.stats.incr("requests_shed")
+            try:
+                on_reply(encode_reply(MR_BUSY, ("admission queue full",)))
+            finally:
+                on_done()
+            return True
+        enqueued = time.monotonic()
         self._pool.submit(
             conn_id, lambda: self._run_frame(conn_id, frame,
-                                             on_reply, on_done))
+                                             on_reply, on_done,
+                                             enqueued=enqueued))
         return True
 
     def _run_frame(self, conn_id: int, frame: bytes,
                    on_reply: Callable[[bytes], bool],
-                   on_done: Callable[[], None]) -> None:
+                   on_done: Callable[[], None],
+                   enqueued: Optional[float] = None) -> None:
+        if enqueued is not None and self.request_deadline is not None \
+                and time.monotonic() - enqueued > self.request_deadline:
+            # the request aged out waiting for a worker; answering it
+            # now would only add more load behind an overload — tell
+            # the client to retry instead
+            self.stats.incr("deadlines_expired")
+            try:
+                on_reply(encode_reply(MR_BUSY, ("deadline expired",)))
+            finally:
+                on_done()
+            return
         stream = self.handle_frame_stream(conn_id, frame)
         try:
             for reply in stream:
@@ -302,6 +351,9 @@ class MoiraServer:
             return
         if name == "_query_stats":
             yield from self._query_stats(query_args)
+            return
+        if name == "_dcm_stats":
+            yield from self._dcm_stats()
             return
         query = get_query(name)
         if query is None:
@@ -384,7 +436,8 @@ class MoiraServer:
                 # so replay after a restore converges
                 ctx.journal.record(
                     ctx.now, ctx.caller or "unauthenticated",
-                    query.name, tuple(str(a) for a in query_args))
+                    query.name, tuple(str(a) for a in query_args),
+                    client=ctx.client)
         mutated = {name for name, version in after.items()
                    if before.get(name) != version}
         return result, mutated
@@ -493,6 +546,22 @@ class MoiraServer:
         handle = query_args[0] if query_args else None
         for t in self.metrics.report_tuples(handle):
             yield encode_reply(MR_MORE_DATA, t)
+        yield encode_reply(0)
+
+    def _dcm_stats(self) -> Iterator[bytes]:
+        """The ``_dcm_stats`` pseudo-query: the server's degradation
+        counters followed by the DCM's per-target retry/breaker rows
+        (service, machine, breaker state, attempts, successes, soft,
+        hard, breaker_opens, consecutive_soft)."""
+        yield encode_reply(MR_MORE_DATA,
+                           ("_server", "requests_shed",
+                            str(self.stats.requests_shed)))
+        yield encode_reply(MR_MORE_DATA,
+                           ("_server", "deadlines_expired",
+                            str(self.stats.deadlines_expired)))
+        if self.dcm_stats is not None:
+            for t in self.dcm_stats():
+                yield encode_reply(MR_MORE_DATA, tuple(t))
         yield encode_reply(0)
 
     def _list_users(self) -> list[bytes]:

@@ -8,6 +8,8 @@ operation instantly and deterministically.
 
 from repro.sim.clock import Clock
 from repro.sim.cron import Cron, CronEntry
+from repro.sim.faults import Fault, FaultInjector, ServerCrash, TornWrite
 from repro.sim.network import Network, NetworkError
 
-__all__ = ["Clock", "Cron", "CronEntry", "Network", "NetworkError"]
+__all__ = ["Clock", "Cron", "CronEntry", "Fault", "FaultInjector",
+           "Network", "NetworkError", "ServerCrash", "TornWrite"]

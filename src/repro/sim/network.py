@@ -19,10 +19,18 @@ class NetworkError(Exception):
 
 
 class Network:
-    """Connectivity and fault injection between named hosts."""
+    """Connectivity and fault injection between named hosts.
 
-    def __init__(self, seed: int = 0):
+    *faults* (a :class:`repro.sim.faults.FaultInjector`) adds the named
+    injection point ``net.deliver``: armed faults fire before the
+    built-in partition/loss/corruption checks, with ``host`` in the
+    firing context.  An injected :class:`NetworkError` counts as a lost
+    message like any organic one.
+    """
+
+    def __init__(self, seed: int = 0, faults=None):
         self._rng = random.Random(seed)
+        self.faults = faults
         # the DCM's propagation workers deliver concurrently; the RNG
         # and counters need a mutex to stay consistent
         self._lock = threading.Lock()
@@ -63,6 +71,14 @@ class Network:
         """Deliver *payload* to *host*; raises NetworkError or returns the
         possibly-corrupted bytes the host receives."""
         key = host.upper()
+        if self.faults is not None:
+            try:
+                self.faults.fire("net.deliver", host=key,
+                                 size=len(payload))
+            except NetworkError:
+                with self._lock:
+                    self.messages_lost += 1
+                raise
         with self._lock:
             if key in self._partitioned:
                 self.messages_lost += 1

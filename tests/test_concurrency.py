@@ -371,9 +371,9 @@ class TestJournalOrdering:
         seen: list[bool] = []
         original = d.server.journal.record
 
-        def spying_record(when, who, query, args):
+        def spying_record(when, who, query, args, **kw):
             seen.append(d.db.lock.write_locked)
-            return original(when, who, query, args)
+            return original(when, who, query, args, **kw)
 
         d.server.journal.record = spying_record
         try:
@@ -391,9 +391,9 @@ class TestJournalOrdering:
         seen: list[bool] = []
         original = d.server.journal.record
 
-        def spying_record(when, who, query, args):
+        def spying_record(when, who, query, args, **kw):
             seen.append(d.db.lock.write_locked)
-            return original(when, who, query, args)
+            return original(when, who, query, args, **kw)
 
         d.server.journal.record = spying_record
         try:

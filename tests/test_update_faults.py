@@ -1,0 +1,176 @@
+"""Fault-injection tests: the §5.9 soft/hard classification matrix.
+
+Each test provokes one failure mode at an exact protocol boundary via
+the seeded :class:`FaultInjector` and asserts the DCM-facing
+classification: *soft* failures (retry next cycle) versus *hard* ones
+(hosterror, human attention).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AthenaDeployment, DeploymentConfig
+from repro.dcm.update import (
+    UpdateOutcome,
+    build_payload,
+    default_script,
+    push_update,
+)
+from repro.errors import (
+    MR_CHECKSUM,
+    MR_HOST_UNREACHABLE,
+    MR_SCRIPT_FAILED,
+    MR_UPDATE_TIMEOUT,
+)
+from repro.hosts.host import SimulatedHost
+from repro.hosts.update_daemon import InstallScript, UpdateDaemon
+from repro.sim import FaultInjector, Network, NetworkError
+from repro.workload import PopulationSpec
+
+FILES = {"hesiod.conf": b"lots of hesiod records\n"}
+
+
+@pytest.fixture
+def rig():
+    """One host + daemon + network sharing a fault injector."""
+    faults = FaultInjector(seed=7)
+    host = SimulatedHost("WS1.MIT.EDU")
+    daemon = UpdateDaemon(host, faults=faults)
+    network = Network(seed=7, faults=faults)
+    return host, daemon, network, faults
+
+
+def push(host, daemon, network, faults, *, script=None, timeout=120):
+    return push_update(
+        host=host, daemon=daemon, network=network,
+        target="/tmp/hesiod.out", payload=build_payload(FILES),
+        script=script or default_script(FILES), timeout=timeout,
+        faults=faults)
+
+
+class TestClassificationMatrix:
+    def test_clean_push_succeeds(self, rig):
+        host, daemon, network, faults = rig
+        result = push(host, daemon, network, faults)
+        assert result.ok
+        assert host.fs.read("hesiod.conf") == FILES["hesiod.conf"]
+        assert daemon.installs_executed == 1
+
+    def test_partition_mid_transfer_is_soft_unreachable(self, rig):
+        """The link dies after authentication, during the file
+        transfer: soft MR_HOST_UNREACHABLE, nothing installed."""
+        host, daemon, network, faults = rig
+        faults.fail("update.transfer",
+                    NetworkError("WS1 partitioned mid-transfer"))
+        result = push(host, daemon, network, faults)
+        assert result.outcome is UpdateOutcome.SOFT_FAILURE
+        assert result.error == MR_HOST_UNREACHABLE
+        assert daemon.updates_received == 0
+        assert not host.fs.exists("hesiod.conf")
+
+    def test_checksum_corruption_is_soft(self, rig):
+        """Payload damaged in transit: the daemon's checksum rejects
+        it, the DCM retries later — valid files still exist on Moira."""
+        host, daemon, network, faults = rig
+        network.set_corrupt_rate(host.name, 1.0)
+        result = push(host, daemon, network, faults)
+        assert result.outcome is UpdateOutcome.SOFT_FAILURE
+        assert result.error == MR_CHECKSUM
+        assert daemon.installs_executed == 0
+
+    def test_daemon_crash_between_transfer_and_execute(self, rig):
+        """The host dies after the flush but before the execute
+        command: the DCM sees a timeout (soft).  'Either the file will
+        have been installed or it will not' — retry converges."""
+        host, daemon, network, faults = rig
+        faults.crash_host_at("daemon.execute", host)
+        result = push(host, daemon, network, faults)
+        assert result.outcome is UpdateOutcome.SOFT_FAILURE
+        assert result.error == MR_UPDATE_TIMEOUT
+        assert daemon.updates_received == 1   # transfer phase completed
+        assert not host.alive
+
+    def test_timeout_during_install_is_soft_after_side_effects(self, rig):
+        """The execute operation itself blows the per-op ceiling.  The
+        install has *already happened* when the timeout is observed —
+        the classification is still soft, and the duplicate install on
+        retry is harmless (idempotent renames)."""
+        host, daemon, network, faults = rig
+        faults.delay("update.execute", 500)   # >> the 120s ceiling
+        result = push(host, daemon, network, faults)
+        assert result.outcome is UpdateOutcome.SOFT_FAILURE
+        assert result.error == MR_UPDATE_TIMEOUT
+        assert "exceeded" in result.message
+        assert daemon.installs_executed == 1  # it DID run
+
+    def test_script_failure_is_hard(self, rig):
+        """The install script exiting non-zero is the one genuinely
+        hard failure: hosterror, wait for a human."""
+        host, daemon, network, faults = rig
+        script = default_script(FILES).execute("no_such_command")
+        result = push(host, daemon, network, faults, script=script)
+        assert result.outcome is UpdateOutcome.HARD_FAILURE
+        assert result.error == MR_SCRIPT_FAILED
+
+    def test_wedged_daemon_times_out_without_transfer(self, rig):
+        """A wedged-but-alive daemon: the *authenticate* operation's
+        observed cost blows the ceiling, so the transfer never starts
+        and the injected slowness classifies exactly like a real one."""
+        host, daemon, network, faults = rig
+        daemon.response_delay = 10_000
+        result = push(host, daemon, network, faults)
+        assert result.outcome is UpdateOutcome.SOFT_FAILURE
+        assert result.error == MR_UPDATE_TIMEOUT
+        assert "exceeded" in result.message
+        assert daemon.updates_received == 0
+
+    def test_injected_delay_under_ceiling_is_fine(self, rig):
+        host, daemon, network, faults = rig
+        faults.delay("update.transfer", 30)   # slow but acceptable
+        result = push(host, daemon, network, faults)
+        assert result.ok
+
+    def test_crash_mid_install_step(self, rig):
+        """Machine dies between two install instructions: timeout
+        (soft); the staged rename either happened or it didn't."""
+        host, daemon, network, faults = rig
+        faults.crash_host_at("daemon.step", host,
+                             where=lambda ctx: ctx["op"] == "install")
+        result = push(host, daemon, network, faults)
+        assert result.outcome is UpdateOutcome.SOFT_FAILURE
+        assert result.error == MR_UPDATE_TIMEOUT
+
+
+class TestDeploymentWeather:
+    """Scheduled per-cycle network weather through a full deployment."""
+
+    def _deploy(self, faults):
+        return AthenaDeployment(DeploymentConfig(
+            population=PopulationSpec(
+                users=15, unregistered_users=0, nfs_servers=2,
+                maillists=2, clusters=1, machines_per_cluster=1,
+                printers=1, network_services=3),
+            faults=faults))
+
+    def test_partition_for_cycles_then_converge(self):
+        faults = FaultInjector(seed=3)
+        d = self._deploy(faults)
+        hesiod = d.handles.hesiod_machine
+        faults.net_partition(hesiod, cycles=50)
+        d.run_hours(7)   # generation due at 6h; all pushes fail soft
+        row = d.db.table("serverhosts").select({"service": "HESIOD"})[0]
+        assert row["success"] == 0
+        assert row["hosterror"] == 0   # soft: still retryable
+        # weather expires (50 cycles ≈ 12.5h total); heal + converge
+        d.run_hours(8)
+        row = d.db.table("serverhosts").select({"service": "HESIOD"})[0]
+        assert row["success"] == 1
+
+    def test_fault_log_records_firings(self):
+        faults = FaultInjector(seed=3)
+        d = self._deploy(faults)
+        faults.net_partition(d.handles.hesiod_machine, cycles=2)
+        d.run_hours(7)
+        assert faults.cycle > 0            # begin_cycle ran per DCM tick
+        assert faults.calls("update.authenticate") > 0
