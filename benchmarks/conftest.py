@@ -23,6 +23,7 @@ BENCH_JSON = RESULTS_DIR / "BENCH_dcm.json"
 BENCH_SERVER_JSON = RESULTS_DIR / "BENCH_server.json"
 BENCH_QUERIES_JSON = RESULTS_DIR / "BENCH_queries.json"
 BENCH_ROBUSTNESS_JSON = RESULTS_DIR / "BENCH_robustness.json"
+BENCH_REPLICATION_JSON = RESULTS_DIR / "BENCH_replication.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

@@ -16,7 +16,9 @@ Two client classes:
 
 from __future__ import annotations
 
+import random
 import time
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.db.engine import Database
@@ -39,7 +41,7 @@ from repro.protocol.wire import MajorRequest, pack_authenticator
 from repro.queries.base import QueryContext, execute_query
 from repro.sim.clock import Clock
 
-__all__ = ["MoiraClient", "DirectClient"]
+__all__ = ["MoiraClient", "DirectClient", "ReplicaSet"]
 
 QueryCallback = Callable[[int, tuple[str, ...], object], None]
 
@@ -58,6 +60,7 @@ class MoiraClient:
         service_principal: str = "moira",
         busy_retries: int = 3,
         busy_backoff: float = 0.01,
+        pooled: bool = False,
     ):
         if (dispatcher is None) == (tcp_address is None):
             raise ValueError("give exactly one of dispatcher/tcp_address")
@@ -67,6 +70,9 @@ class MoiraClient:
         self.credentials = credentials
         self.clock = clock
         self.service_principal = service_principal
+        # in-process only: run requests on the server's worker pool
+        # (the TCP concurrency shape) instead of inline on this thread
+        self.pooled = pooled
         # MR_BUSY (load shed / deadline expired) is retryable; only
         # queries known to be idempotent are retried automatically
         self.busy_retries = busy_retries
@@ -84,7 +90,8 @@ class MoiraClient:
             return MR_ALREADY_CONNECTED
         try:
             if self._dispatcher is not None:
-                self._conn = connect_inproc(self._dispatcher)
+                self._conn = connect_inproc(self._dispatcher,
+                                            pooled=self.pooled)
             else:
                 host, port = self._tcp_address
                 self._conn = connect_tcp(host, port)
@@ -265,6 +272,186 @@ class MoiraClient:
 
     def __enter__(self) -> "MoiraClient":
         return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class _ReplicaSlot:
+    """Router-side health state for one replica connection."""
+    client: MoiraClient
+    consecutive_failures: int = 0
+    next_attempt_at: float = 0.0    # monotonic; 0 = healthy
+
+
+# final codes that mean "this replica can't answer right now", not
+# "this is the answer": route around and (on repeat offense) eject
+_ROUTE_AROUND = frozenset({MR_BUSY, MR_ABORTED, MR_NOT_CONNECTED})
+
+
+class ReplicaSet:
+    """Client-side replica router: reads load-balance across read-only
+    replicas, writes go to the primary, and a session token gives
+    read-your-writes.
+
+    * ``side_effects=False`` registered queries round-robin across the
+      healthy replicas as ``_repl_read <min_seq> <query> <args...>``;
+      everything else — mutations, pseudo-queries, unknown handles —
+      goes to the primary.
+    * After every successful write the session token ``min_seq`` is
+      refreshed from the primary's ``_repl_status`` WAL watermark.  A
+      replica that has not applied that seq pulls eagerly up to its
+      staleness budget, then answers ``MR_BUSY`` — the router ejects it
+      for this read and falls through to the next replica or, when all
+      are behind/dead, to the primary (which is always fresh).  Reads
+      therefore never travel back in time past the session's writes.
+    * A dead or lagging replica is ejected and re-probed with the same
+      backoff shape as :class:`repro.dcm.retry.RetryPolicy`: per-slot
+      exponential backoff with seeded jitter until the breaker
+      threshold, then one probe per cooldown window.
+
+    Single-session object, like :class:`MoiraClient`; not thread-safe.
+    """
+
+    def __init__(self, primary: MoiraClient,
+                 replicas: Sequence[MoiraClient] = (),
+                 *, retry_policy=None, seed: int = 0,
+                 time_source: Callable[[], float] = time.monotonic):
+        from repro.dcm.retry import RetryPolicy
+        self.primary = primary
+        self.policy = retry_policy if retry_policy is not None else \
+            RetryPolicy(backoff_base=0.05, backoff_factor=2.0,
+                        backoff_cap=5.0, jitter_frac=0.25,
+                        breaker_threshold=3, breaker_cooldown=1.0)
+        self._rng = random.Random(seed)
+        self._time = time_source
+        self._slots = [_ReplicaSlot(c) for c in replicas]
+        self._rr = 0
+        self.min_seq = 0    # session freshness token (read-your-writes)
+        self.reads_replica = 0
+        self.reads_primary = 0
+        self.writes = 0
+        self.fallthroughs = 0   # reads answered by the primary while
+        #                         replicas were configured
+        self.ejections = 0
+        self.probes = 0
+
+    # -- routing -------------------------------------------------------------
+
+    def query(self, name: str, *args: str) -> list[tuple[str, ...]]:
+        """Run a query on the right tier; raises MoiraError."""
+        from repro.queries.base import get_query
+        query = get_query(name)
+        if query is not None and not query.side_effects \
+                and not name.startswith("_"):
+            return self._read(name, [str(a) for a in args])
+        # mutations, pseudo-queries, unknown handles: the primary owns
+        # them (unknown names get its authoritative MR_NO_HANDLE)
+        rows = self.primary.query(name, *args)
+        if query is not None and query.side_effects:
+            self.writes += 1
+            self._refresh_token()
+        return rows
+
+    def query_maybe(self, name: str, *args: str) -> list[tuple[str, ...]]:
+        """Like :meth:`query`, but MR_NO_MATCH yields []."""
+        from repro.errors import MR_NO_MATCH
+        try:
+            return self.query(name, *args)
+        except MoiraError as exc:
+            if exc.code == MR_NO_MATCH:
+                return []
+            raise
+
+    def _refresh_token(self) -> None:
+        """Advance the session token past the write just performed."""
+        try:
+            status = self.primary.query("_repl_status")
+        except MoiraError:
+            return    # journal-less primary: no freshness tracking
+        if status and len(status[0]) >= 2:
+            try:
+                seq = int(status[0][1])
+            except ValueError:
+                return
+            if seq > self.min_seq:
+                self.min_seq = seq
+
+    def _read(self, name: str, args: list[str]) -> list[tuple[str, ...]]:
+        now = self._time()
+        n = len(self._slots)
+        for k in range(n):
+            slot = self._slots[(self._rr + k) % n]
+            if now < slot.next_attempt_at:
+                continue    # ejected, still backing off
+            if slot.consecutive_failures:
+                self.probes += 1    # half-open probe of an ejected slot
+            try:
+                rows = self._replica_query(slot, name, args)
+            except MoiraError as exc:
+                if exc.code in _ROUTE_AROUND:
+                    self._eject(slot, now)
+                    continue
+                # a genuine answer (MR_NO_MATCH, MR_PERM, ...) — the
+                # freshness gate already ran, so it is as authoritative
+                # as the primary's
+                self._rr = (self._rr + k + 1) % n
+                raise
+            slot.consecutive_failures = 0
+            slot.next_attempt_at = 0.0
+            self._rr = (self._rr + k + 1) % n
+            self.reads_replica += 1
+            return rows
+        # every replica ejected or behind: the primary has the truth
+        self.reads_primary += 1
+        if n:
+            self.fallthroughs += 1
+        return self.primary.query(name, *args)
+
+    def _replica_query(self, slot: _ReplicaSlot, name: str,
+                       args: list[str]) -> list[tuple[str, ...]]:
+        client = slot.client
+        if client._conn is None:    # dropped on a previous failure
+            code = client.mr_connect()
+            if code not in (0, MR_ALREADY_CONNECTED):
+                raise MoiraError(MR_ABORTED, "replica reconnect failed")
+        return client.query("_repl_read", str(self.min_seq), name, *args)
+
+    def _eject(self, slot: _ReplicaSlot, now: float) -> None:
+        slot.consecutive_failures += 1
+        self.ejections += 1
+        if slot.consecutive_failures >= self.policy.breaker_threshold:
+            # breaker open: skip outright, one probe per cooldown window
+            slot.next_attempt_at = now + self.policy.breaker_cooldown
+        else:
+            slot.next_attempt_at = now + self.policy.backoff(
+                slot.consecutive_failures, self._rng)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the routing counters (benchmark warmup hygiene)."""
+        self.reads_replica = self.reads_primary = self.writes = 0
+        self.fallthroughs = self.ejections = self.probes = 0
+
+    def stats(self) -> dict:
+        """Routing counters, for tests and benchmark reports."""
+        return {"reads_replica": self.reads_replica,
+                "reads_primary": self.reads_primary,
+                "writes": self.writes,
+                "fallthroughs": self.fallthroughs,
+                "ejections": self.ejections,
+                "probes": self.probes,
+                "min_seq": self.min_seq}
+
+    def close(self) -> None:
+        self.primary.close()
+        for slot in self._slots:
+            slot.client.close()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()

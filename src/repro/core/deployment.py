@@ -67,6 +67,16 @@ class DeploymentConfig:
     retry_policy: Optional[RetryPolicy] = None  # backoff/breaker/budget
     admission_limit: Optional[int] = None  # queued frames before MR_BUSY
     request_deadline: Optional[float] = None  # seconds in queue before shed
+    # replication knobs (0 replicas = the seed single-server shape)
+    replicas: int = 0
+    replica_workers: int = 0  # worker pool per replica (0 = inline)
+    staleness_budget: float = 0.25  # max wait for read-your-writes, s
+    replica_poll_interval: float = 0.005  # pump thread tail cadence, s
+    # WAL write-path knobs (defaults = seed: fsync every append,
+    # one monolithic file)
+    wal_segments: bool = False
+    fsync_batch: int = 1
+    fsync_interval_ms: float = 0.0
 
 
 class AthenaDeployment:
@@ -81,7 +91,10 @@ class AthenaDeployment:
         self.db = build_database()
         self.kdc = KDC(self.clock)
         self.journal = (Journal(path=self.config.wal_path,
-                                faults=self.faults)
+                                faults=self.faults,
+                                fsync_batch=self.config.fsync_batch,
+                                fsync_interval_ms=self.config.fsync_interval_ms,
+                                rotate_segments=self.config.wal_segments)
                         if self.config.journal_changes else None)
 
         # the synthetic campus
@@ -128,6 +141,17 @@ class AthenaDeployment:
 
         self.notifications: list[tuple[str, str, str]] = []
         self.mail_sent: list[tuple[str, str]] = []
+
+        # the read-replica tier (an extension; see docs/REPLICATION.md)
+        self.replica_cluster = None
+        if self.config.replicas > 0:
+            from repro.replication.topology import ReplicaCluster
+            self.replica_cluster = ReplicaCluster(
+                self, self.config.replicas,
+                workers=self.config.replica_workers,
+                staleness_budget=self.config.staleness_budget,
+                poll_interval=self.config.replica_poll_interval,
+                faults=self.faults)
 
     # -- construction helpers --------------------------------------------------
 
@@ -270,6 +294,20 @@ class AthenaDeployment:
                              credentials=creds, clock=self.clock)
         client.connect().auth(client_name)
         return client
+
+    def replica_set_client(self, login: Optional[str] = None,
+                           password: str = "pw",
+                           client_name: str = "app", *,
+                           pooled: bool = False):
+        """A :class:`~repro.client.lib.ReplicaSet` router over the
+        primary and the configured replica tier."""
+        if self.replica_cluster is None:
+            raise ValueError("deployment has no replicas configured")
+        if login is not None and not self.kdc.principal_exists(login):
+            self.kdc.add_principal(login, password)
+        return self.replica_cluster.replica_set(login, password,
+                                                client_name,
+                                                pooled=pooled)
 
     def make_admin(self, login: str) -> None:
         """Put *login* on the moira-admins capability list."""

@@ -19,6 +19,24 @@ Crash tolerance on the read side: :meth:`JournalEntry.from_line` rejects
 malformed input with ``ValueError`` instead of arbitrary exceptions, and
 :meth:`Journal.load` stops cleanly at a torn final record (the expected
 artifact of dying mid-append).
+
+Two write-path knobs added for the replication tier:
+
+* **Group commit** — ``fsync_batch`` / ``fsync_interval_ms`` defer the
+  per-append ``fsync`` so the primary's write path is not fsync-bound
+  while feeding replicas.  The defaults (batch 1, no interval) are the
+  seed behaviour: every append is fsync'd before ``record`` returns.
+  With batching on, a machine (not process) crash can lose the last
+  un-fsync'd batch — the records are flushed to the kernel, not forced
+  to the platter — so replicas may briefly be *ahead* of a recovered
+  primary; the replica apply loop detects that and resyncs.
+* **Segment rotation** — ``rotate_segments`` stores the WAL as
+  ``wal.<first_seq>`` segment files instead of one monolithic file.
+  :meth:`truncate` at a checkpoint then *unlinks* whole covered
+  segments (rewriting at most the one segment straddling the
+  watermark) instead of rewriting the entire remaining log, and a
+  restarted primary serving ``_repl_tail`` reads never rescan
+  checkpoint-covered history.
 """
 
 from __future__ import annotations
@@ -26,6 +44,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -92,6 +111,14 @@ class Journal:
     path: Optional[Union[str, Path]] = None
     entries: list[JournalEntry] = field(default_factory=list)
     faults: Optional[FaultInjector] = None
+    # Group commit: fsync once per *fsync_batch* appends and/or once per
+    # *fsync_interval_ms*.  The defaults are the seed behaviour — every
+    # append is fsync'd before record() returns.
+    fsync_batch: int = 1
+    fsync_interval_ms: float = 0.0
+    # Store the log as wal.<first_seq> segment files; truncate() then
+    # unlinks covered segments instead of rewriting one monolithic file.
+    rotate_segments: bool = False
     # True when load() hit a torn/malformed tail and truncated there
     torn_tail: bool = field(default=False, compare=False)
     # worker-pool threads journal concurrently; the mutex keeps the
@@ -103,6 +130,10 @@ class Journal:
     # entries arrive in mutation order; `when` is normally nondecreasing
     # (virtual clock), letting since() bisect — tracked, not assumed
     _when_monotonic: bool = field(default=True, repr=False, compare=False)
+    _unsynced: int = field(default=0, repr=False, compare=False)
+    _last_fsync: float = field(default=0.0, repr=False, compare=False)
+    # first seq of the active segment (0 = start one at the next append)
+    _segment_first: int = field(default=0, repr=False, compare=False)
 
     def record(self, when: int, who: str, query: str,
                args: tuple[str, ...], client: str = "") -> JournalEntry:
@@ -135,13 +166,48 @@ class Journal:
 
     # -- the durable tail --------------------------------------------------
 
+    def _segment_path(self, first_seq: int) -> Path:
+        # zero-padded so lexicographic directory order == seq order
+        return Path(f"{self.path}.{first_seq:016d}")
+
+    def segment_files(self) -> list[tuple[int, Path]]:
+        """(first_seq, path) for every on-disk segment, ascending."""
+        base = Path(str(self.path))
+        if not base.parent.exists():
+            return []
+        out = []
+        for p in base.parent.glob(base.name + ".*"):
+            suffix = p.name[len(base.name) + 1:]
+            if suffix.isdigit():
+                out.append((int(suffix), p))
+        return sorted(out)
+
     def _file(self):
         if self._fh is None:
-            self._fh = open(self.path, "a", encoding="utf-8")
+            if self.rotate_segments:
+                if self._segment_first <= 0:
+                    self._segment_first = self._next_seq
+                target = self._segment_path(self._segment_first)
+            else:
+                target = self.path
+            self._fh = open(target, "a", encoding="utf-8")
         return self._fh
+
+    def _fsync_due(self) -> bool:
+        if self.fsync_batch <= 1 and self.fsync_interval_ms <= 0:
+            return True     # seed behaviour: fsync every append
+        if self.fsync_batch > 0 and self._unsynced >= self.fsync_batch:
+            return True
+        if (self.fsync_interval_ms > 0
+                and (time.monotonic() - self._last_fsync) * 1000.0
+                >= self.fsync_interval_ms):
+            return True
+        return False
 
     def _append_durable(self, entry: JournalEntry) -> None:
         line = entry.to_line()
+        if self.rotate_segments and self._segment_first <= 0:
+            self._segment_first = entry.seq   # names the new segment
         fh = self._file()
         if self.faults is not None:
             try:
@@ -154,13 +220,30 @@ class Journal:
                 os.fsync(fh.fileno())
                 raise
         fh.write(line + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
+        fh.flush()      # always reaches the kernel before record returns
+        self._unsynced += 1
+        if self._fsync_due():
+            os.fsync(fh.fileno())
+            self._unsynced = 0
+            self._last_fsync = time.monotonic()
+
+    def _sync_locked(self) -> None:
+        if self._fh is not None and self._unsynced:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._unsynced = 0
+            self._last_fsync = time.monotonic()
+
+    def sync(self) -> None:
+        """Force any group-commit-deferred appends to stable storage."""
+        with self._lock:
+            self._sync_locked()
 
     def close(self) -> None:
-        """Close the WAL file handle (idempotent)."""
+        """Sync pending appends and close the WAL handle (idempotent)."""
         with self._lock:
             if self._fh is not None:
+                self._sync_locked()
                 self._fh.close()
                 self._fh = None
 
@@ -170,6 +253,43 @@ class Journal:
         """Sequence number of the newest entry (0 when empty)."""
         with self._lock:
             return self.entries[-1].seq if self.entries else 0
+
+    def current_seq(self) -> int:
+        """Highest sequence number ever assigned (0 = nothing journaled).
+
+        Unlike :meth:`last_seq` this survives checkpoint truncation —
+        after ``truncate(n)`` empties the log, ``current_seq`` is still
+        ``n`` — so it is the right freshness watermark for replicas and
+        read-your-writes session tokens.
+        """
+        with self._lock:
+            return self._next_seq - 1
+
+    def oldest_seq(self) -> int:
+        """Lowest retained sequence number (``_next_seq`` when empty)."""
+        with self._lock:
+            return self.entries[0].seq if self.entries else self._next_seq
+
+    def tail(self, after_seq: int
+             ) -> tuple[int, int, Optional[list[JournalEntry]]]:
+        """One atomic snapshot for the replication feed.
+
+        Returns ``(oldest_retained, current, entries)`` where *entries*
+        is every retained entry with ``seq > after_seq`` — or ``None``
+        when *after_seq* predates the retained log (a checkpoint
+        truncated past it), meaning the caller must resync from a full
+        snapshot rather than silently skip the gap ``after_seq`` →
+        *oldest_retained* (which :meth:`after_seq` alone would do).
+        """
+        with self._lock:
+            oldest = (self.entries[0].seq if self.entries
+                      else self._next_seq)
+            current = self._next_seq - 1
+            if after_seq + 1 < oldest:
+                return oldest, current, None
+            lo = bisect_left(self.entries, after_seq + 1,
+                             key=lambda e: e.seq)
+            return oldest, current, self.entries[lo:]
 
     def since(self, when: int) -> list[JournalEntry]:
         """Entries at or after *when* — the replay window after a restore.
@@ -214,7 +334,9 @@ class Journal:
 
     def truncate(self, upto_seq: int) -> int:
         """Drop entries with ``seq <= upto_seq`` (they are covered by a
-        snapshot); atomically rewrite the WAL file with the remainder.
+        snapshot).  Monolithic mode atomically rewrites the WAL file
+        with the remainder; segmented mode unlinks every fully covered
+        segment and rewrites at most the one straddling the watermark.
         Returns the number of entries dropped."""
         with self._lock:
             keep_from = bisect_left(self.entries, upto_seq + 1,
@@ -223,16 +345,43 @@ class Journal:
             self.entries = self.entries[keep_from:]
             if self.path is not None:
                 if self._fh is not None:
+                    self._sync_locked()     # don't lose batched appends
                     self._fh.close()
                     self._fh = None
-                tmp = Path(str(self.path) + ".tmp")
+                if self.rotate_segments:
+                    self._truncate_segments(upto_seq)
+                else:
+                    tmp = Path(str(self.path) + ".tmp")
+                    with open(tmp, "w", encoding="utf-8") as fh:
+                        for entry in self.entries:
+                            fh.write(entry.to_line() + "\n")
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, self.path)
+            return dropped
+
+    def _truncate_segments(self, upto_seq: int) -> None:
+        # next append opens a fresh segment at _next_seq
+        self._segment_first = 0
+        segments = self.segment_files()
+        for i, (first, path) in enumerate(segments):
+            next_first = (segments[i + 1][0] if i + 1 < len(segments)
+                          else self._next_seq)
+            last_covered = next_first - 1
+            if last_covered <= upto_seq:
+                path.unlink()       # the snapshot covers it entirely
+            elif first <= upto_seq:
+                # straddles the watermark: keep only the live suffix
+                keep = [e for e in self.entries
+                        if first <= e.seq <= last_covered]
+                tmp = Path(str(path) + ".tmp")
                 with open(tmp, "w", encoding="utf-8") as fh:
-                    for entry in self.entries:
+                    for entry in keep:
                         fh.write(entry.to_line() + "\n")
                     fh.flush()
                     os.fsync(fh.fileno())
-                os.replace(tmp, self.path)
-            return dropped
+                os.replace(tmp, self._segment_path(upto_seq + 1))
+                path.unlink()
 
     @classmethod
     def load(cls, path: Union[str, Path], *,
@@ -244,26 +393,53 @@ class Journal:
         set, and the remainder is discarded.  ``strict=True`` raises
         instead.  Legacy records without sequence numbers are assigned
         their 1-based file position so replay windows keep working.
+
+        ``wal.<seq>`` segment files beside *path* are detected
+        automatically (a monolithic file, if present, reads first —
+        segments always hold newer entries) and flip the journal into
+        segmented mode for subsequent appends and truncates.
         """
         journal = cls(path=path)
         path = Path(path)
-        if not path.exists():
+        files: list[Path] = []
+        if path.exists():
+            files.append(path)
+        segments = journal.segment_files()
+        if segments:
+            journal.rotate_segments = True
+            files.extend(p for _, p in segments)
+        if not files:
             return journal
         entries: list[JournalEntry] = []
-        with open(path, encoding="utf-8") as fh:
-            for lineno, line in enumerate(fh, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    entry = JournalEntry.from_line(line)
-                except ValueError:
-                    if strict:
-                        raise
-                    journal.torn_tail = True
-                    break
-                if entry.seq == 0:
-                    entry = replace(entry, seq=len(entries) + 1)
-                entries.append(entry)
+        torn = False
+        for part in files:
+            if torn:
+                break   # only the newest file can have a live tail
+            part_start = len(entries)
+            with open(part, encoding="utf-8") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        entry = JournalEntry.from_line(line)
+                    except ValueError:
+                        if strict:
+                            raise
+                        journal.torn_tail = torn = True
+                        break
+                    if entry.seq == 0:
+                        entry = replace(entry, seq=len(entries) + 1)
+                    entries.append(entry)
+            if torn and journal.rotate_segments:
+                # scrub the torn record so appends land in a *new*
+                # segment that a future load will not stop short of
+                tmp = Path(str(part) + ".tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for entry in entries[part_start:]:
+                        fh.write(entry.to_line() + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, part)
         journal.entries = entries
         journal._next_seq = (entries[-1].seq + 1) if entries else 1
         journal._when_monotonic = all(

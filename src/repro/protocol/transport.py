@@ -44,6 +44,7 @@ other client — indefinitely.
 from __future__ import annotations
 
 import os
+import queue
 import selectors
 import socket
 import threading
@@ -137,6 +138,13 @@ class InProcessTransport:
         conn_id = self.dispatcher.open_connection(peer)
         return _InProcessConnection(self.dispatcher, conn_id)
 
+    def connect_pooled(self, peer: str = "inproc"
+                       ) -> "_PooledInProcessConnection":
+        """Open a connection whose requests run on the dispatcher's
+        worker pool rather than inline on the calling thread."""
+        conn_id = self.dispatcher.open_connection(peer)
+        return _PooledInProcessConnection(self.dispatcher, conn_id)
+
 
 class _InProcessConnection(ClientConnection):
     def __init__(self, dispatcher: Dispatcher, conn_id: int):
@@ -166,10 +174,83 @@ class _InProcessConnection(ClientConnection):
             self.dispatcher.close_connection(self.conn_id)
 
 
-def connect_inproc(dispatcher: Dispatcher,
-                   peer: str = "inproc") -> _InProcessConnection:
-    """A client connection straight into *dispatcher*."""
-    return InProcessTransport(dispatcher).connect(peer)
+class _PooledInProcessConnection(ClientConnection):
+    """In-process client whose requests execute on the server's worker
+    pool — the concurrency shape of the TCP path (the client thread
+    blocks while a server worker runs the query) without the sockets.
+
+    The plain :class:`_InProcessConnection` runs the query inline on
+    the *calling* thread, so N client threads get N-way execution no
+    matter how the server is configured; that hides the server's pool
+    as the capacity limit.  This variant routes through
+    ``submit_frame``, falling back to the inline path when the
+    dispatcher has no pool (``workers=0``) or no ``submit_frame``.
+    """
+
+    _DONE = object()    # end-of-stream sentinel from on_done
+
+    def __init__(self, dispatcher: Dispatcher, conn_id: int,
+                 timeout: float = 60.0):
+        self.dispatcher = dispatcher
+        self.conn_id = conn_id
+        self.timeout = timeout
+        self._open = True
+
+    def _roundtrip(self, request_frame: bytes) -> Iterator[bytes]:
+        if not self._open:
+            raise MoiraError(MR_NOT_CONNECTED)
+        body = request_frame[4:]
+        submit = getattr(self.dispatcher, "submit_frame", None)
+        if submit is None:
+            yield from _inline_frames(self.dispatcher, self.conn_id, body)
+            return
+        replies: queue.SimpleQueue = queue.SimpleQueue()
+        accepted = submit(
+            self.conn_id, body,
+            lambda frame: (replies.put(frame), True)[1],
+            lambda: replies.put(self._DONE))
+        if not accepted:    # workers=0: pool disabled
+            yield from _inline_frames(self.dispatcher, self.conn_id, body)
+            return
+        while True:
+            try:
+                frame = replies.get(timeout=self.timeout)
+            except queue.Empty:
+                raise MoiraError(MR_ABORTED,
+                                 "pooled reply timed out") from None
+            if frame is self._DONE:
+                return
+            yield frame[4:]
+
+    def close(self) -> None:
+        """Tear down the connection."""
+        if self._open:
+            self._open = False
+            self.dispatcher.close_connection(self.conn_id)
+
+
+def _inline_frames(dispatcher: Dispatcher, conn_id: int,
+                   body: bytes) -> Iterator[bytes]:
+    stream = getattr(dispatcher, "handle_frame_stream", None)
+    if stream is not None:
+        frames = stream(conn_id, body)
+    else:
+        frames = dispatcher.handle_frame(conn_id, body)
+    for frame in frames:
+        yield frame[4:]
+
+
+def connect_inproc(dispatcher: Dispatcher, peer: str = "inproc", *,
+                   pooled: bool = False) -> ClientConnection:
+    """A client connection straight into *dispatcher*.
+
+    ``pooled=True`` routes requests through the dispatcher's worker
+    pool (see :class:`_PooledInProcessConnection`); the default is the
+    seed inline path, byte-for-byte unchanged.
+    """
+    transport = InProcessTransport(dispatcher)
+    return transport.connect_pooled(peer) if pooled \
+        else transport.connect(peer)
 
 
 # -- TCP ---------------------------------------------------------------------------

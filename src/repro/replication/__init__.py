@@ -1,0 +1,16 @@
+"""Horizontal read scale-out: WAL-shipped read-only replicas.
+
+This tier is a reproduction *extension* (the paper runs Moira as a
+single process); see ``docs/REPLICATION.md``.  The primary-side feed
+lives in :mod:`repro.replication.feed`, the replica apply loop and
+serving stack in :mod:`repro.replication.replica`, and in-process
+cluster wiring for tests/benchmarks in
+:mod:`repro.replication.topology`.
+"""
+
+from repro.replication.feed import REPL_QUERIES, serve_repl_query
+from repro.replication.replica import ReplicaServer
+from repro.replication.topology import ReplicaCluster
+
+__all__ = ["REPL_QUERIES", "serve_repl_query", "ReplicaServer",
+           "ReplicaCluster"]

@@ -1,0 +1,153 @@
+"""Primary-side replication feed: the `_repl_*` streaming pseudo-queries.
+
+Replicas bootstrap and stay fresh over the *existing* counted-byte-string
+protocol — no side channel, no new wire format.  Three pseudo-queries,
+dispatched by :meth:`MoiraServer._do_query` ahead of the registry lookup
+(the same slot the ``_list_users`` / ``_query_stats`` diagnostics use):
+
+``_repl_status``
+    One tuple ``(role, current_seq, versions_json)``: the WAL
+    high-water mark paired with the per-table data-version vector
+    (PR 1's ``Database.versions()``), captured atomically under the
+    shared lock.  Clients use ``current_seq`` as the read-your-writes
+    session token; replicas compare version vectors for freshness
+    accounting.
+
+``_repl_snapshot``
+    The bootstrap: ``(_meta, watermark_seq, versions_json)`` followed by
+    one ``(table, row_line)`` tuple per row, the row encoded exactly as
+    an :func:`repro.db.backup.mrbackup` dump line (checkpoint format).
+    The whole stream is produced under one shared-lock hold, so the
+    snapshot is a consistent cut at *watermark_seq* — the replica tails
+    strictly after it.
+
+``_repl_tail <after_seq> [limit]``
+    The incremental feed: ``(_meta, current_seq)`` then one tuple per
+    journal entry with ``seq > after_seq``.  When *after_seq* predates
+    the retained log (a checkpoint truncated past a slow replica) the
+    reply is a single ``(_resync, oldest, current)`` tuple instead —
+    the replica must fall back to ``_repl_snapshot``.
+
+Like the other ``_``-prefixed diagnostics these bypass per-query access
+checks; the simulated deployment is a trusted enclave.  A real one
+would put the feed behind a Kerberos service principal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.db.backup import escape_field
+from repro.db.journal import JournalEntry
+from repro.errors import (
+    MoiraError,
+    MR_ARGS,
+    MR_INTERNAL,
+    MR_MORE_DATA,
+    MR_NO_HANDLE,
+)
+from repro.protocol.wire import encode_reply
+
+if TYPE_CHECKING:    # pragma: no cover
+    from repro.server.moira_server import MoiraServer
+
+__all__ = ["REPL_QUERIES", "META_ROW", "RESYNC_ROW", "serve_repl_query",
+           "entry_to_tuple", "entry_from_tuple"]
+
+REPL_QUERIES = ("_repl_status", "_repl_snapshot", "_repl_tail")
+
+# sentinel first-field values inside the feed streams
+META_ROW = "_meta"
+RESYNC_ROW = "_resync"
+
+
+def entry_to_tuple(entry: JournalEntry) -> tuple[str, ...]:
+    """Encode one journal entry as a wire tuple."""
+    return (str(entry.seq), str(entry.when), entry.who, entry.client,
+            entry.query, json.dumps(list(entry.args),
+                                    separators=(",", ":")))
+
+
+def entry_from_tuple(fields: Sequence[str]) -> JournalEntry:
+    """Invert :func:`entry_to_tuple`; raises ``ValueError`` if mangled."""
+    if len(fields) != 6:
+        raise ValueError(f"journal tuple wants 6 fields, got {len(fields)}")
+    seq, when, who, client, query, args = fields
+    parsed = json.loads(args)
+    if not isinstance(parsed, list):
+        raise ValueError("journal tuple args not a list")
+    return JournalEntry(seq=int(seq), when=int(when), who=who,
+                        client=client, query=query,
+                        args=tuple(str(a) for a in parsed))
+
+
+def versions_json(versions: dict) -> str:
+    return json.dumps(versions, sort_keys=True, separators=(",", ":"))
+
+
+def serve_repl_query(server: "MoiraServer", name: str,
+                     args: Sequence[str]) -> Iterator[bytes]:
+    """Serve one `_repl_*` pseudo-query; yields encoded reply frames."""
+    if server.journal is None:
+        raise MoiraError(MR_INTERNAL, "replication feed needs a journal")
+    if name == "_repl_status":
+        return _status(server)
+    if name == "_repl_snapshot":
+        return _snapshot(server)
+    if name == "_repl_tail":
+        return _tail(server, args)
+    raise MoiraError(MR_NO_HANDLE, name)
+
+
+def _status(server: "MoiraServer") -> Iterator[bytes]:
+    with server.db.read_locked():
+        seq = server.journal.current_seq()
+        versions = server.db.versions()
+    yield encode_reply(MR_MORE_DATA,
+                       ("primary", str(seq), versions_json(versions)))
+    yield encode_reply(0)
+
+
+def _snapshot(server: "MoiraServer") -> Iterator[bytes]:
+    db = server.db
+    # one shared-lock hold across the whole stream: the dump is a
+    # consistent cut at the watermark (writers take the lock exclusively
+    # and journal inside it, so the journal is quiescent here too)
+    with db.read_locked():
+        watermark = server.journal.current_seq()
+        yield encode_reply(MR_MORE_DATA,
+                           (META_ROW, str(watermark),
+                            versions_json(db.versions())))
+        for name in sorted(db.tables):
+            table = db.tables[name]
+            for row in table.rows:
+                line = ":".join(escape_field(str(row[col]))
+                                for col in table.columns)
+                yield encode_reply(MR_MORE_DATA, (name, line))
+    yield encode_reply(0)
+
+
+def _tail(server: "MoiraServer", args: Sequence[str]) -> Iterator[bytes]:
+    if not args:
+        raise MoiraError(MR_ARGS, "_repl_tail wants after_seq [limit]")
+    try:
+        after = int(args[0])
+        limit = int(args[1]) if len(args) > 1 else 0
+    except ValueError:
+        raise MoiraError(MR_ARGS,
+                         "_repl_tail after_seq/limit must be integers"
+                         ) from None
+    oldest, current, entries = server.journal.tail(after)
+    if entries is None:
+        # the checkpoint truncated past the replica: snapshot required
+        yield encode_reply(MR_MORE_DATA,
+                           (RESYNC_ROW, str(oldest), str(current)))
+        yield encode_reply(0)
+        return
+    yield encode_reply(MR_MORE_DATA, (META_ROW, str(current)))
+    if limit > 0:
+        entries = entries[:limit]
+    for entry in entries:
+        yield encode_reply(MR_MORE_DATA, entry_to_tuple(entry))
+    yield encode_reply(0)

@@ -1,0 +1,399 @@
+"""The read-only replica: WAL apply loop + full Moira serving stack.
+
+A :class:`ReplicaServer` owns a schema-fresh database and a complete
+:class:`~repro.server.moira_server.MoiraServer` over it (worker pool,
+access cache, query metrics — everything a primary has), but never
+accepts mutations: ``side_effects=True`` handles answer ``MR_PERM``.
+State arrives exclusively from the primary's replication feed:
+
+* **Bootstrap / resync** — ``_repl_snapshot`` streams a consistent cut
+  in the mrbackup line format; :meth:`sync_snapshot` wipes and reloads
+  every relation (the checkpoint-restore path, including the ``values``
+  relation's ID-allocation hints, so subsequent replay allocates the
+  same internal IDs as the primary).
+* **Steady state** — :meth:`step` tails ``_repl_tail`` past the applied
+  watermark and replays each journal entry through the predefined-query
+  layer under the *original* principal and timestamp — exactly the
+  :func:`repro.db.recovery.replay_wal` discipline — so audit fields
+  (``modby``/``modtime``/``modwith``) and allocated IDs come out
+  byte-identical to the primary.  Application is idempotent by the seq
+  watermark: a re-delivered entry is skipped, a re-started replica
+  resumes where it left off.
+
+Freshness is the pair (applied WAL seq, primary's per-table version
+vector from the last contact).  The serving side exposes a
+``_repl_read <min_seq> <query> <args...>`` wrapper: if the replica has
+not yet applied *min_seq* it pulls eagerly up to the staleness budget,
+then answers ``MR_BUSY`` — the client router falls through to the
+primary, preserving read-your-writes.
+
+Failure handling mirrors the rest of the system: feed errors drop the
+connection (rebuilt on the next pull), a checkpoint that truncated past
+this replica triggers a full resync, and a primary that *rewound* below
+our watermark (machine crash inside a group-commit window losing the
+un-fsync'd batch) is detected the same way and also resyncs — the
+replica never serves state the primary no longer has.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.db.backup import _split_escaped, unescape_field
+from repro.db.recovery import TOLERATED_REPLAY_ERRORS
+from repro.db.schema import build_database
+from repro.errors import (
+    MoiraError,
+    MR_ARGS,
+    MR_BUSY,
+    MR_INTERNAL,
+    MR_MORE_DATA,
+    MR_PERM,
+)
+from repro.protocol.transport import ClientConnection
+from repro.protocol.wire import MajorRequest, encode_reply
+from repro.replication.feed import (
+    META_ROW,
+    RESYNC_ROW,
+    entry_from_tuple,
+)
+from repro.server.moira_server import MoiraServer
+from repro.sim.clock import Clock
+from repro.sim.faults import FaultInjector
+
+__all__ = ["ReplicaServer", "ReplicaMoiraServer"]
+
+FeedFactory = Callable[[], ClientConnection]
+
+
+class ReplicaMoiraServer(MoiraServer):
+    """The serving half of a replica: a standard Moira server over the
+    replica's database, read-only, with the ``_repl_read`` freshness
+    gate in front of retrievals.
+
+    Everything downstream of the gate goes through the inherited
+    ``_do_query``, so reply frames are byte-identical to the primary's
+    for the same database state.
+    """
+
+    def __init__(self, replica: "ReplicaServer", *, kdc=None,
+                 workers: int = 0, faults=None):
+        super().__init__(replica.db, replica.clock, kdc,
+                         workers=workers, faults=faults)
+        self.replica = replica
+
+    def _do_query(self, conn, args) -> Iterator[bytes]:
+        if args:
+            name = args[0]
+            if name == "_repl_status":
+                yield encode_reply(MR_MORE_DATA,
+                                   self.replica.status_tuple())
+                yield encode_reply(0)
+                return
+            if name == "_repl_read":
+                yield from self._repl_read(conn, args[1:])
+                return
+            from repro.queries.base import get_query
+            query = get_query(name)
+            if query is not None and query.side_effects:
+                raise MoiraError(
+                    MR_PERM,
+                    f"read-only replica: {name} mutates; "
+                    f"send writes to the primary")
+        yield from super()._do_query(conn, args)
+
+    def _repl_read(self, conn, args) -> Iterator[bytes]:
+        if len(args) < 2:
+            raise MoiraError(MR_ARGS,
+                             "_repl_read wants min_seq, query, args...")
+        try:
+            min_seq = int(args[0])
+        except ValueError:
+            raise MoiraError(MR_ARGS,
+                             "_repl_read min_seq must be an integer"
+                             ) from None
+        if not self.replica.wait_for_seq(min_seq):
+            raise MoiraError(
+                MR_BUSY,
+                f"replica behind: applied "
+                f"{self.replica.applied_seq} < required {min_seq}")
+        # recurse (not super()) so a wrapped mutation is still rejected
+        yield from self._do_query(conn, list(args[1:]))
+
+
+class ReplicaServer:
+    """One read replica: owns a database, applies the WAL feed, serves."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        feed_factory: FeedFactory,
+        kdc=None,
+        name: str = "replica",
+        workers: int = 0,
+        staleness_budget: float = 0.25,
+        poll_interval: float = 0.005,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.name = name
+        self.clock = clock
+        self.faults = faults
+        self.staleness_budget = staleness_budget
+        self.poll_interval = poll_interval
+        self.db = build_database()
+        self.applied_seq = 0
+        # the primary's per-table data-version vector at last contact
+        self.primary_versions: dict[str, int] = {}
+        self.snapshots_loaded = 0
+        self.entries_applied = 0
+        self.apply_conflicts = 0
+        self.resyncs = 0
+        self._feed_factory = feed_factory
+        self._feed: Optional[ClientConnection] = None
+        self._synced = False
+        # pinned to each entry's original timestamp during apply, so
+        # audit fields replay byte-identical (the replay_wal discipline)
+        self._apply_clock: Optional[Clock] = None
+        self._pull_lock = threading.Lock()   # one puller at a time
+        self._seq_cv = threading.Condition()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.server = ReplicaMoiraServer(self, kdc=kdc, workers=workers)
+
+    # -- the feed connection -----------------------------------------------
+
+    def _connection(self) -> ClientConnection:
+        if self._feed is None:
+            self._feed = self._feed_factory()
+        return self._feed
+
+    def _drop_feed(self) -> None:
+        if self._feed is not None:
+            try:
+                self._feed.close()
+            except Exception:
+                pass
+            self._feed = None
+
+    def _feed_call(self, *args: str) -> list[tuple[str, ...]]:
+        """One streaming pseudo-query against the primary.
+
+        Returns the decoded tuples; any error drops the connection so
+        the next pull reconnects through the factory.
+        """
+        conn = self._connection()
+        try:
+            rows: list[tuple[str, ...]] = []
+            for reply in conn.stream(MajorRequest.QUERY, list(args)):
+                if reply.code == MR_MORE_DATA:
+                    rows.append(reply.str_fields())
+                elif reply.code != 0:
+                    raise MoiraError(reply.code, f"feed {args[0]}")
+            return rows
+        except MoiraError:
+            self._drop_feed()
+            raise
+
+    # -- bootstrap / resync -------------------------------------------------
+
+    def sync_snapshot(self) -> int:
+        """Wipe local state and reload from a primary snapshot stream.
+
+        Returns the watermark seq the snapshot covers.
+        """
+        if self.faults is not None:
+            self.faults.fire("repl.snapshot", replica=self.name)
+        rows = self._feed_call("_repl_snapshot")
+        if not rows or rows[0][0] != META_ROW or len(rows[0]) < 3:
+            raise MoiraError(MR_INTERNAL, "malformed snapshot stream")
+        watermark = int(rows[0][1])
+        versions = json.loads(rows[0][2])
+        by_table: dict[str, list[str]] = {}
+        for fields in rows[1:]:
+            if len(fields) != 2:
+                raise MoiraError(MR_INTERNAL, "malformed snapshot row")
+            by_table.setdefault(fields[0], []).append(fields[1])
+        with self.db.lock:   # exclusive: wipe and reload every relation
+            for tname, table in self.db.tables.items():
+                table.clear()
+                loaded = 0
+                for line in by_table.get(tname, ()):
+                    fields = _split_escaped(line)
+                    table.insert({col: unescape_field(f) for col, f
+                                  in zip(table.columns, fields)})
+                    loaded += 1
+                # replication is not user modification (mrrestore rule)
+                table.stats.appends -= loaded
+        self.server.access_cache.invalidate(set(self.db.tables))
+        self.server._poke_closure()
+        self._apply_clock = None
+        self.primary_versions = versions
+        self.snapshots_loaded += 1
+        self._synced = True
+        # the snapshot watermark is authoritative even when it is LOWER
+        # than what we had applied (a rewound primary after losing a
+        # group-commit window) — monotonic _advance would strand us
+        # asking for a tail the primary can never serve
+        with self._seq_cv:
+            self.applied_seq = watermark
+            self._seq_cv.notify_all()
+        return watermark
+
+    # -- the apply loop -----------------------------------------------------
+
+    def step(self, *, max_entries: int = 0) -> int:
+        """One pull from the primary: bootstrap if needed, then tail.
+
+        Returns the number of entries applied.  Serialised — concurrent
+        callers (the pump thread, an eager ``wait_for_seq``) queue up.
+        """
+        with self._pull_lock:
+            return self._pull(max_entries)
+
+    def _pull(self, max_entries: int) -> int:
+        if not self._synced:
+            self.sync_snapshot()
+        if self.faults is not None:
+            self.faults.fire("repl.tail", replica=self.name,
+                             seq=self.applied_seq)
+        args = ["_repl_tail", str(self.applied_seq)]
+        if max_entries:
+            args.append(str(max_entries))
+        rows = self._feed_call(*args)
+        if not rows:
+            raise MoiraError(MR_INTERNAL, "empty tail stream")
+        meta = rows[0]
+        if meta[0] == RESYNC_ROW:
+            # a checkpoint truncated past us: full resync
+            self.resyncs += 1
+            self._synced = False
+            self.sync_snapshot()
+            return 0
+        if meta[0] != META_ROW:
+            raise MoiraError(MR_INTERNAL, "malformed tail stream")
+        primary_seq = int(meta[1])
+        if primary_seq < self.applied_seq:
+            # the primary rewound below our watermark (it crashed and
+            # lost a group-commit window): our state may contain
+            # mutations it no longer has — rebuild from scratch
+            self.resyncs += 1
+            self._synced = False
+            self.sync_snapshot()
+            return 0
+        try:
+            entries = [entry_from_tuple(f) for f in rows[1:]]
+        except ValueError as exc:
+            raise MoiraError(MR_INTERNAL, f"mangled tail entry: {exc}"
+                             ) from exc
+        return self._apply(entries)
+
+    def _apply(self, entries) -> int:
+        from repro.queries.base import QueryContext, execute_query
+        applied = 0
+        for entry in entries:
+            if entry.seq <= self.applied_seq:
+                continue    # idempotence: re-delivered entry
+            if self.faults is not None:
+                self.faults.fire("repl.apply", replica=self.name,
+                                 seq=entry.seq, query=entry.query)
+            if self._apply_clock is None:
+                self._apply_clock = Clock(entry.when)
+            elif entry.when > self._apply_clock.now():
+                self._apply_clock.set(entry.when)
+            ctx = QueryContext(db=self.db, clock=self._apply_clock,
+                               caller=entry.who,
+                               client=entry.client or "replication",
+                               privileged=True)
+            before = self.db.versions()
+            try:
+                execute_query(ctx, entry.query, list(entry.args))
+            except MoiraError as exc:
+                if exc.code not in TOLERATED_REPLAY_ERRORS:
+                    raise
+                # the snapshot already absorbed this entry's effect
+                self.apply_conflicts += 1
+            mutated = {t for t, v in self.db.versions().items()
+                       if before.get(t) != v}
+            if mutated:
+                self.server.access_cache.invalidate(mutated)
+                if "members" in mutated:
+                    self.server._poke_closure()
+            self.entries_applied += 1
+            applied += 1
+            self._advance(entry.seq)
+        return applied
+
+    def _advance(self, seq: int) -> None:
+        with self._seq_cv:
+            if seq > self.applied_seq:
+                self.applied_seq = seq
+            self._seq_cv.notify_all()
+
+    # -- freshness ----------------------------------------------------------
+
+    def wait_for_seq(self, min_seq: int,
+                     budget: Optional[float] = None) -> bool:
+        """Read-your-writes gate: True once *min_seq* is applied.
+
+        Pulls eagerly instead of waiting out the poll interval; gives
+        up (False) when the staleness budget runs out — the caller
+        answers ``MR_BUSY`` and the router falls through to the primary.
+        """
+        if min_seq <= self.applied_seq:
+            return True
+        budget = self.staleness_budget if budget is None else budget
+        deadline = time.monotonic() + budget
+        while self.applied_seq < min_seq:
+            try:
+                self.step()
+            except (MoiraError, OSError):
+                pass    # primary unreachable: keep waiting out the budget
+            if self.applied_seq >= min_seq:
+                return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            with self._seq_cv:
+                if self.applied_seq >= min_seq:
+                    return True
+                self._seq_cv.wait(min(remaining, 0.005))
+        return True
+
+    def status_tuple(self) -> tuple[str, str, str]:
+        return ("replica", str(self.applied_seq),
+                json.dumps(self.primary_versions, sort_keys=True,
+                           separators=(",", ":")))
+
+    # -- the pump thread ----------------------------------------------------
+
+    def start(self, interval: Optional[float] = None) -> "ReplicaServer":
+        """Run the apply loop on a background thread (real-time pacing)."""
+        if self._thread is not None:
+            return self
+        if interval is not None:
+            self.poll_interval = interval
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"repl-{self.name}")
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.step()
+            except (MoiraError, OSError):
+                pass    # connection already dropped; retried next tick
+
+    def stop(self) -> None:
+        """Stop the pump and the serving worker pool (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._drop_feed()
+        self.server.shutdown()

@@ -1,0 +1,110 @@
+"""In-process replica topologies for tests and benchmarks.
+
+A :class:`ReplicaCluster` stands up N :class:`ReplicaServer`\\ s whose
+feeds are in-process protocol connections to a deployment's primary —
+the same frames a TCP feed would carry, without the sockets.  The
+cluster also builds :class:`~repro.client.lib.ReplicaSet` routers wired
+to the primary plus every replica.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.lib import MoiraClient, ReplicaSet
+from repro.protocol.transport import connect_inproc
+from repro.replication.replica import ReplicaServer
+from repro.sim.faults import FaultInjector
+
+__all__ = ["ReplicaCluster"]
+
+
+class ReplicaCluster:
+    """N in-process read replicas fed from one deployment's primary."""
+
+    def __init__(
+        self,
+        deployment,
+        count: int,
+        *,
+        workers: int = 0,
+        staleness_budget: float = 0.25,
+        poll_interval: float = 0.005,
+        faults: Optional[FaultInjector] = None,
+        sync: bool = True,
+    ):
+        self.deployment = deployment
+        self.replicas = [
+            ReplicaServer(
+                deployment.clock,
+                feed_factory=lambda i=i: connect_inproc(
+                    deployment.server, peer=f"replica{i}-feed"),
+                kdc=deployment.kdc,
+                name=f"replica{i}",
+                workers=workers,
+                staleness_budget=staleness_budget,
+                poll_interval=poll_interval,
+                faults=faults,
+            )
+            for i in range(count)
+        ]
+        if sync:
+            self.sync_all()
+
+    def sync_all(self) -> None:
+        """Pull every replica up to the primary's current watermark."""
+        for replica in self.replicas:
+            replica.step()
+
+    def start(self, interval: Optional[float] = None) -> "ReplicaCluster":
+        """Start every replica's pump thread."""
+        for replica in self.replicas:
+            replica.start(interval)
+        return self
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            replica.stop()
+
+    def replica_set(
+        self,
+        login: Optional[str] = None,
+        password: str = "pw",
+        client_name: str = "app",
+        *,
+        pooled: bool = False,
+        retry_policy=None,
+        seed: int = 0,
+    ) -> ReplicaSet:
+        """A router over the primary and every replica.
+
+        With *login* every connection authenticates (replicas run the
+        same access checks as the primary, against their own copy of
+        the ACL tables); without it, connections stay unauthenticated —
+        §5.6.2's cheap read path for public retrievals.
+        """
+        d = self.deployment
+        if login is not None and not d.kdc.principal_exists(login):
+            d.kdc.add_principal(login, password)
+
+        def connect(dispatcher, busy_retries: int = 3,
+                    authenticate: bool = False) -> MoiraClient:
+            creds = None
+            if authenticate and login is not None:
+                creds = d.kdc.kinit(login, password)
+            client = MoiraClient(dispatcher=dispatcher, kdc=d.kdc,
+                                 credentials=creds, clock=d.clock,
+                                 pooled=pooled,
+                                 busy_retries=busy_retries)
+            client.connect()
+            if creds is not None:
+                client.auth(client_name)
+            return client
+
+        primary = connect(d.server, authenticate=True)
+        # replicas answer MR_BUSY when behind the session token; the
+        # router (not the transport-level retry) owns that fallback
+        replicas = [connect(r.server, busy_retries=0, authenticate=True)
+                    for r in self.replicas]
+        return ReplicaSet(primary, replicas, retry_policy=retry_policy,
+                          seed=seed)

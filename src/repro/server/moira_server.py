@@ -355,6 +355,17 @@ class MoiraServer:
         if name == "_dcm_stats":
             yield from self._dcm_stats()
             return
+        if name == "_repl_read":
+            # the replica router's freshness wrapper — on the primary
+            # the session token is trivially satisfied, so just unwrap
+            if len(query_args) < 2:
+                raise MoiraError(MR_ARGS, "_repl_read wants min_seq, query")
+            yield from self._do_query(conn, query_args[1:])
+            return
+        if name.startswith("_repl_"):
+            from repro.replication.feed import serve_repl_query
+            yield from serve_repl_query(self, name, query_args)
+            return
         query = get_query(name)
         if query is None:
             raise MoiraError(MR_NO_HANDLE, name)
