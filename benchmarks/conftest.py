@@ -24,6 +24,7 @@ BENCH_SERVER_JSON = RESULTS_DIR / "BENCH_server.json"
 BENCH_QUERIES_JSON = RESULTS_DIR / "BENCH_queries.json"
 BENCH_ROBUSTNESS_JSON = RESULTS_DIR / "BENCH_robustness.json"
 BENCH_REPLICATION_JSON = RESULTS_DIR / "BENCH_replication.json"
+BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

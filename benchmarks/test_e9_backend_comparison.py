@@ -3,10 +3,12 @@
 §5.2: "Moira does not depend on any special feature of INGRES ...
 Moira can easily utilize other relational databases."  We run the same
 query workload against the pure-Python engine and the SQLite backend
-and compare: correctness must be identical (asserted by the test
-suite); here we measure the cost of the swap, reproducing the paper's
-architectural point that the DBMS sits *below* the query interface and
-can be exchanged without touching anything above it.
+— both opened through the :mod:`repro.db.backend` StorageBackend
+factory, the same code path the server uses — and compare: correctness
+must be identical (asserted by the test suite); here we measure the
+cost of the swap, reproducing the paper's architectural point that the
+DBMS sits *below* the query interface and can be exchanged without
+touching anything above it.
 """
 
 from __future__ import annotations
@@ -16,8 +18,7 @@ import time
 import pytest
 
 from benchmarks.conftest import write_result
-from repro.db.schema import build_database
-from repro.db.sqlite_backend import sqlite_database_from_schema
+from repro.db.backend import StorageBackend, create_backend
 from repro.queries.base import QueryContext, execute_query
 from repro.sim.clock import Clock
 
@@ -33,16 +34,18 @@ def load_users(ctx, n):
 
 @pytest.fixture(scope="module")
 def backends():
+    """Both engines built through the StorageBackend factory — the
+    exact code path the server uses to open its database."""
     clock = Clock()
-    py_db = build_database()
-    py_ctx = QueryContext(db=py_db, clock=clock, caller="root",
-                          privileged=True)
-    sq_db = sqlite_database_from_schema()
-    sq_ctx = QueryContext(db=sq_db, clock=clock, caller="root",
-                          privileged=True)
-    load_users(py_ctx, N_USERS)
-    load_users(sq_ctx, N_USERS)
-    return py_ctx, sq_ctx
+    contexts = []
+    for name in ("memory", "sqlite"):
+        db = create_backend(name)
+        assert isinstance(db, StorageBackend)
+        ctx = QueryContext(db=db, clock=clock, caller="root",
+                           privileged=True)
+        load_users(ctx, N_USERS)
+        contexts.append(ctx)
+    return tuple(contexts)
 
 
 def point_query_us(ctx, samples=400):

@@ -77,6 +77,10 @@ class DeploymentConfig:
     wal_segments: bool = False
     fsync_batch: int = 1
     fsync_interval_ms: float = 0.0
+    # storage-engine knobs (defaults = MVCC in-memory engine)
+    backend: str = "memory"  # any repro.db.backend registered name
+    backend_path: Optional[str] = None  # on-disk store where supported
+    mvcc: bool = True  # False = seed RWLock shared-reader discipline
 
 
 class AthenaDeployment:
@@ -88,7 +92,16 @@ class AthenaDeployment:
         self.faults = self.config.faults
         self.network = Network(seed=self.config.population.seed,
                                faults=self.faults)
-        self.db = build_database()
+        if self.config.backend == "memory":
+            self.db = build_database()
+        else:
+            from repro.db.backend import create_backend
+            self.db = create_backend(self.config.backend,
+                                     self.config.backend_path)
+        if not self.config.mvcc:
+            set_mvcc = getattr(self.db, "set_mvcc", None)
+            if callable(set_mvcc):
+                set_mvcc(False)
         self.kdc = KDC(self.clock)
         self.journal = (Journal(path=self.config.wal_path,
                                 faults=self.faults,

@@ -8,9 +8,16 @@ equality indexes, Moira-style wildcard matching, table statistics, an
 ASCII backup format (mrbackup/mrrestore), and a change journal.
 """
 
+from repro.db.backend import (
+    StorageBackend,
+    StorageTable,
+    available_backends,
+    create_backend,
+)
 from repro.db.engine import Column, Database, Row, Table, WildcardPattern
 from repro.db.locks import LockManager, LockMode
 from repro.db.journal import Journal
+from repro.db.mvcc import Snapshot, SnapshotStale, SnapshotTable
 from repro.db.rwlock import RWLock
 
 __all__ = [
@@ -23,4 +30,11 @@ __all__ = [
     "LockMode",
     "Journal",
     "RWLock",
+    "Snapshot",
+    "SnapshotStale",
+    "SnapshotTable",
+    "StorageBackend",
+    "StorageTable",
+    "available_backends",
+    "create_backend",
 ]

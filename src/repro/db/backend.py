@@ -1,0 +1,190 @@
+"""The pluggable storage-backend interface.
+
+The MCS papers describe a customizable database server fronting
+interchangeable storage engines behind one interface; §5.2 of the Moira
+paper promises the same portability ("Moira does not depend on any
+special feature of INGRES").  This module writes the contract down as
+abstract base classes and a factory, so the query layer, server, DCM,
+backup, and recovery code can be handed *any* conforming backend:
+
+* :class:`StorageBackend` — the database surface (``table``,
+  ``get_value``/``set_value``/``next_id``, ``table_stats``,
+  ``versions``, ``lock``/``read_locked``/``write_locked``).
+* :class:`StorageTable` — the relation surface (``select``/
+  ``iter_select``/``count``, ``insert``/``update_rows``/
+  ``delete_rows``/``clear``, ``column``, ``rows``, ``stats``,
+  ``version``).
+
+Three backends register here:
+
+``memory``
+    The pure-Python MVCC engine (:mod:`repro.db.engine`) — the
+    default, with snapshot-isolation lock-free reads.
+``sqlite``
+    :mod:`repro.db.sqlite_backend` — rows in SQLite (in-memory or
+    file), Moira semantics layered in Python, real persistence.
+``walstore``
+    :mod:`repro.db.walstore` — an append-only write-ahead-native
+    store skeleton: the in-memory engine fronted by a logical op log
+    that rebuilds the store on reopen.
+
+The existing classes are registered as *virtual* subclasses
+(``ABCMeta.register``) rather than made to inherit, so the hot engine
+keeps its ``__slots__``/layout untouched; ``tests/
+test_backend_conformance.py`` is the behavioural half of the contract
+— one shared suite run against every factory below.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Iterator, Optional
+
+__all__ = [
+    "StorageBackend",
+    "StorageTable",
+    "create_backend",
+    "available_backends",
+    "register_backend",
+]
+
+
+class StorageTable(abc.ABC):
+    """One relation: typed columns, uniqueness, Moira wildcards."""
+
+    @abc.abstractmethod
+    def column(self, name: str):
+        """The Column named *name* (MR_INTERNAL if unknown)."""
+
+    @abc.abstractmethod
+    def insert(self, values: dict, *, now: int = 0) -> dict:
+        """Add a row; enforce uniqueness, fill defaults, coerce types."""
+
+    @abc.abstractmethod
+    def update_rows(self, rows: list, changes: dict, *, now: int = 0,
+                    touch_stats: bool = True) -> int:
+        """Apply *changes* to previously-selected *rows*."""
+
+    @abc.abstractmethod
+    def delete_rows(self, rows: list, *, now: int = 0) -> int:
+        """Remove previously-selected *rows*."""
+
+    @abc.abstractmethod
+    def iter_select(self, where: Optional[dict] = None, *,
+                    predicate: Optional[Callable] = None) -> Iterator:
+        """Yield rows matching *where* (exact, folded, or wildcard)."""
+
+    @abc.abstractmethod
+    def select(self, where: Optional[dict] = None, *,
+               predicate: Optional[Callable] = None) -> list:
+        """Matching rows as a list."""
+
+    @abc.abstractmethod
+    def count(self, where: Optional[dict] = None) -> int:
+        """Number of rows matching *where*."""
+
+
+class StorageBackend(abc.ABC):
+    """The database surface every Moira subsystem codes against."""
+
+    @abc.abstractmethod
+    def table(self, name: str) -> StorageTable:
+        """The relation named *name* (MR_INTERNAL if unknown)."""
+
+    @abc.abstractmethod
+    def get_value(self, name: str) -> int:
+        """Integer value of a values-relation variable (MR_NO_ID)."""
+
+    @abc.abstractmethod
+    def set_value(self, name: str, value: int, *, now: int = 0) -> None:
+        """Insert or update a values-relation variable."""
+
+    @abc.abstractmethod
+    def next_id(self, hint_name: str, *, now: int = 0) -> int:
+        """Allocate the next unique ID from a hint variable."""
+
+    @abc.abstractmethod
+    def table_stats(self) -> list:
+        """TBLSTATS rows for every relation, sorted by name."""
+
+    @abc.abstractmethod
+    def versions(self) -> dict:
+        """Per-table data-version vector (DCM no-change checks)."""
+
+
+# name -> zero-config factory(path=None) -> StorageBackend
+_FACTORIES: dict[str, Callable[[Optional[str]], "StorageBackend"]] = {}
+_REGISTERED = False
+
+
+def register_backend(name: str,
+                     factory: Callable[[Optional[str]],
+                                       "StorageBackend"]) -> None:
+    """Register *factory* under *name* (``create_backend(name)``)."""
+    _FACTORIES[name] = factory
+
+
+def _ensure() -> None:
+    """Lazily import and register the built-in backends.
+
+    Deferred so ``repro.db.backend`` stays importable without pulling
+    the schema module (and its seed data) at interpreter start, and to
+    avoid import cycles with :mod:`repro.db.engine`.
+    """
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+
+    from repro.db.engine import Database, Table
+    from repro.db.schema import build_database
+    from repro.db.sqlite_backend import (
+        SqliteDatabase,
+        SqliteTable,
+        sqlite_database_from_schema,
+    )
+    from repro.db.walstore import (
+        WalStoreDatabase,
+        WalStoreTable,
+        walstore_database_from_schema,
+    )
+
+    StorageBackend.register(Database)
+    StorageTable.register(Table)
+    StorageBackend.register(SqliteDatabase)
+    StorageTable.register(SqliteTable)
+    StorageBackend.register(WalStoreDatabase)
+    StorageTable.register(WalStoreTable)
+
+    register_backend(
+        "memory", lambda path=None: build_database())
+    register_backend(
+        "sqlite",
+        lambda path=None: sqlite_database_from_schema(path or ":memory:"))
+    register_backend(
+        "walstore",
+        lambda path=None: walstore_database_from_schema(path))
+
+
+def create_backend(name: str,
+                   path: Optional[str] = None) -> StorageBackend:
+    """Build the backend registered as *name*.
+
+    *path* selects on-disk storage where the backend supports it (a
+    SQLite database file; a walstore op log); ``None`` means
+    in-memory/ephemeral.
+    """
+    _ensure()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown storage backend {name!r}; "
+            f"available: {sorted(_FACTORIES)}") from None
+    return factory(path)
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    _ensure()
+    return sorted(_FACTORIES)

@@ -43,6 +43,7 @@ import bisect
 import fnmatch
 import re
 import threading
+import time
 from collections import OrderedDict, deque
 from typing import Any, Callable, ContextManager, Iterable, Iterator, Optional
 
@@ -62,6 +63,37 @@ Row = dict  # rows are plain dicts; Table owns their lifecycle
 
 __all__ = ["Column", "Table", "TableChange", "Database", "Row",
            "WildcardPattern"]
+
+
+class _TxnLock(RWLock):
+    """The database lock, with MVCC transaction hooks.
+
+    The first exclusive acquisition by a thread opens an MVCC
+    transaction (one commit seq covering every mutation statement made
+    under the hold, however re-entrant); releasing the outermost hold
+    commits it — making the committed seq visible to new snapshot pins
+    only once every structure the transaction touched is published.
+    Shared mode is untouched: it still exists for whole-database
+    operations (backup, restore) even though snapshot readers no
+    longer take it.
+    """
+
+    def __init__(self, db: "Database") -> None:
+        super().__init__()
+        self._db = db
+
+    def acquire_exclusive(self) -> None:
+        super().acquire_exclusive()
+        if self._writer_count == 1:
+            self._db._mv_txn_enter()
+
+    def release_exclusive(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me and self._writer_count == 1:
+            # still holding: commit before the lock opens to the next
+            # writer, so seqs stamp in strict lock order
+            self._db._mv_txn_exit()
+        super().release_exclusive()
 
 _WILDCARD_CHARS = ("*", "?")
 
@@ -445,6 +477,13 @@ class Table:
         self._plans: dict[tuple, _Plan] = {}
         self._schema_epoch = 0
         self._fast_path = True
+        # the MVCC side version store (attached by Database.create_table
+        # when MVCC is enabled; None = zero overhead, seed behaviour)
+        self._mv = None
+        # seq of this table's newest mutation, stamped at mutation time
+        # (pre-commit) — snapshot readers use it to validate shared
+        # caches like the membership closure against their pinned seq
+        self.mv_last_seq = 0
         self.stats = TableStats()
         # data version: bumped once per mutated row (never by DCM
         # bookkeeping writes), the basis of the generators' exact
@@ -480,6 +519,8 @@ class Table:
             index.add(row)
         self._indexes[column_name] = index
         self._schema_epoch += 1  # cached plans re-analyse lazily
+        if self._mv is not None:
+            self._mv.on_add_index(column_name)
 
     def add_composite_index(self, column_names: Iterable[str]) -> None:
         """Create (and backfill) a hash index over several columns."""
@@ -491,6 +532,8 @@ class Table:
             index.add(row)
         self._composites[index.names] = index
         self._schema_epoch += 1
+        if self._mv is not None:
+            self._mv.on_add_composite_index(index.names)
 
     def set_fast_path(self, enabled: bool) -> None:
         """Toggle the compiled-plan path (benchmark/oracle knob).
@@ -569,6 +612,14 @@ class Table:
         self.stats.appends += 1
         self.stats.modtime = now
         self._bump("insert", None, dict(row))
+        mv = self._mv
+        if mv is not None:
+            seq, auto = mv.db._mv_begin()
+            try:
+                mv.on_insert(row, seq)
+                self.mv_last_seq = seq
+            finally:
+                mv.db._mv_finish(seq, auto)
         return row
 
     def update_rows(self, rows: list[Row], changes: dict, *, now: int = 0,
@@ -607,6 +658,16 @@ class Table:
         if touch_stats:
             self.stats.updates += len(rows)
             self.stats.modtime = now
+        mv = self._mv
+        if mv is not None and rows:
+            changed = set(coerced)
+            seq, auto = mv.db._mv_begin()
+            try:
+                for row in rows:
+                    mv.on_update(row, changed, seq)
+                self.mv_last_seq = seq
+            finally:
+                mv.db._mv_finish(seq, auto)
         return len(rows)
 
     def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
@@ -625,6 +686,15 @@ class Table:
         self.rows = [row for row in self.rows if id(row) not in doomed]
         self.stats.deletes += len(rows)
         self.stats.modtime = now
+        mv = self._mv
+        if mv is not None:
+            seq, auto = mv.db._mv_begin()
+            try:
+                for row in rows:
+                    mv.on_delete(row, seq)
+                self.mv_last_seq = seq
+            finally:
+                mv.db._mv_finish(seq, auto)
         return len(rows)
 
     def clear(self) -> None:
@@ -640,6 +710,14 @@ class Table:
             # a wholesale reload can't be described row-by-row; empty the
             # log so changes_since() reports the gap
             self._changelog.clear()
+        mv = self._mv
+        if mv is not None:
+            seq, auto = mv.db._mv_begin()
+            try:
+                mv.on_clear(seq)
+                self.mv_last_seq = seq
+            finally:
+                mv.db._mv_finish(seq, auto)
 
     # -- retrieval ----------------------------------------------------------
 
@@ -846,12 +924,37 @@ class Database:
 
     def __init__(self) -> None:
         self.tables: dict[str, Table] = {}
-        self.lock = RWLock()
+        self.lock = _TxnLock(self)
         self.sim_backend_latency = 0.0
         # the incrementally maintained membership-closure index (lazy;
         # ``closure_enabled=False`` falls back to the recursive walk)
         self.closure_enabled = True
         self._closure = None
+        # -- MVCC state (docs/STORAGE_ENGINE.md) --------------------------
+        # snapshot readers pin `_committed_seq` and scan the version
+        # stores lock-free; only the exclusive (writer) side of `lock`
+        # is ever contended.  `set_mvcc(False)` restores the seed's
+        # RWLock-readers engine byte for byte.
+        self.mvcc_enabled = True
+        self._committed_seq = 0
+        self._txn_owner: Optional[int] = None   # thread ident in txn
+        self._txn_seq = 0
+        self._txn_dirty = False
+        self._pin_lock = threading.Lock()
+        # pinned seq -> [pin count, monotonic time of first pin]
+        self._pins: dict[int, list] = {}
+        # version-GC pacing: run at transaction exit once this many
+        # versions/entries accumulated since the last collection
+        self.mv_gc_threshold = 50_000
+        self._mv_pressure = 0
+        self._mv_counters = {
+            "commits": 0,
+            "versions_created": 0,
+            "snapshots_pinned": 0,
+            "gc_runs": 0,
+            "versions_reclaimed": 0,
+            "entries_reclaimed": 0,
+        }
 
     def membership_closure(self):
         """The membership-closure index over the ``members`` relation.
@@ -887,7 +990,158 @@ class Database:
         if table.name in self.tables:
             raise ValueError(f"table {table.name} already exists")
         self.tables[table.name] = table
+        if self.mvcc_enabled and table._mv is None:
+            from repro.db.mvcc import TableVersionStore
+            table._mv = TableVersionStore(self, table)
         return table
+
+    # -- MVCC: transactions, snapshots, garbage collection -------------------
+
+    def _mv_txn_enter(self) -> None:
+        """First exclusive acquisition: open a commit-seq transaction."""
+        if not self.mvcc_enabled:
+            return
+        self._txn_owner = threading.get_ident()
+        self._txn_seq = self._committed_seq + 1
+        self._txn_dirty = False
+
+    def _mv_txn_exit(self) -> None:
+        """Outermost exclusive release: commit (if anything mutated)."""
+        if self._txn_owner != threading.get_ident():
+            return
+        self._txn_owner = None
+        if self._txn_dirty:
+            self._txn_dirty = False
+            self._committed_seq = self._txn_seq
+            self._mv_counters["commits"] += 1
+            if self._mv_pressure >= self.mv_gc_threshold:
+                self.gc_versions()
+
+    def _mv_begin(self) -> tuple[int, bool]:
+        """The commit seq for one mutation statement.
+
+        Inside an exclusive-lock transaction every statement shares the
+        transaction's seq; an unlocked statement (single-threaded
+        setup: schema seeding, population load, tests) auto-commits —
+        ``(seq, auto)`` where *auto* tells :meth:`_mv_finish` to
+        publish immediately.
+        """
+        if self._txn_owner == threading.get_ident():
+            self._txn_dirty = True
+            return self._txn_seq, False
+        return self._committed_seq + 1, True
+
+    def _mv_finish(self, seq: int, auto: bool) -> None:
+        if auto:
+            self._committed_seq = seq
+            self._mv_counters["commits"] += 1
+
+    def _mv_note(self, created: int) -> None:
+        """Version-store growth accounting (GC pacing + observability)."""
+        self._mv_pressure += created
+        self._mv_counters["versions_created"] += created
+
+    def pin_snapshot(self):
+        """Pin the committed seq and return a consistent read view.
+
+        The snapshot serves every read lock-free; release it with
+        :meth:`unpin_snapshot` (callers do so in ``finally``) so the
+        garbage collector's horizon can advance past it.
+        """
+        from repro.db.mvcc import Snapshot
+        with self._pin_lock:
+            seq = self._committed_seq
+            pin = self._pins.get(seq)
+            if pin is None:
+                self._pins[seq] = [1, time.monotonic()]
+            else:
+                pin[0] += 1
+            self._mv_counters["snapshots_pinned"] += 1
+        return Snapshot(self, seq)
+
+    def unpin_snapshot(self, snapshot) -> None:
+        """Release one :meth:`pin_snapshot` hold."""
+        with self._pin_lock:
+            pin = self._pins.get(snapshot.seq)
+            if pin is None:
+                return
+            pin[0] -= 1
+            if pin[0] <= 0:
+                del self._pins[snapshot.seq]
+
+    def gc_versions(self) -> dict:
+        """Reclaim row versions invisible to every pinned snapshot.
+
+        The horizon is the oldest pinned seq (or the committed seq when
+        nothing is pinned): any version or index entry whose window
+        closed at or before it can never be read again.  Runs under the
+        exclusive lock; checkpointing calls this after truncating the
+        WAL, and transaction exit calls it once ``mv_gc_threshold``
+        versions have accumulated.
+        """
+        if not self.mvcc_enabled:
+            return {"entries": 0, "versions": 0, "horizon": 0}
+        with self.lock:
+            with self._pin_lock:
+                horizon = self._committed_seq
+                if self._pins:
+                    horizon = min(horizon, min(self._pins))
+            entries = versions = 0
+            for table in self.tables.values():
+                if table._mv is not None:
+                    freed_entries, freed_versions = table._mv.gc(horizon)
+                    entries += freed_entries
+                    versions += freed_versions
+            self._mv_pressure = 0
+            self._mv_counters["gc_runs"] += 1
+            self._mv_counters["entries_reclaimed"] += entries
+            self._mv_counters["versions_reclaimed"] += versions
+        return {"entries": entries, "versions": versions,
+                "horizon": horizon}
+
+    def set_mvcc(self, enabled: bool) -> None:
+        """Toggle snapshot-isolation MVCC (benchmark/oracle knob).
+
+        Disabled, readers fall back to the RWLock's shared side — the
+        seed engine, byte for byte — and the version stores detach (no
+        per-mutation overhead at all).  Re-enabling rebuilds each store
+        from the live rows.  Call on a quiescent database (no pinned
+        snapshots, no in-flight queries).
+        """
+        enabled = bool(enabled)
+        with self.lock:
+            if enabled == self.mvcc_enabled:
+                return
+            self.mvcc_enabled = enabled
+            if enabled:
+                from repro.db.mvcc import TableVersionStore
+                for table in self.tables.values():
+                    table._mv = TableVersionStore(self, table)
+                    table.mv_last_seq = 0
+                with self._pin_lock:
+                    self._pins.clear()
+                self._mv_pressure = 0
+            else:
+                for table in self.tables.values():
+                    table._mv = None
+
+    def mvcc_stats(self) -> dict:
+        """Counters for observability (the ``_query_stats`` rows)."""
+        with self._pin_lock:
+            pins_active = sum(pin[0] for pin in self._pins.values())
+            oldest_seq = min(self._pins) if self._pins else None
+            oldest_age = (time.monotonic() - self._pins[oldest_seq][1]
+                          if oldest_seq is not None else 0.0)
+        out = dict(self._mv_counters)
+        out.update({
+            "enabled": int(self.mvcc_enabled),
+            "committed_seq": self._committed_seq,
+            "pins_active": pins_active,
+            "oldest_pin_seq": oldest_seq if oldest_seq is not None else 0,
+            "oldest_pin_age_us": int(oldest_age * 1e6),
+            "gc_pressure": self._mv_pressure,
+        })
+        return out
 
     def table(self, name: str) -> Table:
         """The relation named *name* (MR_INTERNAL if unknown)."""

@@ -79,6 +79,12 @@ def checkpoint(db: Database, journal: Journal,
     (directory / CHECKPOINT_META).write_text(f"{watermark}\n",
                                              encoding="utf-8")
     journal.truncate(watermark)
+    # checkpoint is the natural MVCC horizon: everything up to the
+    # watermark is durably on disk, so reclaim row versions no pinned
+    # snapshot can still see
+    gc = getattr(db, "gc_versions", None)
+    if callable(gc):
+        gc()
     return watermark
 
 

@@ -146,20 +146,19 @@ class SqliteTable:
                     now: int = 0, touch_stats: bool = True) -> int:
         """Apply *changes* to rows located by their rowids."""
         coerced = self._normalise(changes, partial=True)
-        if not coerced:
-            return 0
         for row in rows:
             candidate = {c: row[c] for c in self.columns}
             candidate.update(coerced)
             if self._violates_unique(candidate,
                                      ignore_rowid=row.get(_ROWID)):
                 raise MoiraError(MR_EXISTS, f"{self.name}: {changes}")
-        sets = ", ".join(f'"{c}" = ?' for c in coerced)
-        for row in rows:
-            self._db.conn.execute(
-                f'UPDATE "{self.name}" SET {sets} WHERE rowid = ?',
-                (*coerced.values(), row[_ROWID]))
-            row.update(coerced)
+        if coerced:
+            sets = ", ".join(f'"{c}" = ?' for c in coerced)
+            for row in rows:
+                self._db.conn.execute(
+                    f'UPDATE "{self.name}" SET {sets} WHERE rowid = ?',
+                    (*coerced.values(), row[_ROWID]))
+                row.update(coerced)
         if touch_stats:
             self.stats.updates += len(rows)
             self.stats.modtime = now
@@ -168,6 +167,8 @@ class SqliteTable:
 
     def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
         """Remove the given rows by rowid."""
+        if not rows:
+            return 0
         for row in rows:
             self._db.conn.execute(
                 f'DELETE FROM "{self.name}" WHERE rowid = ?',

@@ -1,0 +1,265 @@
+"""A WAL-native append-only storage backend (skeleton).
+
+Third point in the backend triangle after the in-memory MVCC engine
+and SQLite: instead of mutating a store in place and journaling
+*queries* (as :mod:`repro.db.journal` does at the server layer), this
+backend makes the log the database — every logical row operation is
+appended to an op log **after** it is applied to an in-memory
+materialisation, and reopening the store replays the log over a fresh
+schema build to reconstruct the exact state (rows, TBLSTATS counters,
+data versions).
+
+This is deliberately a *skeleton* of the real thing, enough to
+exercise the :class:`~repro.db.backend.StorageBackend` contract and
+the recovery suite:
+
+* the log is JSON-lines, flushed per append but **not** fsynced;
+* there is no compaction — `reopen()` replays the whole log;
+* ops carry before-images (for update/delete row matching on replay)
+  rather than physical row ids, so replay is pure logical re-execution
+  against the shared schema seed.
+
+The materialisation is the ordinary engine with MVCC switched off (a
+walstore is single-threaded by construction here); wrapped tables log,
+the inner engine stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Iterator, Optional
+
+from repro.db.engine import Column, Database, Row, Table
+
+__all__ = ["WalStoreDatabase", "WalStoreTable",
+           "walstore_database_from_schema"]
+
+
+class WalStoreTable:
+    """One relation: applies to the inner engine table, then logs."""
+
+    def __init__(self, db: "WalStoreDatabase", inner: Table):
+        self._db = db
+        self._inner = inner
+        self.name = inner.name
+
+    # -- passthrough surface ------------------------------------------------
+
+    @property
+    def columns(self) -> dict[str, Column]:
+        return self._inner.columns
+
+    @property
+    def unique_keys(self) -> list[tuple[str, ...]]:
+        return self._inner.unique_keys
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def version(self) -> int:
+        return self._inner.version
+
+    @property
+    def rows(self) -> list[Row]:
+        return self._inner.rows
+
+    def column(self, name: str) -> Column:
+        return self._inner.column(name)
+
+    def changes_since(self, version: int):
+        return self._inner.changes_since(version)
+
+    def iter_select(self, where: Optional[dict] = None, *,
+                    predicate: Optional[Callable] = None) -> Iterator[Row]:
+        return self._inner.iter_select(where, predicate=predicate)
+
+    def select(self, where: Optional[dict] = None, *,
+               predicate: Optional[Callable] = None) -> list[Row]:
+        return self._inner.select(where, predicate=predicate)
+
+    def count(self, where: Optional[dict] = None) -> int:
+        return self._inner.count(where)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    # -- mutation: apply first, log after success ---------------------------
+
+    def insert(self, values: dict, *, now: int = 0) -> Row:
+        row = self._inner.insert(values, now=now)
+        self._db._append({"op": "insert", "table": self.name,
+                          "values": dict(row), "now": now})
+        return row
+
+    def update_rows(self, rows: list[Row], changes: dict, *, now: int = 0,
+                    touch_stats: bool = True) -> int:
+        before = [dict(r) for r in rows]
+        n = self._inner.update_rows(rows, changes, now=now,
+                                    touch_stats=touch_stats)
+        self._db._append({"op": "update", "table": self.name,
+                          "rows": before, "changes": dict(changes),
+                          "now": now, "touch_stats": touch_stats})
+        return n
+
+    def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
+        before = [dict(r) for r in rows]
+        n = self._inner.delete_rows(rows, now=now)
+        self._db._append({"op": "delete", "table": self.name,
+                          "rows": before, "now": now})
+        return n
+
+    def clear(self) -> None:
+        self._inner.clear()
+        self._db._append({"op": "clear", "table": self.name})
+
+    def add_index(self, column_name: str) -> None:
+        self._inner.add_index(column_name)
+        self._db._append({"op": "add_index", "table": self.name,
+                          "column": column_name})
+
+
+class WalStoreDatabase:
+    """Database-compatible facade: engine materialisation + op log."""
+
+    def __init__(self, inner: Database,
+                 log_path: Optional[str] = None):
+        self._inner = inner
+        self.log_path = log_path
+        self._log = None
+        self.tables: dict[str, WalStoreTable] = {
+            name: WalStoreTable(self, table)
+            for name, table in inner.tables.items()}
+        if log_path is not None:
+            self._log = open(log_path, "a", encoding="ascii")
+
+    # -- log ----------------------------------------------------------------
+
+    def _append(self, op: dict) -> None:
+        if self._log is not None:
+            self._log.write(json.dumps(op, sort_keys=True) + "\n")
+            self._log.flush()  # skeleton: flushed, not fsynced
+
+    def _replay(self, op: dict) -> None:
+        """Re-execute one logged op against the inner engine."""
+        table = self._inner.table(op["table"])
+        kind = op["op"]
+        if kind == "insert":
+            table.insert(op["values"], now=op.get("now", 0))
+            return
+        if kind == "clear":
+            table.clear()
+            return
+        if kind == "add_index":
+            table.add_index(op["column"])
+            return
+        # update/delete: match each before-image to a live row by full
+        # column equality (a manual scan — select() would reinterpret
+        # wildcard characters stored in the data)
+        targets: list[Row] = []
+        claimed: set[int] = set()
+        for image in op["rows"]:
+            for row in table.rows:
+                if id(row) in claimed:
+                    continue
+                if all(row.get(c) == image.get(c) for c in table.columns):
+                    targets.append(row)
+                    claimed.add(id(row))
+                    break
+        if kind == "update":
+            table.update_rows(targets, op["changes"],
+                              now=op.get("now", 0),
+                              touch_stats=op.get("touch_stats", True))
+        elif kind == "delete":
+            table.delete_rows(targets, now=op.get("now", 0))
+
+    # -- database surface ---------------------------------------------------
+
+    @property
+    def lock(self):
+        return self._inner.lock
+
+    def read_locked(self):
+        return self._inner.read_locked()
+
+    def write_locked(self):
+        return self._inner.write_locked()
+
+    def table(self, name: str) -> WalStoreTable:
+        # raises MR_INTERNAL for unknown names, like the inner engine
+        self._inner.table(name)
+        return self.tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    @property
+    def sim_backend_latency(self) -> float:
+        return self._inner.sim_backend_latency
+
+    @sim_backend_latency.setter
+    def sim_backend_latency(self, value: float) -> None:
+        self._inner.sim_backend_latency = value
+
+    def get_value(self, name: str) -> int:
+        return self._inner.get_value(name)
+
+    def set_value(self, name: str, value: int, *, now: int = 0) -> None:
+        # routed through the wrapped table so the write is logged
+        table = self.table("values")
+        rows = table.select({"name": name})
+        if rows:
+            table.update_rows(rows, {"value": value}, now=now)
+        else:
+            table.insert({"name": name, "value": value}, now=now)
+
+    def next_id(self, hint_name: str, *, now: int = 0) -> int:
+        with self.lock:
+            value = self.get_value(hint_name)
+            self.set_value(hint_name, value + 1, now=now)
+            return value
+
+    def table_stats(self) -> list[tuple]:
+        return self._inner.table_stats()
+
+    def versions(self) -> dict[str, int]:
+        return self._inner.versions()
+
+    def close(self) -> None:
+        """Close the op log (the materialisation needs no teardown)."""
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+    def reopen(self) -> "WalStoreDatabase":
+        """Close this store and rebuild a fresh one from the log."""
+        self.close()
+        return walstore_database_from_schema(self.log_path)
+
+
+def walstore_database_from_schema(
+        path: Optional[str] = None) -> WalStoreDatabase:
+    """Build a walstore over the shared schema, replaying *path*.
+
+    With ``path=None`` the store is ephemeral (no log, nothing
+    survives).  With a path, any existing log is replayed over a fresh
+    schema build before the store opens for appends.
+    """
+    from repro.db.schema import build_database
+
+    inner = build_database()
+    # single-threaded skeleton: no snapshot readers, skip version upkeep
+    inner.set_mvcc(False)
+    store = WalStoreDatabase(inner, log_path=None)
+    if path is not None and os.path.exists(path):
+        with open(path, encoding="ascii") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    store._replay(json.loads(line))
+    store.log_path = path
+    if path is not None:
+        store._log = open(path, "a", encoding="ascii")
+    return store

@@ -28,7 +28,7 @@ produce no rows raise ``MR_NO_MATCH`` exactly as the paper specifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _replace
 from typing import Callable, Optional, Sequence
 
 from repro.db.engine import Database, Row, WildcardPattern
@@ -499,8 +499,21 @@ def execute_query(ctx: QueryContext, name: str,
     if target_db is not ctx.db:
         # §5.1 D: "the application merely passes a query handle to a
         # function, which then resolves the database and query"
-        from dataclasses import replace as _replace
         ctx = _replace(ctx, db=target_db)
+    if not query.side_effects and getattr(ctx.db, "mvcc_enabled", False):
+        # MVCC read path: pin a consistent snapshot instead of taking
+        # the shared lock — the retrieval never blocks on (or is
+        # blocked by) writers
+        snapshot = ctx.db.pin_snapshot()
+        try:
+            result = query.handler(_replace(ctx, db=snapshot), args)
+            if not isinstance(result, list):
+                result = list(result)
+        finally:
+            ctx.db.unpin_snapshot(snapshot)
+        if not result:
+            raise MoiraError(MR_NO_MATCH, query.name)
+        return result
     with query_lock(ctx.db, query.side_effects):
         result = query.handler(ctx, args)
         if not isinstance(result, list):

@@ -14,10 +14,13 @@ not the database (§7.0.8).
 
 Concurrency (beyond the paper, after MCS's multithreaded engine):
 
-* Queries declared ``side_effects=False`` run under the database's
-  **shared** lock mode and proceed concurrently; mutations take
-  exclusive mode, so journal ordering and the DCM's per-table data
-  versions keep their invariants.
+* On the default MVCC engine, queries declared ``side_effects=False``
+  pin a committed snapshot seq and scan immutable row versions without
+  taking any lock — readers never block on writers.  Mutations still
+  take the exclusive lock, so journal ordering and the DCM's per-table
+  data versions keep their invariants; only writer–writer exclusion
+  remains.  Non-MVCC backends (``set_mvcc(False)``, SQLite) fall back
+  to the original shared/exclusive RWLock discipline.
 * A bounded :class:`~repro.server.dispatch.WorkerPool` (``workers``
   constructor knob; 0 = the original inline path) executes requests
   off the transport's I/O loop, FIFO per connection.
@@ -27,8 +30,11 @@ Concurrency (beyond the paper, after MCS's multithreaded engine):
 
 Every query execution is folded into a per-handle
 :class:`~repro.server.metrics.QueryMetrics` row (calls, errors, tuples,
-wall/lock-wait histograms), surfaced through the ``_query_stats``
-pseudo-query the same way ``_list_users`` reads the connection table.
+wall histograms, writer-only lock-wait histograms, and MVCC snapshot
+counters: rows scanned vs returned, snapshot-pin age), surfaced through
+the ``_query_stats`` pseudo-query the same way ``_list_users`` reads
+the connection table; engine-wide MVCC counters (commits, GC reclaim,
+active pins) ride along as ``_mvcc.*`` rows.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Optional
 
 from repro.db.engine import Database
@@ -371,7 +377,7 @@ class MoiraServer:
             raise MoiraError(MR_NO_HANDLE, name)
         ctx = self._context_for(conn)
         started = time.perf_counter()
-        timing = {"lock_wait_s": 0.0}
+        timing = {"lock_wait_s": None}
         count = 0
         failed = True
         try:
@@ -407,7 +413,10 @@ class MoiraServer:
             self.metrics.record(
                 query.name, wall_s=time.perf_counter() - started,
                 tuples=count, error=failed,
-                lock_wait_s=timing["lock_wait_s"])
+                lock_wait_s=timing.get("lock_wait_s"),
+                rows_scanned=timing.get("rows_scanned", 0),
+                rows_returned=timing.get("rows_returned", 0),
+                snap_age_s=timing.get("snap_age_s"))
 
     @staticmethod
     def _check_argc(query: Query, query_args: list[str]) -> None:
@@ -456,19 +465,54 @@ class MoiraServer:
     def _execute_read(self, ctx: QueryContext, query: Query,
                       query_args: list[str],
                       timing: Optional[dict] = None) -> Iterator[tuple]:
-        """Run a retrieval under the shared lock, yielding tuples.
+        """Run a retrieval, yielding tuples.
 
-        List results release the lock before streaming; lazy handler
-        results stream *under* the shared lock (writers wait until the
-        scan drains, readers do not).  *timing*, when given, receives
-        ``lock_wait_s``.
+        On an MVCC backend the read pins a snapshot and never takes a
+        lock at all: lazy handlers stream their whole (possibly long)
+        result off one consistent cut while writers commit freely
+        alongside.  The pin is released in ``finally``, so an
+        abandoned stream (``GeneratorExit``) unpins too.
+
+        On a non-MVCC backend (``set_mvcc(False)``, SQLite) the seed
+        path runs: shared lock, list results release it before
+        streaming, lazy results stream under it.  *timing*, when
+        given, receives ``lock_wait_s`` (legacy path only — the MVCC
+        path reports snapshot counters instead, keeping the lock-wait
+        histogram writer-only).
         """
         self._check_argc(query, query_args)
+        db = ctx.db
+        if getattr(db, "mvcc_enabled", False):
+            snapshot = db.pin_snapshot()
+            try:
+                self._backend_delay(db)
+                result = query.handler(replace(ctx, db=snapshot),
+                                       query_args)
+                if not isinstance(result, list):
+                    iterator = iter(result)
+                    try:
+                        first = next(iterator)
+                    except StopIteration:
+                        raise MoiraError(MR_NO_MATCH,
+                                         query.name) from None
+                    yield first
+                    yield from iterator
+                    return
+                if not result:
+                    raise MoiraError(MR_NO_MATCH, query.name)
+            finally:
+                if timing is not None:
+                    timing["rows_scanned"] = snapshot.rows_scanned
+                    timing["rows_returned"] = snapshot.rows_returned
+                    timing["snap_age_s"] = snapshot.age()
+                db.unpin_snapshot(snapshot)
+            yield from result
+            return
         wait_started = time.perf_counter()
-        with query_lock(ctx.db, False):
+        with query_lock(db, False):
             if timing is not None:
                 timing["lock_wait_s"] = time.perf_counter() - wait_started
-            self._backend_delay(ctx.db)
+            self._backend_delay(db)
             result = query.handler(ctx, query_args)
             if not isinstance(result, list):
                 iterator = iter(result)
@@ -557,6 +601,14 @@ class MoiraServer:
         handle = query_args[0] if query_args else None
         for t in self.metrics.report_tuples(handle):
             yield encode_reply(MR_MORE_DATA, t)
+        if handle is None:
+            # engine-level MVCC counters ride along as two-column rows
+            # so one _query_stats round trip paints the whole picture
+            mvcc_stats = getattr(self.db, "mvcc_stats", None)
+            if callable(mvcc_stats):
+                for key, value in sorted(mvcc_stats().items()):
+                    yield encode_reply(MR_MORE_DATA,
+                                       ("_mvcc." + key, str(value)))
         yield encode_reply(0)
 
     def _dcm_stats(self) -> Iterator[bytes]:

@@ -183,7 +183,8 @@ def _load_users(db, spec, rng, handles, now) -> None:
     nfsquota = db.table("nfsquota")
     strings = db.table("strings")
     machines = db.table("machine")
-    nfsphys_rows = db.table("nfsphys").rows
+    nfsphys = db.table("nfsphys")
+    nfsphys_rows = nfsphys.rows
     pop_ids = [machines.select({"name": n})[0]["mach_id"]
                for n in handles.pop_machines]
     def_quota = db.get_value("def_quota")
@@ -243,7 +244,9 @@ def _load_users(db, spec, rng, handles, now) -> None:
              "phys_id": phys["nfsphys_id"], "quota": def_quota,
              "modtime": now, "modby": "registrar", "modwith": "load"},
             now=now)
-        phys["allocated"] += def_quota
+        nfsphys.update_rows(
+            [phys], {"allocated": phys["allocated"] + def_quota},
+            now=now, touch_stats=False)
 
 
 def _load_unregistered(db, spec, rng, handles, now) -> None:
