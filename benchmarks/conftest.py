@@ -25,6 +25,7 @@ BENCH_QUERIES_JSON = RESULTS_DIR / "BENCH_queries.json"
 BENCH_ROBUSTNESS_JSON = RESULTS_DIR / "BENCH_robustness.json"
 BENCH_REPLICATION_JSON = RESULTS_DIR / "BENCH_replication.json"
 BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
+BENCH_WRITES_JSON = RESULTS_DIR / "BENCH_writes.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

@@ -81,6 +81,11 @@ class DeploymentConfig:
     backend: str = "memory"  # any repro.db.backend registered name
     backend_path: Optional[str] = None  # on-disk store where supported
     mvcc: bool = True  # False = seed RWLock shared-reader discipline
+    # write-path scale-out knobs (docs/WRITE_PATH.md): group-commit
+    # window size (0 = seed one-write-one-fsync path) and whether
+    # writes with disjoint shard footprints may commit concurrently
+    write_batch: int = 8
+    write_shards: bool = True
 
 
 class AthenaDeployment:
@@ -132,7 +137,9 @@ class AthenaDeployment:
             workers=self.config.server_workers,
             faults=self.faults,
             admission_limit=self.config.admission_limit,
-            request_deadline=self.config.request_deadline)
+            request_deadline=self.config.request_deadline,
+            write_batch=self.config.write_batch,
+            write_shards=self.config.write_shards)
         self.dcm = DCM(
             self.db, self.clock, network=self.network,
             moira_host=self.moira_host, journal=self.journal,

@@ -95,6 +95,205 @@ class _TxnLock(RWLock):
             self._db._mv_txn_exit()
         super().release_exclusive()
 
+
+class _Txn:
+    """One writer transaction on a sharded database.
+
+    Created either by :meth:`Database.shard_txn` (a server write
+    holding just the shards its query touches) or by the
+    :class:`_ShardedTxnLock` facade (``with db.lock:`` — every shard,
+    the seed's total exclusion).  The commit seq is assigned lazily at
+    the first mutation, *while the shard locks are held*, so version
+    chains stay monotone per record; publication goes through the
+    database's commit gate so seqs become visible — and reach the
+    journal — in strictly increasing order.
+    """
+
+    __slots__ = ("shards", "all_shards", "facade", "depth", "seq",
+                 "dirty", "undo", "mutated", "bindings")
+
+    def __init__(self, shards: tuple, *, all_shards: bool,
+                 facade: bool, undo: bool):
+        self.shards = shards            # sorted shard names covered
+        self.all_shards = all_shards
+        self.facade = facade            # owned by the db.lock facade
+        self.depth = 1
+        self.seq = 0                    # 0 = no commit seq assigned yet
+        self.dirty = False
+        self.undo: Optional[list] = [] if undo else None
+        self.mutated: set[str] = set()  # table names touched
+        self.bindings: Optional[dict] = None   # consumed ids / strings
+
+    def bind_id(self, hint: str, value: int) -> None:
+        b = self.bindings
+        if b is None:
+            b = self.bindings = {}
+        b.setdefault("id", {}).setdefault(hint, []).append(value)
+
+    def bind_intern(self, text: str, string_id: int) -> None:
+        b = self.bindings
+        if b is None:
+            b = self.bindings = {}
+        b.setdefault("intern", {})[text] = string_id
+
+
+class _ShardedTxnLock:
+    """``db.lock`` on a sharded database: all shards, in order.
+
+    Quacks like :class:`RWLock` — exclusive mode takes every shard's
+    writer side in sorted-name order (the same global order every
+    shard transaction uses, so no acquisition cycles exist), shared
+    mode takes every reader side.  The first exclusive hold by a
+    thread opens an all-shards transaction and the outermost release
+    commits it, preserving the seed's ``with db.lock:`` semantics
+    byte for byte: library writes get one commit seq per lock hold
+    and never roll back.
+    """
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self._names = tuple(sorted(db._shard_locks))
+        self._locks = [db._shard_locks[name] for name in self._names]
+
+    # -- exclusive ----------------------------------------------------------
+
+    def acquire_exclusive(self) -> None:
+        for lock in self._locks:
+            lock.acquire_exclusive()
+        db = self._db
+        me = threading.get_ident()
+        txn = db._txns.get(me)
+        if txn is not None:
+            if txn.facade:
+                txn.depth += 1
+            # a shard txn re-entering via the facade keeps its own txn:
+            # the extra locks are plain re-entrant holds (it already
+            # owns a subset; the rest are fresh but commit-free)
+            return
+        db._txns[me] = _Txn(self._names, all_shards=True,
+                            facade=True, undo=False)
+
+    def release_exclusive(self) -> None:
+        db = self._db
+        me = threading.get_ident()
+        txn = db._txns.get(me)
+        if txn is not None and txn.facade:
+            if txn.depth == 1:
+                del db._txns[me]
+                db._facade_commit(txn)
+            else:
+                txn.depth -= 1
+        for lock in reversed(self._locks):
+            lock.release_exclusive()
+
+    # -- shared -------------------------------------------------------------
+
+    def acquire_shared(self) -> None:
+        for lock in self._locks:
+            lock.acquire_shared()
+
+    def release_shared(self) -> None:
+        for lock in reversed(self._locks):
+            lock.release_shared()
+
+    # -- context managers ---------------------------------------------------
+
+    def shared(self):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _shared():
+            self.acquire_shared()
+            try:
+                yield
+            finally:
+                self.release_shared()
+        return _shared()
+
+    def exclusive(self):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _exclusive():
+            self.acquire_exclusive()
+            try:
+                yield
+            finally:
+                self.release_exclusive()
+        return _exclusive()
+
+    def __enter__(self) -> "_ShardedTxnLock":
+        self.acquire_exclusive()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release_exclusive()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def readers(self) -> int:
+        return max(lock.readers for lock in self._locks)
+
+    @property
+    def write_locked(self) -> bool:
+        return any(lock.write_locked for lock in self._locks)
+
+
+class _ShardTxnContext:
+    """Context manager behind :meth:`Database.shard_txn`."""
+
+    def __init__(self, db: "Database", shard_names, commit_hook,
+                 abort_hook):
+        self._db = db
+        self._names = (None if shard_names is None
+                       else tuple(shard_names))
+        self._commit_hook = commit_hook
+        self._abort_hook = abort_hook
+        self._locks: list[RWLock] = []
+        self._txn: Optional[_Txn] = None
+
+    def __enter__(self) -> _Txn:
+        db = self._db
+        if db._txns is None:
+            raise MoiraError(MR_INTERNAL,
+                             "shard_txn on an unsharded database")
+        if db._active_txn() is not None:
+            raise MoiraError(MR_INTERNAL, "nested shard transaction")
+        if self._names is None:
+            names = tuple(sorted(db._shard_locks))
+        else:
+            names = tuple(sorted(set(self._names)))
+            unknown = [n for n in names if n not in db._shard_locks]
+            if unknown:
+                raise MoiraError(MR_INTERNAL,
+                                 f"unknown shards {unknown}")
+        for name in names:              # sorted order: no cycles
+            lock = db._shard_locks[name]
+            lock.acquire_exclusive()
+            self._locks.append(lock)
+        txn = _Txn(names,
+                   all_shards=(len(names) == len(db._shard_locks)),
+                   facade=False, undo=True)
+        db._txns[threading.get_ident()] = txn
+        self._txn = txn
+        return txn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        db = self._db
+        txn = self._txn
+        try:
+            db._txns.pop(threading.get_ident(), None)
+            if exc_type is None:
+                db._txn_commit(txn, self._commit_hook)
+            else:
+                db._txn_abort(txn, self._abort_hook)
+        finally:
+            for lock in reversed(self._locks):
+                lock.release_exclusive()
+        return False
+
+
 _WILDCARD_CHARS = ("*", "?")
 
 # Characters Moira rejects in checked string fields (names, logins...).
@@ -609,17 +808,22 @@ class Table:
             index.add(row)
         for comp in self._composites.values():
             comp.add(row)
+        prev_modtime = self.stats.modtime
         self.stats.appends += 1
         self.stats.modtime = now
         self._bump("insert", None, dict(row))
         mv = self._mv
         if mv is not None:
-            seq, auto = mv.db._mv_begin()
+            seq, auto = mv.db._mv_begin(self)
             try:
                 mv.on_insert(row, seq)
                 self.mv_last_seq = seq
             finally:
                 mv.db._mv_finish(seq, auto)
+            undo = mv.db._txn_undo_list()
+            if undo is not None:
+                undo.append(lambda: self._undo_insert(
+                    row, seq, prev_modtime))
         return row
 
     def update_rows(self, rows: list[Row], changes: dict, *, now: int = 0,
@@ -642,6 +846,13 @@ class Table:
                            if name in coerced]
         touched_composites = [comp for comp in self._composites.values()
                               if any(name in coerced for name in comp.names)]
+        mv = self._mv
+        undo = mv.db._txn_undo_list() if (mv is not None and rows) else None
+        old_values = None
+        prev_modtime = self.stats.modtime
+        if undo is not None:
+            old_values = [{name: row[name] for name in coerced}
+                          for row in rows]
         for row in rows:
             before = dict(row) if touch_stats else None
             for index in touched_indexes:
@@ -658,22 +869,34 @@ class Table:
         if touch_stats:
             self.stats.updates += len(rows)
             self.stats.modtime = now
-        mv = self._mv
         if mv is not None and rows:
             changed = set(coerced)
-            seq, auto = mv.db._mv_begin()
+            seq, auto = mv.db._mv_begin(self)
             try:
-                for row in rows:
-                    mv.on_update(row, changed, seq)
+                tokens = [mv.on_update(row, changed, seq) for row in rows]
                 self.mv_last_seq = seq
             finally:
                 mv.db._mv_finish(seq, auto)
+            if undo is not None:
+                undo.append(lambda: self._undo_update(
+                    list(rows), old_values, tokens, set(coerced), seq,
+                    touch_stats, prev_modtime))
         return len(rows)
 
     def delete_rows(self, rows: list[Row], *, now: int = 0) -> int:
         """Remove the given rows in one pass, maintaining indexes."""
         if not rows:
             return 0
+        mv = self._mv
+        undo = mv.db._txn_undo_list() if mv is not None else None
+        slots = None
+        prev_modtime = self.stats.modtime
+        if undo is not None:
+            # scan-order positions, so an abort restores rows exactly
+            # where they were (mrbackup dumps in scan order)
+            wanted = {id(row) for row in rows}
+            slots = [(i, row) for i, row in enumerate(self.rows)
+                     if id(row) in wanted]
         for row in rows:
             for index in self._indexes.values():
                 index.remove(row)
@@ -686,15 +909,16 @@ class Table:
         self.rows = [row for row in self.rows if id(row) not in doomed]
         self.stats.deletes += len(rows)
         self.stats.modtime = now
-        mv = self._mv
         if mv is not None:
-            seq, auto = mv.db._mv_begin()
+            seq, auto = mv.db._mv_begin(self)
             try:
-                for row in rows:
-                    mv.on_delete(row, seq)
+                tokens = [mv.on_delete(row, seq) for row in rows]
                 self.mv_last_seq = seq
             finally:
                 mv.db._mv_finish(seq, auto)
+            if undo is not None:
+                undo.append(lambda: self._undo_delete(
+                    slots, tokens, prev_modtime))
         return len(rows)
 
     def clear(self) -> None:
@@ -710,14 +934,89 @@ class Table:
             # a wholesale reload can't be described row-by-row; empty the
             # log so changes_since() reports the gap
             self._changelog.clear()
+        # no undo hook: clear() is a whole-database operation (restore,
+        # reload) that only ever runs under the full-exclusion facade,
+        # which never aborts
         mv = self._mv
         if mv is not None:
-            seq, auto = mv.db._mv_begin()
+            seq, auto = mv.db._mv_begin(self)
             try:
                 mv.on_clear(seq)
                 self.mv_last_seq = seq
             finally:
                 mv.db._mv_finish(seq, auto)
+
+    # -- abort undo ---------------------------------------------------------
+    # Shard transactions (the server's batched write path) roll back a
+    # failing write's own mutations so one bad write in a commit window
+    # cannot poison its neighbors.  Undo restores logical row state and
+    # scan order exactly (the mrbackup oracle dumps scan order); hash-
+    # bucket order within an index may differ from the never-mutated
+    # ordering, which is invisible to the dump and to any exact lookup.
+    # Compensating _bump() entries keep the changelog consistent for
+    # incremental DCM consumers instead of rewinding versions.
+
+    def _undo_insert(self, row: Row, seq: int, prev_modtime: int) -> None:
+        doomed = id(row)
+        self.rows = [r for r in self.rows if id(r) != doomed]
+        for index in self._indexes.values():
+            index.remove(row)
+        for comp in self._composites.values():
+            comp.remove(row)
+        self.stats.appends -= 1
+        self.stats.modtime = prev_modtime
+        self._bump("delete", dict(row), None)
+        mv = self._mv
+        if mv is not None:
+            mv.undo_insert(row, seq)
+
+    def _undo_update(self, rows: list[Row], old_values: list[dict],
+                     tokens: list, changed: set, seq: int,
+                     touch_stats: bool, prev_modtime: int) -> None:
+        touched_indexes = [idx for name, idx in self._indexes.items()
+                           if name in changed]
+        touched_composites = [comp for comp in self._composites.values()
+                              if any(name in changed
+                                     for name in comp.names)]
+        mv = self._mv
+        for row, old, token in zip(reversed(rows), reversed(old_values),
+                                   reversed(tokens)):
+            after = dict(row) if touch_stats else None
+            for index in touched_indexes:
+                index.remove(row)
+            for comp in touched_composites:
+                comp.remove(row)
+            row.update(old)
+            for index in touched_indexes:
+                index.add(row)
+            for comp in touched_composites:
+                comp.add(row)
+            if touch_stats:
+                self._bump("update", after, dict(row))
+            if mv is not None and token is not None:
+                mv.undo_update(token, seq)
+        if touch_stats:
+            self.stats.updates -= len(rows)
+            self.stats.modtime = prev_modtime
+
+    def _undo_delete(self, slots: list, tokens: list,
+                     prev_modtime: int) -> None:
+        # ascending re-insertion restores every original scan index
+        for i, row in slots:
+            self.rows.insert(i, row)
+        for _i, row in slots:
+            for index in self._indexes.values():
+                index.add(row)
+            for comp in self._composites.values():
+                comp.add(row)
+            self._bump("insert", None, dict(row))
+        self.stats.deletes -= len(slots)
+        self.stats.modtime = prev_modtime
+        mv = self._mv
+        if mv is not None:
+            for token in reversed(tokens):
+                if token is not None:
+                    mv.undo_delete(token)
 
     # -- retrieval ----------------------------------------------------------
 
@@ -940,6 +1239,31 @@ class Database:
         self._txn_owner: Optional[int] = None   # thread ident in txn
         self._txn_seq = 0
         self._txn_dirty = False
+        # -- writer sharding (docs/WRITE_PATH.md) -------------------------
+        # None until declare_shards(); then writer-writer exclusion is
+        # per relation group and `lock` becomes the all-shards facade.
+        self.shards: Optional[dict[str, tuple]] = None
+        self._shard_locks: dict[str, RWLock] = {}
+        self._shard_of: dict[str, str] = {}
+        self._unversioned: set[str] = set()
+        self._txns: Optional[dict[int, _Txn]] = None
+        # leaf latch for the system relations (values, strings): id
+        # allocation and string interning serialize here instead of on
+        # the shard locks, so a shard transaction can allocate without
+        # escalating to every shard (which would deadlock two partial
+        # holders against each other)
+        self._sys_latch = threading.RLock()
+        # WAL-replay id scripting: thread ident -> {hint: [values]}.
+        # Under concurrent shard commits, id allocations interleave in
+        # an order that differs from commit-seq order, so a serial
+        # replay must consume the journaled bindings instead of
+        # re-allocating naturally (see recovery.replay_wal).
+        self._scripted_ids: dict[int, dict[str, list]] = {}
+        # the commit gate: `_seq_alloc` hands out seqs, `_seq_cond`
+        # publishes them to `_committed_seq` in strictly increasing
+        # order (journal appends happen inside the gate)
+        self._seq_cond = threading.Condition()
+        self._seq_alloc = 0
         self._pin_lock = threading.Lock()
         # pinned seq -> [pin count, monotonic time of first pin]
         self._pins: dict[int, list] = {}
@@ -949,6 +1273,7 @@ class Database:
         self._mv_pressure = 0
         self._mv_counters = {
             "commits": 0,
+            "aborts": 0,
             "versions_created": 0,
             "snapshots_pinned": 0,
             "gc_runs": 0,
@@ -990,10 +1315,210 @@ class Database:
         if table.name in self.tables:
             raise ValueError(f"table {table.name} already exists")
         self.tables[table.name] = table
-        if self.mvcc_enabled and table._mv is None:
+        if self.mvcc_enabled and table._mv is None \
+                and table.name not in self._unversioned:
             from repro.db.mvcc import TableVersionStore
             table._mv = TableVersionStore(self, table)
         return table
+
+    # -- writer sharding ------------------------------------------------------
+
+    def declare_shards(self, shards: dict, *,
+                       system: Iterable[str] = ()) -> None:
+        """Split writer–writer exclusion by relation group.
+
+        *shards* maps shard name -> iterable of table names; every
+        declared table gets its mutations guarded by that shard's
+        RWLock instead of one global lock.  *system* tables (the
+        ``values`` hint variables and the ``strings`` heap) belong to
+        no shard: they detach from MVCC (snapshot reads fall back to
+        the live table) and serialize on the ``_sys_latch`` leaf lock,
+        so any shard transaction can allocate ids or intern strings
+        without touching other shards.
+
+        After this call ``db.lock`` is a facade that takes every shard
+        in sorted-name order — ``with db.lock:`` still means total
+        exclusion, and library writes keep the seed's one-seq-per-hold
+        commit semantics.  Call once, on a quiescent database.
+        """
+        if self.shards is not None:
+            raise ValueError("shards already declared")
+        self.shards = {name: tuple(sorted(tables))
+                       for name, tables in sorted(shards.items())}
+        self._shard_locks = {name: RWLock() for name in self.shards}
+        self._shard_of = {}
+        for shard_name, tables in self.shards.items():
+            for table_name in tables:
+                if table_name in self._shard_of:
+                    raise ValueError(
+                        f"table {table_name!r} in two shards")
+                self._shard_of[table_name] = shard_name
+        self._unversioned = set(system)
+        for table_name in self._unversioned:
+            table = self.tables.get(table_name)
+            if table is not None:
+                table._mv = None
+        self._txns = {}
+        self._seq_alloc = self._committed_seq
+        self.lock = _ShardedTxnLock(self)
+
+    def shard_txn(self, shard_names: Optional[Iterable[str]], *,
+                  commit_hook: Optional[Callable] = None,
+                  abort_hook: Optional[Callable] = None):
+        """A writer transaction over just *shard_names* (None = all).
+
+        Acquires the named shards' writer locks in sorted order, runs
+        the body as one transaction, and on normal exit commits through
+        the gate: the commit seq publishes — and *commit_hook(txn)*
+        (the journal append) runs — only once every earlier seq has
+        published, so journal order is commit-seq order.  On exception
+        the transaction's own mutations are undone (reverse order) and
+        the seq still publishes as an abort so later writers don't
+        stall; *abort_hook(txn)* runs in the gate when the transaction
+        consumed id/string bindings that survive the abort (system
+        tables are not rolled back) so replay can reproduce them.
+        """
+        return _ShardTxnContext(self, shard_names, commit_hook,
+                                abort_hook)
+
+    def _active_txn(self) -> Optional["_Txn"]:
+        txns = self._txns
+        if txns is None:
+            return None
+        return txns.get(threading.get_ident())
+
+    def _txn_undo_list(self) -> Optional[list]:
+        txn = self._active_txn()
+        if txn is None:
+            return None
+        return txn.undo
+
+    def _txn_info(self) -> tuple[int, Optional[dict]]:
+        """(commit seq, bindings) of the current thread's transaction —
+        what the library write path stamps into its journal entry."""
+        txn = self._active_txn()
+        if txn is None:
+            return 0, None
+        return txn.seq, txn.bindings
+
+    def _bind_intern(self, text: str, string_id: int) -> None:
+        """Record a string interned by the current transaction."""
+        txn = self._active_txn()
+        if txn is not None:
+            txn.bind_intern(text, string_id)
+
+    # -- WAL-replay id scripting ----------------------------------------------
+
+    def begin_scripted_ids(self, bindings: Optional[dict]) -> None:
+        """Arm journaled id bindings for the calling thread.
+
+        Until :meth:`end_scripted_ids`, each ``next_id(hint)`` call
+        consumes the next journaled value for *hint* instead of the
+        hint variable's current value (the hint is still advanced past
+        the consumed id).  This is how replay reproduces the exact id
+        trajectory of a concurrent run, where allocations interleaved
+        across transactions in non-commit order.
+        """
+        queues = {hint: list(vals) for hint, vals
+                  in ((bindings or {}).get("id") or {}).items() if vals}
+        if queues:
+            self._scripted_ids[threading.get_ident()] = queues
+        else:
+            self._scripted_ids.pop(threading.get_ident(), None)
+
+    def end_scripted_ids(self) -> None:
+        """Disarm replay id scripting for the calling thread."""
+        self._scripted_ids.pop(threading.get_ident(), None)
+
+    def _scripted_next(self, hint_name: str) -> Optional[int]:
+        if not self._scripted_ids:
+            return None
+        queues = self._scripted_ids.get(threading.get_ident())
+        if queues is None:
+            return None
+        vals = queues.get(hint_name)
+        if not vals:
+            return None
+        return vals.pop(0)
+
+    def _alloc_seq(self, txn: Optional["_Txn"] = None) -> int:
+        with self._seq_cond:
+            self._seq_alloc += 1
+            seq = self._seq_alloc
+        if txn is not None:
+            txn.seq = seq
+        return seq
+
+    def _publish_seq(self, seq: int, *, hook: Optional[Callable] = None,
+                     aborted: bool = False) -> None:
+        """Publish *seq* once every earlier seq has published.
+
+        *hook* (the journal append) runs inside the gate, after the
+        wait and before publication, so entries land in the journal in
+        exactly commit-seq order.  Publication happens even when the
+        hook raises (torn write, injected crash): later writers must
+        not hang on a seq that will never arrive — recovery sorts out
+        the torn tail.
+        """
+        with self._seq_cond:
+            while self._committed_seq < seq - 1:
+                self._seq_cond.wait()
+            try:
+                if hook is not None:
+                    hook()
+            finally:
+                self._committed_seq = seq
+                key = "aborts" if aborted else "commits"
+                self._mv_counters[key] += 1
+                self._seq_cond.notify_all()
+
+    def _facade_commit(self, txn: "_Txn") -> None:
+        """Outermost ``db.lock`` release on a sharded database."""
+        if txn.seq == 0:
+            return          # nothing mutated, no bindings journaled here
+        self._publish_seq(txn.seq)
+        if self._mv_pressure >= self.mv_gc_threshold:
+            self.gc_versions()
+
+    def _txn_commit(self, txn: "_Txn",
+                    hook: Optional[Callable]) -> None:
+        """Commit a shard transaction through the gate.
+
+        Every committed server write consumes one seq — even a
+        mutation-free one — so its journal entry (appended by *hook*
+        inside the gate) lands in a strict, gap-checkable seq order.
+        Version GC is deliberately *not* triggered here: it takes
+        every shard, and this thread holds only a subset — the write
+        batcher runs GC after releasing its locks instead.
+        """
+        if txn.seq == 0:
+            self._alloc_seq(txn)
+        run = None if hook is None else (lambda: hook(txn))
+        self._publish_seq(txn.seq, hook=run)
+
+    def _txn_abort(self, txn: "_Txn",
+                   hook: Optional[Callable]) -> None:
+        """Undo a failed shard transaction and publish its seq.
+
+        The transaction's own versions and live-table mutations are
+        rolled back in reverse order; its seq still publishes (as an
+        abort) so later writers waiting in the gate don't hang on a
+        seq that will never commit.  System-table effects — allocated
+        ids, interned strings — are *not* undone; when any were
+        consumed, *hook* journals an ``_aborted`` marker carrying the
+        bindings so replay reproduces the values/strings state.
+        """
+        if txn.undo:
+            for fn in reversed(txn.undo):
+                fn()
+        if txn.seq == 0 and not txn.bindings:
+            return
+        if txn.seq == 0:
+            self._alloc_seq(txn)
+        run = None
+        if hook is not None and txn.bindings:
+            run = lambda: hook(txn)
+        self._publish_seq(txn.seq, hook=run, aborted=True)
 
     # -- MVCC: transactions, snapshots, garbage collection -------------------
 
@@ -1017,22 +1542,44 @@ class Database:
             if self._mv_pressure >= self.mv_gc_threshold:
                 self.gc_versions()
 
-    def _mv_begin(self) -> tuple[int, bool]:
+    def _mv_begin(self, table: Optional["Table"] = None) -> tuple[int, bool]:
         """The commit seq for one mutation statement.
 
-        Inside an exclusive-lock transaction every statement shares the
-        transaction's seq; an unlocked statement (single-threaded
-        setup: schema seeding, population load, tests) auto-commits —
-        ``(seq, auto)`` where *auto* tells :meth:`_mv_finish` to
-        publish immediately.
+        Inside a transaction every statement shares the transaction's
+        seq (assigned lazily, while the transaction's shard locks are
+        held, so per-record version chains stay monotone); an unlocked
+        statement (single-threaded setup: schema seeding, population
+        load, tests) auto-commits — ``(seq, auto)`` where *auto* tells
+        :meth:`_mv_finish` to publish immediately.
         """
+        if self._txns is not None:
+            txn = self._txns.get(threading.get_ident())
+            if txn is not None:
+                if table is not None:
+                    shard = self._shard_of.get(table.name)
+                    if not txn.all_shards and (
+                            shard is None or shard not in txn.shards):
+                        raise MoiraError(
+                            MR_INTERNAL,
+                            f"mutation of {table.name!r} outside the "
+                            f"transaction's shards {txn.shards}")
+                    txn.mutated.add(table.name)
+                if txn.seq == 0:
+                    self._alloc_seq(txn)
+                txn.dirty = True
+                return txn.seq, False
+            return self._alloc_seq(), True
         if self._txn_owner == threading.get_ident():
             self._txn_dirty = True
             return self._txn_seq, False
         return self._committed_seq + 1, True
 
     def _mv_finish(self, seq: int, auto: bool) -> None:
-        if auto:
+        if not auto:
+            return
+        if self._txns is not None:
+            self._publish_seq(seq)
+        else:
             self._committed_seq = seq
             self._mv_counters["commits"] += 1
 
@@ -1116,6 +1663,8 @@ class Database:
             if enabled:
                 from repro.db.mvcc import TableVersionStore
                 for table in self.tables.values():
+                    if table.name in self._unversioned:
+                        continue
                     table._mv = TableVersionStore(self, table)
                     table.mv_last_seq = 0
                 with self._pin_lock:
@@ -1160,26 +1709,57 @@ class Database:
 
     def get_value(self, name: str) -> int:
         """Integer value of a values-relation variable."""
-        rows = self.table("values").select({"name": name})
-        if not rows:
-            raise MoiraError(MR_NO_ID, name)
-        return int(rows[0]["value"])
+        with self._sys_latch:
+            rows = self.table("values").select({"name": name})
+            if not rows:
+                raise MoiraError(MR_NO_ID, name)
+            return int(rows[0]["value"])
 
     def set_value(self, name: str, value: int, *, now: int = 0) -> None:
         """Insert or update a values-relation variable."""
-        table = self.table("values")
-        rows = table.select({"name": name})
-        if rows:
-            table.update_rows(rows, {"value": value}, now=now)
-        else:
-            table.insert({"name": name, "value": value}, now=now)
+        with self._sys_latch:
+            table = self.table("values")
+            rows = table.select({"name": name})
+            if rows:
+                table.update_rows(rows, {"value": value}, now=now)
+            else:
+                table.insert({"name": name, "value": value}, now=now)
 
     def next_id(self, hint_name: str, *, now: int = 0) -> int:
-        """Allocate the next unique internal ID from a hint variable."""
-        with self.lock:
-            value = self.get_value(hint_name)
-            self.set_value(hint_name, value + 1, now=now)
-            return value
+        """Allocate the next unique internal ID from a hint variable.
+
+        On a sharded database the hint lives outside every shard and
+        the allocation serializes on the system-table leaf latch — a
+        shard transaction must never escalate to the full lock here
+        (two partial holders would deadlock).  The allocated value is
+        recorded in the transaction's bindings so WAL replay can
+        reproduce the hint trajectory even past aborted writers.
+        """
+        scripted = self._scripted_next(hint_name)
+        if self._txns is None:
+            with self.lock:
+                if scripted is not None:
+                    value = scripted
+                    self.set_value(hint_name,
+                                   max(self.get_value(hint_name),
+                                       value + 1), now=now)
+                else:
+                    value = self.get_value(hint_name)
+                    self.set_value(hint_name, value + 1, now=now)
+                return value
+        with self._sys_latch:
+            if scripted is not None:
+                value = scripted
+                self.set_value(hint_name,
+                               max(self.get_value(hint_name), value + 1),
+                               now=now)
+            else:
+                value = self.get_value(hint_name)
+                self.set_value(hint_name, value + 1, now=now)
+        txn = self._active_txn()
+        if txn is not None:
+            txn.bind_id(hint_name, value)
+        return value
 
     def table_stats(self) -> list[tuple]:
         """TBLSTATS rows for every relation, sorted by name."""

@@ -64,15 +64,26 @@ class JournalEntry:
     args: tuple[str, ...]
     seq: int = 0    # monotonic WAL sequence number (0 = legacy record)
     client: str = ""  # program name -> modwith; "" = legacy record
+    # MVCC commit seq (0 = legacy / non-transactional backend).  With
+    # sharded writers, appends happen inside the commit gate, so these
+    # stamp strictly increasing — the replay-order oracle.
+    commit_seq: int = 0
+    # ids allocated / strings interned by the transaction ({"id": {hint:
+    # [v, ...]}, "intern": {text: string_id}}); replay uses them to
+    # reproduce the system-table trajectory even past aborted writers
+    # (query "_aborted"), whose entries carry bindings and nothing else.
+    bindings: Optional[dict] = None
 
     def to_line(self) -> str:
         """Serialise to one JSON line."""
-        return json.dumps(
-            {"seq": self.seq, "when": self.when, "who": self.who,
-             "client": self.client, "query": self.query,
-             "args": list(self.args)},
-            separators=(",", ":"),
-        )
+        data = {"seq": self.seq, "when": self.when, "who": self.who,
+                "client": self.client, "query": self.query,
+                "args": list(self.args)}
+        if self.commit_seq:
+            data["commit_seq"] = self.commit_seq
+        if self.bindings:
+            data["bindings"] = self.bindings
+        return json.dumps(data, separators=(",", ":"))
 
     @classmethod
     def from_line(cls, line: str) -> "JournalEntry":
@@ -93,6 +104,10 @@ class JournalEntry:
             args = data["args"]
             if not isinstance(args, list):
                 raise ValueError("malformed journal line: args not a list")
+            bindings = data.get("bindings")
+            if bindings is not None and not isinstance(bindings, dict):
+                raise ValueError(
+                    "malformed journal line: bindings not an object")
             return cls(
                 when=int(data["when"]),
                 who=str(data["who"]),
@@ -100,6 +115,8 @@ class JournalEntry:
                 args=tuple(str(a) for a in args),
                 seq=int(data.get("seq", 0)),
                 client=str(data.get("client", "")),
+                commit_seq=int(data.get("commit_seq", 0)),
+                bindings=bindings,
             )
         except (KeyError, TypeError) as exc:
             raise ValueError(f"malformed journal line: {exc!r}") from exc
@@ -134,10 +151,22 @@ class Journal:
     _last_fsync: float = field(default=0.0, repr=False, compare=False)
     # first seq of the active segment (0 = start one at the next append)
     _segment_first: int = field(default=0, repr=False, compare=False)
+    # observability (the `_wal_stats` pseudo-query)
+    _stat_appends: int = field(default=0, repr=False, compare=False)
+    _stat_fsyncs: int = field(default=0, repr=False, compare=False)
+    _stat_batch_flushes: int = field(default=0, repr=False,
+                                     compare=False)
 
     def record(self, when: int, who: str, query: str,
-               args: tuple[str, ...], client: str = "") -> JournalEntry:
+               args: tuple[str, ...], client: str = "", *,
+               commit_seq: int = 0, bindings: Optional[dict] = None,
+               fsync: bool = True) -> JournalEntry:
         """Append an entry; when a path is set, fsync it to the WAL.
+
+        ``fsync=False`` defers durability entirely: the line reaches
+        the kernel but the group-commit caller (the server's write
+        batcher) owns the :meth:`sync` — one fsync covers the whole
+        commit window.
 
         Fault points: ``journal.record`` fires before anything is
         appended (a crash here loses the record entirely),
@@ -152,13 +181,16 @@ class Journal:
                                  seq=self._next_seq)
             entry = JournalEntry(when=when, who=who, query=query,
                                  args=tuple(str(a) for a in args),
-                                 seq=self._next_seq, client=client)
+                                 seq=self._next_seq, client=client,
+                                 commit_seq=commit_seq,
+                                 bindings=bindings)
             self._next_seq += 1
+            self._stat_appends += 1
             if self.entries and when < self.entries[-1].when:
                 self._when_monotonic = False
             self.entries.append(entry)
             if self.path is not None:
-                self._append_durable(entry)
+                self._append_durable(entry, fsync=fsync)
             if self.faults is not None:
                 self.faults.fire("journal.appended", query=query,
                                  who=who, seq=entry.seq)
@@ -204,7 +236,8 @@ class Journal:
             return True
         return False
 
-    def _append_durable(self, entry: JournalEntry) -> None:
+    def _append_durable(self, entry: JournalEntry, *,
+                        fsync: bool = True) -> None:
         line = entry.to_line()
         if self.rotate_segments and self._segment_first <= 0:
             self._segment_first = entry.seq   # names the new segment
@@ -222,8 +255,9 @@ class Journal:
         fh.write(line + "\n")
         fh.flush()      # always reaches the kernel before record returns
         self._unsynced += 1
-        if self._fsync_due():
+        if fsync and self._fsync_due():
             os.fsync(fh.fileno())
+            self._stat_fsyncs += 1
             self._unsynced = 0
             self._last_fsync = time.monotonic()
 
@@ -231,12 +265,25 @@ class Journal:
         if self._fh is not None and self._unsynced:
             self._fh.flush()
             os.fsync(self._fh.fileno())
+            self._stat_fsyncs += 1
             self._unsynced = 0
             self._last_fsync = time.monotonic()
 
     def sync(self) -> None:
-        """Force any group-commit-deferred appends to stable storage."""
+        """Force any group-commit-deferred appends to stable storage.
+
+        The write batcher calls this once per commit window — the
+        group-commit durability point.  Fault point:
+        ``journal.batch_flush`` fires before the fsync with the number
+        of deferred appends it would cover (a crash here loses the
+        whole un-fsync'd window, the batch-boundary recovery case).
+        """
         with self._lock:
+            if self.faults is not None:
+                self.faults.fire("journal.batch_flush",
+                                 pending=self._unsynced,
+                                 seq=self._next_seq - 1)
+            self._stat_batch_flushes += 1
             self._sync_locked()
 
     def close(self) -> None:
@@ -246,6 +293,30 @@ class Journal:
                 self._sync_locked()
                 self._fh.close()
                 self._fh = None
+
+    def stats(self) -> dict:
+        """WAL observability counters (the ``_wal_stats`` rows)."""
+        with self._lock:
+            segments = (self.segment_files()
+                        if (self.path is not None
+                            and self.rotate_segments) else [])
+            fsyncs = self._stat_fsyncs
+            return {
+                "appends": self._stat_appends,
+                "fsyncs": fsyncs,
+                "batch_flushes": self._stat_batch_flushes,
+                "mean_appends_per_fsync": (
+                    round(self._stat_appends / fsyncs, 3)
+                    if fsyncs else 0.0),
+                "unsynced": self._unsynced,
+                "entries_retained": len(self.entries),
+                "next_seq": self._next_seq,
+                "oldest_seq": (self.entries[0].seq if self.entries
+                               else self._next_seq),
+                "segment_count": len(segments),
+                "oldest_segment_seq": (segments[0][0] if segments
+                                       else 0),
+            }
 
     # -- queries over the log ----------------------------------------------
 

@@ -259,10 +259,12 @@ class TableVersionStore:
         self._admit(row, seq)
         self.db._mv_note(1)
 
-    def on_update(self, row: dict, changed: set, seq: int) -> None:
+    def on_update(self, row: dict, changed: set, seq: int):
+        """Version one row update; returns an opaque undo token (used
+        by shard-transaction aborts) or None for untracked rows."""
         record = self.records.get(id(row))
         if record is None:          # untracked row; nothing to version
-            return
+            return None
         data = dict(row)            # the post-update state
         old = record.current
         fresh = _Version(data, seq, INF_SEQ, old)
@@ -271,6 +273,9 @@ class TableVersionStore:
         # or (fresh → old), all of which resolve identically below seq
         old.end = seq
         record.current = fresh
+        # (slot, retired entry, fresh entry) per re-bucketed structure,
+        # so an abort can reopen exactly what this statement closed
+        replaced: list = []
         # an assignment to an indexed column re-buckets the live index
         # (remove + append) even when the key value is unchanged;
         # mirror that exactly so bucket order stays byte-identical
@@ -284,6 +289,7 @@ class TableVersionStore:
             entry = _Entry(record, seq, INF_SEQ)
             index.append(index.key_of(data[name]), entry)
             record.live[name] = entry
+            replaced.append((name, stale, entry))
         for names, comp in self.composites.items():
             if not any(name in changed for name in names):
                 continue
@@ -293,17 +299,61 @@ class TableVersionStore:
             entry = _Entry(record, seq, INF_SEQ)
             comp.append(comp.key_of(data), entry)
             record.live[names] = entry
+            replaced.append((names, stale, entry))
         self.db._mv_note(1)
+        return (row, old, replaced)
 
-    def on_delete(self, row: dict, seq: int) -> None:
+    def on_delete(self, row: dict, seq: int):
+        """Retire one row; returns an opaque undo token or None."""
         record = self.records.pop(id(row), None)
         if record is None:
-            return
+            return None
+        token = (row, record, dict(record.live))
         record.current.end = seq
         for entry in record.live.values():
             entry.end = seq
         record.live = {}
         self.db._mv_note(1)
+        return token
+
+    # -- abort undo (shard transactions) -------------------------------------
+    # All undo runs on the writer path, under the aborting transaction's
+    # shard locks and *before* its seq publishes as an abort — so no
+    # snapshot can ever be pinned at the aborted seq, and closing a
+    # window to the empty range [seq, seq) makes the version dead for
+    # every reader past and future.  GC reclaims the husks normally.
+
+    def undo_insert(self, row: dict, seq: int) -> None:
+        record = self.records.pop(id(row), None)
+        if record is None:
+            return
+        record.current.end = seq        # empty window: never visible
+        for entry in record.live.values():
+            entry.end = seq
+        record.live = {}
+
+    def undo_update(self, token, seq: int) -> None:
+        row, old, replaced = token
+        record = self.records.get(id(row))
+        if record is not None and record.current.begin == seq:
+            # reopen the pre-update head, then swap it back (reverse of
+            # the publication order; the aborted version is orphaned)
+            old.end = INF_SEQ
+            record.current = old
+        for slot, stale, entry in replaced:
+            entry.end = seq             # dead: [seq, seq)
+            if stale is not None:
+                stale.end = INF_SEQ
+                if record is not None:
+                    record.live[slot] = stale
+
+    def undo_delete(self, token) -> None:
+        row, record, live = token
+        self.records[id(row)] = record
+        record.current.end = INF_SEQ
+        for entry in live.values():
+            entry.end = INF_SEQ
+        record.live = live
 
     def on_clear(self, seq: int) -> None:
         for record in self.records.values():

@@ -38,8 +38,8 @@ from repro.errors import (
 )
 from repro.sim.clock import Clock
 
-__all__ = ["checkpoint", "recover", "replay_wal", "RecoveryResult",
-           "CHECKPOINT_META"]
+__all__ = ["checkpoint", "recover", "replay_wal", "apply_bindings",
+           "RecoveryResult", "CHECKPOINT_META"]
 
 # Written beside the per-relation dumps: the WAL sequence number the
 # snapshot covers.  Replay starts strictly after it.
@@ -60,8 +60,51 @@ class RecoveryResult:
     watermark: int = 0
     replayed: int = 0
     skipped_conflicts: int = 0
+    aborted_applied: int = 0
     torn_tail: bool = False
     log: list[str] = field(default_factory=list)
+
+
+def apply_bindings(db: Database, bindings: Optional[dict], *,
+                   now: int = 0) -> None:
+    """Reproduce a transaction's system-table effects from its bindings.
+
+    Aborted writers leave their id-hint bumps and interned strings
+    behind (the system relations never roll back), journaled as the
+    ``_aborted`` entry's bindings; committed writers may have interned
+    a string another transaction allocated.  Applying the bindings is
+    idempotent: hints only move forward, strings insert only if absent.
+    """
+    if not bindings:
+        return
+    latch = getattr(db, "_sys_latch", None)
+    if latch is None:
+        latch = db.lock
+    with latch:
+        for hint, vals in (bindings.get("id") or {}).items():
+            if not vals:
+                continue
+            try:
+                cur = db.get_value(hint)
+            except MoiraError:
+                cur = 0
+            top = max(vals) + 1
+            if top > cur:
+                db.set_value(hint, top, now=now)
+        intern = bindings.get("intern") or {}
+        if intern:
+            table = db.table("strings")
+            for text, sid in intern.items():
+                sid = int(sid)
+                if not table.select({"string_id": sid}):
+                    table.insert({"string_id": sid, "string": text},
+                                 now=now)
+                try:
+                    cur = db.get_value("strings_id")
+                except MoiraError:
+                    cur = 0
+                if sid + 1 > cur:
+                    db.set_value("strings_id", sid + 1, now=now)
 
 
 def checkpoint(db: Database, journal: Journal,
@@ -140,14 +183,38 @@ def replay_wal(db: Database, journal: Journal, *, after_seq: int = 0,
     if result is None:
         result = RecoveryResult(db=db)
     clock: Optional[Clock] = None
+    last_commit_seq = 0
     for entry in journal.after_seq(after_seq):
+        # Replay-order oracle: sharded writers append inside the commit
+        # gate, so WAL order must equal commit-seq order even when
+        # shards committed concurrently.  A violation means the gate
+        # (or the log) is corrupt — never silently reorder history.
+        if entry.commit_seq:
+            if entry.commit_seq <= last_commit_seq:
+                raise ValueError(
+                    f"WAL out of commit order: seq {entry.seq} has "
+                    f"commit_seq {entry.commit_seq} after "
+                    f"{last_commit_seq}")
+            last_commit_seq = entry.commit_seq
         if clock is None:
             clock = Clock(entry.when)
         elif entry.when > clock.now():
             clock.set(entry.when)
+        # system-table trajectory first: bump id hints past the entry's
+        # allocations and pre-seed interned strings (idempotent), so
+        # even a conflict-skipped or aborted entry leaves values/strings
+        # exactly as the original run did
+        apply_bindings(db, entry.bindings, now=entry.when)
+        if entry.query == "_aborted":
+            # the writer rolled back; only its bindings survive
+            result.aborted_applied += 1
+            continue
         ctx = QueryContext(db=db, clock=clock, caller=entry.who,
                            client=entry.client or "recovery",
                            privileged=True)
+        scripted = getattr(db, "begin_scripted_ids", None)
+        if scripted is not None:
+            scripted(entry.bindings)
         try:
             execute_query(ctx, entry.query, list(entry.args))
             result.replayed += 1
@@ -158,4 +225,7 @@ def replay_wal(db: Database, journal: Journal, *, after_seq: int = 0,
             result.log.append(
                 f"replay seq {entry.seq} {entry.query}: tolerated "
                 f"{exc.symbol}")
+        finally:
+            if scripted is not None:
+                db.end_scripted_ids()
     return result

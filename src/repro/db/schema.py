@@ -382,7 +382,29 @@ def build_database() -> Database:
 
     _seed_values(db)
     _seed_aliases(db)
+    declare_standard_shards(db)
     return db
+
+
+#: Writer-shard map (docs/WRITE_PATH.md): mutations touching disjoint
+#: groups commit concurrently; cross-shard mutations take their groups
+#: in sorted-name order.  The ``values`` hints and the ``strings`` heap
+#: belong to no shard — they serialize on the system-table leaf latch
+#: so any shard transaction can allocate ids or intern strings.
+SHARD_MAP = {
+    "users": ("users", "list", "members", "capacls"),
+    "machines": ("machine", "cluster", "mcmap", "svc", "filesys",
+                 "nfsphys", "hostaccess", "printcap", "servers",
+                 "serverhosts", "services"),
+    "quota": ("nfsquota", "alias", "zephyr"),
+}
+
+SYSTEM_TABLES = ("values", "strings")
+
+
+def declare_standard_shards(db: Database) -> None:
+    """Attach the standard writer-shard map to a schema database."""
+    db.declare_shards(SHARD_MAP, system=SYSTEM_TABLES)
 
 
 def _seed_values(db: Database) -> None:

@@ -134,13 +134,42 @@ class WalStoreDatabase:
             for name, table in inner.tables.items()}
         if log_path is not None:
             self._log = open(log_path, "a", encoding="ascii")
+        # group-commit buffer: None = append-through (seed behaviour);
+        # a list = inside a batch window, ops held until batch_commit
+        self._batch: Optional[list[str]] = None
 
     # -- log ----------------------------------------------------------------
 
     def _append(self, op: dict) -> None:
+        line = json.dumps(op, sort_keys=True)
+        if self._batch is not None:
+            self._batch.append(line)
+            return
         if self._log is not None:
-            self._log.write(json.dumps(op, sort_keys=True) + "\n")
+            self._log.write(line + "\n")
             self._log.flush()  # skeleton: flushed, not fsynced
+
+    # -- batch boundaries ----------------------------------------------------
+    # The server's write batcher brackets each commit window with these
+    # (discovered by hasattr), so apply-then-append honours batch
+    # boundaries: the log gains whole windows atomically, and a crash
+    # mid-window loses the whole window — never a torn suffix of one.
+
+    def batch_begin(self) -> None:
+        """Start buffering appends for one group-commit window."""
+        if self._batch is None:
+            self._batch = []
+
+    def batch_commit(self) -> None:
+        """Write the buffered window to the log in one flush."""
+        batch, self._batch = self._batch, None
+        if batch and self._log is not None:
+            self._log.write("\n".join(batch) + "\n")
+            self._log.flush()
+
+    def batch_abort(self) -> None:
+        """Drop the buffered window (simulated crash mid-batch)."""
+        self._batch = None
 
     def _replay(self, op: dict) -> None:
         """Re-execute one logged op against the inner engine."""

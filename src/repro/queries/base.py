@@ -83,6 +83,13 @@ class Query:
     # databases through the same query mechanism" — each handle names
     # the database it resolves against; "moira" is the primary.
     database: str = "moira"
+    # Full relation footprint (reads AND writes) of a mutation, used to
+    # map it onto writer shards: a tuple of table names, or a callable
+    # ``(args) -> Sequence[str]`` when the footprint is data-dependent.
+    # None means undeclared — the executor falls back to full exclusion.
+    # System tables (values/strings) need not be listed; they are
+    # shard-free.
+    tables: Optional[object] = None
 
     def help_text(self) -> str:
         """The _help line for this query."""
@@ -344,14 +351,38 @@ class QueryContext:
     # -- string interning (the strings relation) -----------------------------
 
     def intern_string(self, text: str) -> int:
-        """The string_id for *text*, creating it if new."""
-        table = self.db.table("strings")
-        rows = table.select({"string": text})
-        if rows:
-            return rows[0]["string_id"]
-        string_id = self.db.next_id("strings_id", now=self.now)
-        table.insert({"string_id": string_id, "string": text}, now=self.now)
-        return string_id
+        """The string_id for *text*, creating it if new.
+
+        On a sharded database the strings heap is shard-free and
+        serializes on the system latch, so any shard transaction can
+        intern without escalating; new ids are recorded as bindings on
+        the transaction so journal replay reproduces them.
+        """
+        db = self.db
+        latch = getattr(db, "_sys_latch", None)
+        if latch is None or getattr(db, "shards", None) is None:
+            table = db.table("strings")
+            rows = table.select({"string": text})
+            if rows:
+                return rows[0]["string_id"]
+            string_id = db.next_id("strings_id", now=self.now)
+            table.insert({"string_id": string_id, "string": text},
+                         now=self.now)
+            return string_id
+        with latch:
+            table = db.table("strings")
+            rows = table.select({"string": text})
+            if rows:
+                # bind lookups too: the looking-up transaction can
+                # commit before its allocator, so replay (commit-seq
+                # order) must be able to pre-seed the row
+                db._bind_intern(text, rows[0]["string_id"])
+                return rows[0]["string_id"]
+            string_id = db.next_id("strings_id", now=self.now)
+            table.insert({"string_id": string_id, "string": text},
+                         now=self.now)
+            db._bind_intern(text, string_id)
+            return string_id
 
     def string_by_id(self, string_id: int) -> str:
         """The text for a string_id."""
@@ -412,6 +443,7 @@ def register(
     access: Optional[AccessCheck] = None,
     public: bool = False,
     database: str = "moira",
+    tables: Optional[object] = None,
 ) -> Callable[[Handler], Handler]:
     """Decorator registering a predefined query."""
 
@@ -431,6 +463,8 @@ def register(
             check_access=access,
             public=public,
             database=database,
+            tables=tuple(tables) if isinstance(tables, (list, tuple, set))
+            else tables,
         )
         _REGISTRY[name] = query
         _BY_SHORT[shortname] = query
@@ -522,10 +556,17 @@ def execute_query(ctx: QueryContext, name: str,
             result = list(result)
         if query.side_effects and ctx.journal is not None:
             # inside the exclusive section: journal order always
-            # matches the order mutations hit the database
+            # matches the order mutations hit the database.  On a
+            # sharded database the facade transaction is still open
+            # here — stamp its commit seq and any id/string bindings
+            # into the entry so replay can check seq order and
+            # reproduce system-table state.
+            info = getattr(ctx.db, "_txn_info", None)
+            seq, bindings = info() if info is not None else (0, None)
             ctx.journal.record(ctx.now, ctx.caller or "unauthenticated",
                                query.name, tuple(str(a) for a in args),
-                               client=ctx.client)
+                               client=ctx.client, commit_seq=seq,
+                               bindings=bindings)
     if not query.side_effects and not result:
         raise MoiraError(MR_NO_MATCH, query.name)
     return result

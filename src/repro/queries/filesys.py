@@ -222,7 +222,7 @@ def get_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 @register("add_nfsphys", "anfp",
           ("machine", "dir", "device", "status", "allocated", "size"), (),
-          side_effects=True)
+          side_effects=True, tables=("machine", "nfsphys"))
 def add_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Export a new physical partition."""
     machine, directory, device, status, allocated, size = args
@@ -245,7 +245,7 @@ def _find_nfsphys(ctx: QueryContext, machine: str, directory: str):
 
 @register("update_nfsphys", "unfp",
           ("machine", "dir", "device", "status", "allocated", "size"), (),
-          side_effects=True)
+          side_effects=True, tables=("machine", "nfsphys"))
 def update_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Change a partition's device/status/allocation/size."""
     machine, directory, device, status, allocated, size = args
@@ -259,7 +259,8 @@ def update_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("adjust_nfsphys_allocation", "ajnf",
-          ("machine", "dir", "delta"), (), side_effects=True)
+          ("machine", "dir", "delta"), (), side_effects=True,
+          tables=("machine", "nfsphys"))
 def adjust_nfsphys_allocation(ctx: QueryContext,
                               args: Sequence[str]) -> list[tuple]:
     """Add a (signed) delta to a partition's allocation."""
@@ -272,7 +273,7 @@ def adjust_nfsphys_allocation(ctx: QueryContext,
 
 
 @register("delete_nfsphys", "dnfp", ("machine", "dir"), (),
-          side_effects=True)
+          side_effects=True, tables=("machine", "nfsphys", "filesys"))
 def delete_nfsphys(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Remove an export with no filesystems on it."""
     row = _find_nfsphys(ctx, args[0], args[1])
@@ -357,7 +358,8 @@ def _adjust_phys_allocation(ctx: QueryContext, phys_id: int,
 
 
 @register("add_nfs_quota", "anfq", ("filesys", "login", "quota"), (),
-          side_effects=True)
+          side_effects=True,
+          tables=("filesys", "users", "nfsquota", "nfsphys"))
 def add_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Grant a quota; partition allocation increases."""
     fs = exactly_one(ctx.db.table("filesys").select({"label": args[0]}),
@@ -375,7 +377,8 @@ def add_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("update_nfs_quota", "unfq", ("filesys", "login", "quota"), (),
-          side_effects=True)
+          side_effects=True,
+          tables=("filesys", "users", "nfsquota", "nfsphys"))
 def update_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Change a quota; allocation moves by the delta."""
     fs = exactly_one(ctx.db.table("filesys").select({"label": args[0]}),
@@ -394,7 +397,8 @@ def update_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("delete_nfs_quota", "dnfq", ("filesys", "login"), (),
-          side_effects=True)
+          side_effects=True,
+          tables=("filesys", "users", "nfsquota", "nfsphys"))
 def delete_nfs_quota(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Revoke a quota; allocation decreases."""
     fs = exactly_one(ctx.db.table("filesys").select({"label": args[0]}),

@@ -82,7 +82,7 @@ def expand_list_names(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 @register("add_list", "alis",
           ("list", "active", "public", "hidden", "maillist", "group", "gid",
            "ace_type", "ace_name", "description"),
-          (), side_effects=True)
+          (), side_effects=True, tables=("list", "users"))
 def add_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Create a list; UNIQUE_GID allocates, the ACE may be itself."""
     (name, active, public, hidden, maillist, group, gid,
@@ -113,7 +113,8 @@ def add_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 @register("update_list", "ulis",
           ("list", "newname", "active", "public", "hidden", "maillist",
            "group", "gid", "ace_type", "ace_name", "description"),
-          (), side_effects=True, access=_ace_of_named_list)
+          (), side_effects=True, access=_ace_of_named_list,
+          tables=("list", "users"))
 def update_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Change list attributes; references follow a rename."""
     (name, newname, active, public, hidden, maillist, group, gid,
@@ -165,7 +166,9 @@ def _list_referenced(ctx: QueryContext, list_id: int) -> bool:
 
 
 @register("delete_list", "dlis", ("list",), (), side_effects=True,
-          access=_ace_of_named_list)
+          access=_ace_of_named_list,
+          tables=("list", "members", "servers", "hostaccess", "filesys",
+                  "capacls", "zephyr"))
 def delete_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Delete an empty, unreferenced list."""
     lists = ctx.db.table("list")
@@ -222,7 +225,8 @@ def _self_on_public_list(ctx: QueryContext, args: Sequence[str]) -> bool:
 
 
 @register("add_member_to_list", "amtl", ("list", "type", "member"), (),
-          side_effects=True, access=_self_on_public_list)
+          side_effects=True, access=_self_on_public_list,
+          tables=("list", "members", "users"))
 def add_member_to_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Add a USER/LIST/STRING member (self-add on public lists)."""
     row = ctx.find_list(args[0])
@@ -238,7 +242,8 @@ def add_member_to_list(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("delete_member_from_list", "dmfl", ("list", "type", "member"), (),
-          side_effects=True, access=_self_on_public_list)
+          side_effects=True, access=_self_on_public_list,
+          tables=("list", "members", "users"))
 def delete_member_from_list(ctx: QueryContext,
                             args: Sequence[str]) -> list[tuple]:
     """Remove a member (self-remove on public lists)."""

@@ -31,7 +31,8 @@ def get_machine(ctx: QueryContext, args: Sequence[str]):
                 {"name": args[0].upper()}))
 
 
-@register("add_machine", "amac", ("name", "type"), (), side_effects=True)
+@register("add_machine", "amac", ("name", "type"), (), side_effects=True,
+          tables=("machine", "alias"))
 def add_machine(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Add a machine; the name is uppercased, the type checked."""
     name, mtype = args
@@ -47,7 +48,7 @@ def add_machine(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("update_machine", "umac", ("name", "newname", "type"), (),
-          side_effects=True)
+          side_effects=True, tables=("machine", "alias"))
 def update_machine(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Rename a machine and/or change its type."""
     name, newname, mtype = args
@@ -77,7 +78,9 @@ def _machine_in_use(ctx: QueryContext, mach_id: int) -> bool:
     return any(ctx.db.table(t).select(w) for t, w in checks)
 
 
-@register("delete_machine", "dmac", ("name",), (), side_effects=True)
+@register("delete_machine", "dmac", ("name",), (), side_effects=True,
+          tables=("machine", "users", "filesys", "nfsphys", "printcap",
+                  "hostaccess", "serverhosts", "mcmap"))
 def delete_machine(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Delete a machine that nothing references."""
     machines = ctx.db.table("machine")
@@ -106,7 +109,7 @@ def get_cluster(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("add_cluster", "aclu", ("name", "description", "location"), (),
-          side_effects=True)
+          side_effects=True, tables=("cluster",))
 def add_cluster(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Add a cluster; names are case sensitive."""
     name, desc, location = args
@@ -122,7 +125,7 @@ def add_cluster(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 @register("update_cluster", "uclu",
           ("name", "newname", "description", "location"), (),
-          side_effects=True)
+          side_effects=True, tables=("cluster",))
 def update_cluster(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Rename a cluster and/or change its description/location."""
     name, newname, desc, location = args
@@ -136,7 +139,8 @@ def update_cluster(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     return []
 
 
-@register("delete_cluster", "dclu", ("name",), (), side_effects=True)
+@register("delete_cluster", "dclu", ("name",), (), side_effects=True,
+          tables=("cluster", "mcmap", "svc"))
 def delete_cluster(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Delete a machine-less cluster (service data goes too)."""
     clusters = ctx.db.table("cluster")
@@ -173,7 +177,7 @@ def get_machine_to_cluster_map(ctx: QueryContext,
 
 
 @register("add_machine_to_cluster", "amtc", ("machine", "cluster"), (),
-          side_effects=True)
+          side_effects=True, tables=("machine", "cluster", "mcmap"))
 def add_machine_to_cluster(ctx: QueryContext,
                            args: Sequence[str]) -> list[tuple]:
     """Put a machine in a cluster."""
@@ -187,7 +191,7 @@ def add_machine_to_cluster(ctx: QueryContext,
 
 
 @register("delete_machine_from_cluster", "dmfc", ("machine", "cluster"), (),
-          side_effects=True)
+          side_effects=True, tables=("machine", "cluster", "mcmap"))
 def delete_machine_from_cluster(ctx: QueryContext,
                                 args: Sequence[str]) -> list[tuple]:
     """Take a machine out of a cluster."""
@@ -222,7 +226,7 @@ def get_cluster_data(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("add_cluster_data", "acld", ("cluster", "label", "data"), (),
-          side_effects=True)
+          side_effects=True, tables=("cluster", "svc", "alias"))
 def add_cluster_data(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Attach service data to a cluster (label type-checked)."""
     cluster = ctx.find_cluster(args[0])
@@ -236,7 +240,7 @@ def add_cluster_data(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("delete_cluster_data", "dcld", ("cluster", "label", "data"), (),
-          side_effects=True)
+          side_effects=True, tables=("cluster", "svc"))
 def delete_cluster_data(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Remove one exact piece of cluster service data."""
     cluster = ctx.find_cluster(args[0])

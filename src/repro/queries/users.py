@@ -109,7 +109,7 @@ def get_user_by_mitid(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 @register("add_user", "ausr",
           ("login", "uid", "shell", "last", "first", "middle", "status",
            "mitid", "class"),
-          (), side_effects=True)
+          (), side_effects=True, tables=("users", "alias"))
 def add_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Add a new user; UNIQUE_UID/UNIQUE_LOGIN sentinels supported.
 
@@ -141,7 +141,9 @@ def add_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("register_user", "rusr", ("uid", "login", "fstype"), (),
-          side_effects=True)
+          side_effects=True,
+          tables=("users", "list", "members", "serverhosts", "machine",
+                  "nfsphys", "filesys", "nfsquota"))
 def register_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Register a status-0 user: assign the login, a POP pobox on
     the least-loaded post office, a personal group, a home filesystem
@@ -242,7 +244,7 @@ def _create_home_filesystem(ctx: QueryContext, login: str, user_row,
 @register("update_user", "uusr",
           ("login", "newlogin", "uid", "shell", "last", "first", "middle",
            "status", "mitid", "class"),
-          (), side_effects=True)
+          (), side_effects=True, tables=("users", "alias"))
 def update_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Replace every account field; references follow a rename."""
     login, newlogin, uid, shell, last, first, middle, status, mitid, year = args
@@ -264,7 +266,7 @@ def update_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("update_user_shell", "uush", ("login", "shell"), (),
-          side_effects=True, access=_self_only)
+          side_effects=True, access=_self_only, tables=("users",))
 def update_user_shell(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Change a user's login shell (self-service allowed)."""
     login, shell = args
@@ -275,7 +277,7 @@ def update_user_shell(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("update_user_status", "uust", ("login", "status"), (),
-          side_effects=True)
+          side_effects=True, tables=("users",))
 def update_user_status(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Change a user's account status code."""
     login, status = args
@@ -314,7 +316,9 @@ def _delete_user_row(ctx: QueryContext, row) -> None:
     ctx.db.table("users").delete_rows([row], now=ctx.now)
 
 
-@register("delete_user", "dusr", ("login",), (), side_effects=True)
+@register("delete_user", "dusr", ("login",), (), side_effects=True,
+          tables=("users", "members", "nfsquota", "filesys", "list",
+                  "servers", "hostaccess"))
 def delete_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Delete a status-0 user with no remaining references."""
     row = exactly_one(ctx.db.table("users").select({"login": args[0]}),
@@ -323,7 +327,9 @@ def delete_user(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     return []
 
 
-@register("delete_user_by_uid", "dubu", ("uid",), (), side_effects=True)
+@register("delete_user_by_uid", "dubu", ("uid",), (), side_effects=True,
+          tables=("users", "members", "nfsquota", "filesys", "list",
+                  "servers", "hostaccess"))
 def delete_user_by_uid(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Delete a user located by uid (same constraints)."""
     row = exactly_one(ctx.db.table("users").select({"uid": args[0]}),
@@ -351,7 +357,7 @@ def get_finger_by_login(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 @register("update_finger_by_login", "ufbl",
           ("login", "fullname", "nickname", "home_addr", "home_phone",
            "office_addr", "office_phone", "department", "affiliation"),
-          (), side_effects=True, access=_self_only)
+          (), side_effects=True, access=_self_only, tables=("users",))
 def update_finger_by_login(ctx: QueryContext,
                            args: Sequence[str]) -> list[tuple]:
     """Replace the (free-form) finger fields for one user."""
@@ -429,7 +435,8 @@ def get_poboxes_smtp(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("set_pobox", "spob", ("login", "type", "box"), (),
-          side_effects=True, access=_self_only)
+          side_effects=True, access=_self_only,
+          tables=("users", "alias", "machine", "serverhosts"))
 def set_pobox(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Set a pobox: POP needs a known machine, SMTP a string."""
     login, potype, box = args
@@ -458,7 +465,7 @@ def set_pobox(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("set_pobox_pop", "spop", ("login",), (), side_effects=True,
-          access=_self_only)
+          access=_self_only, tables=("users", "serverhosts"))
 def set_pobox_pop(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Restore the previous POP assignment (MR_MACHINE if none)."""
     login = args[0]
@@ -475,7 +482,7 @@ def set_pobox_pop(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 
 
 @register("delete_pobox", "dpob", ("login",), (), side_effects=True,
-          access=_self_only)
+          access=_self_only, tables=("users", "serverhosts"))
 def delete_pobox(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Remove a pobox by setting its type to NONE."""
     login = args[0]

@@ -45,7 +45,7 @@ def get_zephyr_class(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 @register("add_zephyr_class", "azcl",
           ("class", "xmttype", "xmtname", "subtype", "subname", "iwstype",
            "iwsname", "iuitype", "iuiname"),
-          (), side_effects=True)
+          (), side_effects=True, tables=("zephyr", "users", "list"))
 def add_zephyr_class(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
     """Register a controlled zephyr class."""
     name = args[0]
@@ -61,7 +61,7 @@ def add_zephyr_class(ctx: QueryContext, args: Sequence[str]) -> list[tuple]:
 @register("update_zephyr_class", "uzcl",
           ("class", "newclass", "xmttype", "xmtname", "subtype", "subname",
            "iwstype", "iwsname", "iuitype", "iuiname"),
-          (), side_effects=True)
+          (), side_effects=True, tables=("zephyr", "users", "list"))
 def update_zephyr_class(ctx: QueryContext,
                         args: Sequence[str]) -> list[tuple]:
     """Rename a class and/or change its four ACEs."""
@@ -77,7 +77,8 @@ def update_zephyr_class(ctx: QueryContext,
     return []
 
 
-@register("delete_zephyr_class", "dzcl", ("class",), (), side_effects=True)
+@register("delete_zephyr_class", "dzcl", ("class",), (), side_effects=True,
+          tables=("zephyr",))
 def delete_zephyr_class(ctx: QueryContext,
                         args: Sequence[str]) -> list[tuple]:
     """Remove a zephyr class."""

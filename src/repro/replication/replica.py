@@ -146,6 +146,9 @@ class ReplicaServer:
         self.poll_interval = poll_interval
         self.db = build_database()
         self.applied_seq = 0
+        # highest MVCC commit seq applied (feed-order oracle); reset on
+        # resync — a recovered primary restarts its commit counter
+        self._applied_commit_seq = 0
         # the primary's per-table data-version vector at last contact
         self.primary_versions: dict[str, int] = {}
         self.snapshots_loaded = 0
@@ -240,6 +243,7 @@ class ReplicaServer:
         # asking for a tail the primary can never serve
         with self._seq_cv:
             self.applied_seq = watermark
+            self._applied_commit_seq = 0
             self._seq_cv.notify_all()
         return watermark
 
@@ -292,6 +296,7 @@ class ReplicaServer:
         return self._apply(entries)
 
     def _apply(self, entries) -> int:
+        from repro.db.recovery import apply_bindings
         from repro.queries.base import QueryContext, execute_query
         applied = 0
         for entry in entries:
@@ -300,15 +305,35 @@ class ReplicaServer:
             if self.faults is not None:
                 self.faults.fire("repl.apply", replica=self.name,
                                  seq=entry.seq, query=entry.query)
+            if entry.commit_seq:
+                # the feed must arrive in commit-seq order (appends
+                # happen inside the primary's commit gate); a violation
+                # means a mangled feed, never something to apply
+                if entry.commit_seq <= self._applied_commit_seq:
+                    raise MoiraError(
+                        MR_INTERNAL,
+                        f"feed out of commit order: seq {entry.seq} "
+                        f"commit_seq {entry.commit_seq} after "
+                        f"{self._applied_commit_seq}")
+                self._applied_commit_seq = entry.commit_seq
             if self._apply_clock is None:
                 self._apply_clock = Clock(entry.when)
             elif entry.when > self._apply_clock.now():
                 self._apply_clock.set(entry.when)
+            # system-table trajectory first (hints, interned strings) —
+            # the replay_wal discipline, aborted writers included
+            apply_bindings(self.db, entry.bindings, now=entry.when)
+            if entry.query == "_aborted":
+                self.entries_applied += 1
+                applied += 1
+                self._advance(entry.seq)
+                continue
             ctx = QueryContext(db=self.db, clock=self._apply_clock,
                                caller=entry.who,
                                client=entry.client or "replication",
                                privileged=True)
             before = self.db.versions()
+            self.db.begin_scripted_ids(entry.bindings)
             try:
                 execute_query(ctx, entry.query, list(entry.args))
             except MoiraError as exc:
@@ -316,6 +341,8 @@ class ReplicaServer:
                     raise
                 # the snapshot already absorbed this entry's effect
                 self.apply_conflicts += 1
+            finally:
+                self.db.end_scripted_ids()
             mutated = {t for t, v in self.db.versions().items()
                        if before.get(t) != v}
             if mutated:

@@ -161,6 +161,8 @@ class MoiraServer:
         admission_limit: Optional[int] = None,
         request_deadline: Optional[float] = None,
         dcm_stats: Optional[Callable[[], list]] = None,
+        write_batch: int = 8,
+        write_shards: bool = True,
     ):
         self.db = db
         self.clock = clock
@@ -184,6 +186,18 @@ class MoiraServer:
         # provider of per-target DCM retry/breaker rows for _dcm_stats
         # (wired by the deployment to DCM.dcm_stats_tuples)
         self.dcm_stats = dcm_stats
+        # write path: group-committed batching over sharded writer
+        # locks (write_batch=0 restores the seed's one-write-one-fsync
+        # exclusive path; write_shards=False keeps batching but runs
+        # every lane under full exclusion)
+        self.write_batch = int(write_batch)
+        self.write_shards = bool(write_shards)
+        self._write_batcher = None
+        if self.write_batch > 0:
+            from repro.server.write_batch import WriteBatcher
+            self._write_batcher = WriteBatcher(
+                db, window=self.write_batch, sharded=self.write_shards,
+                metrics=self.metrics)
         self._connections: dict[int, _Connection] = {}
         self._next_conn = 1
         self._lock = threading.Lock()
@@ -361,6 +375,9 @@ class MoiraServer:
         if name == "_dcm_stats":
             yield from self._dcm_stats()
             return
+        if name == "_wal_stats":
+            yield from self._wal_stats()
+            return
         if name == "_repl_read":
             # the replica router's freshness wrapper — on the primary
             # the session token is trivially satisfied, so just unwrap
@@ -381,7 +398,7 @@ class MoiraServer:
         count = 0
         failed = True
         try:
-            self._checked_access(ctx, query, tuple(query_args))
+            self._checked_access_stable(ctx, query, tuple(query_args))
             if query.side_effects:
                 tuples, mutated = self._execute_write(
                     ctx, query, query_args, timing=timing)
@@ -433,13 +450,34 @@ class MoiraServer:
                        query_args: list[str],
                        timing: Optional[dict] = None
                        ) -> tuple[list, set[str]]:
-        """Run a mutating query under the exclusive lock.
+        """Run a mutating query on the write path.
+
+        With ``write_batch > 0`` the write joins a group-commit window
+        (:class:`~repro.server.write_batch.WriteBatcher`): writes with
+        disjoint shard footprints commit concurrently, and the whole
+        window shares one journal fsync.  ``write_batch=0`` is the
+        seed path — exclusive lock, one fsync per write.
 
         Returns (result tuples, names of tables whose data version
         moved) — the latter scopes the access-cache invalidation.
         *timing*, when given, receives ``lock_wait_s``.
         """
         self._check_argc(query, query_args)
+        if self._write_batcher is not None and ctx.db is self.db:
+            return self._write_batcher.submit(
+                ctx, query, query_args, timing=timing,
+                run_direct=self._execute_write_direct)
+        return self._execute_write_direct(ctx, query, query_args,
+                                          timing=timing)
+
+    def _execute_write_direct(self, ctx: QueryContext, query: Query,
+                              query_args: list[str],
+                              timing: Optional[dict] = None,
+                              fsync: bool = True
+                              ) -> tuple[list, set[str]]:
+        """The seed write path: one write alone under the exclusive
+        lock.  *fsync=False* defers durability to the caller (the
+        batcher's one sync per window)."""
         wait_started = time.perf_counter()
         with query_lock(ctx.db, True):
             if timing is not None:
@@ -453,11 +491,16 @@ class MoiraServer:
             if ctx.journal is not None:
                 # still inside the exclusive section: journal order
                 # always matches the order mutations hit the database,
-                # so replay after a restore converges
+                # so replay after a restore converges.  On a sharded
+                # engine the facade transaction is open here — stamp
+                # its commit seq and bindings into the entry
+                info = getattr(ctx.db, "_txn_info", None)
+                seq, bindings = info() if info is not None else (0, None)
                 ctx.journal.record(
                     ctx.now, ctx.caller or "unauthenticated",
                     query.name, tuple(str(a) for a in query_args),
-                    client=ctx.client)
+                    client=ctx.client, commit_seq=seq, bindings=bindings,
+                    fsync=fsync)
         mutated = {name for name, version in after.items()
                    if before.get(name) != version}
         return result, mutated
@@ -534,6 +577,27 @@ class MoiraServer:
             return self._execute_write(ctx, query, query_args)[0]
         return list(self._execute_read(ctx, query, query_args))
 
+    def _checked_access_stable(self, ctx: QueryContext, query: Query,
+                               args: tuple[str, ...]) -> None:
+        """Access check against a pinned snapshot when MVCC is on.
+
+        The check runs before any lock is taken; with sharded writers
+        committing concurrently a live-table read here could see a
+        half-applied mutation.  A snapshot pin gives the check one
+        consistent committed cut instead (the generation guard in
+        :meth:`_checked_access` already discards decisions that a
+        mutation invalidated mid-check)."""
+        db = self.db
+        if getattr(db, "mvcc_enabled", False):
+            snapshot = db.pin_snapshot()
+            try:
+                self._checked_access(replace(ctx, db=snapshot),
+                                     query, args)
+                return
+            finally:
+                db.unpin_snapshot(snapshot)
+        self._checked_access(ctx, query, args)
+
     def _checked_access(self, ctx: QueryContext, query: Query,
                         args: tuple[str, ...]) -> None:
         """check_query_access with the §5.5 access cache in front."""
@@ -568,7 +632,7 @@ class MoiraServer:
             raise MoiraError(MR_NO_HANDLE, name)
         self._check_argc(query, query_args)
         ctx = self._context_for(conn)
-        self._checked_access(ctx, query, tuple(query_args))
+        self._checked_access_stable(ctx, query, tuple(query_args))
         return [encode_reply(0)]
 
     def _do_trigger_dcm(self, conn: _Connection) -> list[bytes]:
@@ -625,6 +689,22 @@ class MoiraServer:
         if self.dcm_stats is not None:
             for t in self.dcm_stats():
                 yield encode_reply(MR_MORE_DATA, tuple(t))
+        yield encode_reply(0)
+
+    def _wal_stats(self) -> Iterator[bytes]:
+        """The ``_wal_stats`` pseudo-query: journal durability counters
+        (appends, fsyncs, mean batch size, segments, retained entries)
+        as ``_wal.*`` rows, then the write batcher's group-commit
+        window occupancy as ``_batch.*`` rows."""
+        stats = self.journal.stats() if self.journal is not None else {}
+        for key in sorted(stats):
+            yield encode_reply(MR_MORE_DATA,
+                               ("_wal." + key, str(stats[key])))
+        if self._write_batcher is not None:
+            for key, value in sorted(
+                    self._write_batcher.occupancy().items()):
+                yield encode_reply(MR_MORE_DATA,
+                                   ("_batch." + key, str(value)))
         yield encode_reply(0)
 
     def _list_users(self) -> list[bytes]:

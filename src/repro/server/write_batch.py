@@ -1,0 +1,349 @@
+"""Group-committed write batching over sharded writer locks.
+
+The seed server ran every mutation alone: take the exclusive lock, run
+the handler, append + fsync the journal, release.  Two independent
+costs dominate that path at scale — the fsync (milliseconds of real
+I/O per write) and the serialisation of writes that touch disjoint
+relations.  This module harvests both:
+
+* **Lanes.**  Each write is mapped onto the writer *shards* its query
+  footprint touches (``Query.tables`` → ``shards_for``); writes with
+  the same shard set share a lane.  Lanes over disjoint shards run
+  concurrently — a registration storm on the users shard no longer
+  waits behind quota traffic.  An undeclared footprint falls back to
+  the every-shard lane, which is exactly the seed's full exclusion.
+
+* **Group commit.**  The first writer into an idle lane becomes the
+  *leader*: it drains up to ``window`` queued writes, takes the lane's
+  shard locks **once**, runs each write as its own engine transaction
+  (own commit seq, own journal entry, own undo log), then issues **one**
+  ``journal.sync()`` for the whole batch.  Followers just wait on an
+  event.  The leader keeps draining (conveyor) until the lane queue is
+  empty, so under load the lock acquisition and fsync costs amortise
+  across the window.
+
+* **Error isolation.**  A write that raises :class:`MoiraError` (or any
+  ``Exception``) aborts only its own transaction — the engine rolls its
+  versions back and journals an ``_aborted`` marker when it consumed
+  id/string bindings — and the error is re-raised on the submitting
+  thread.  Its neighbours in the window commit normally, in their own
+  seq order.  A ``BaseException`` (injected crash, torn write) is a
+  process-death simulation: it fails the remaining queued writes and
+  propagates.
+
+Deadlock discipline: shard locks are always taken in sorted-name
+order (here and in the engine's facade), commit seqs are allocated
+only *after* a transaction holds every lock it will ever take, and the
+in-order publication gate therefore always drains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.errors import MoiraError
+
+__all__ = ["WriteBatcher", "shards_for"]
+
+
+def shards_for(db, query, args) -> Optional[frozenset]:
+    """The writer shards a query's declared footprint maps onto.
+
+    Returns a frozenset of shard names, or None when the query must run
+    under full exclusion: the database is unsharded, the footprint is
+    undeclared, or it names a table outside every shard.  System tables
+    (values/strings) are shard-free and ignored.
+    """
+    shards = getattr(db, "shards", None)
+    if not shards:
+        return None
+    tables = query.tables
+    if callable(tables):
+        try:
+            tables = tables(args)
+        except Exception:
+            return None
+    if tables is None:
+        return None
+    out = set()
+    unversioned = getattr(db, "_unversioned", ())
+    for name in tables:
+        shard = db._shard_of.get(name)
+        if shard is None:
+            if name in unversioned:
+                continue
+            return None
+        out.add(shard)
+    return frozenset(out)
+
+
+class _WriteItem:
+    """One queued mutation and its eventual outcome."""
+
+    __slots__ = ("ctx", "query", "query_args", "submitted", "started",
+                 "result", "mutated", "error", "done")
+
+    def __init__(self, ctx, query, query_args):
+        self.ctx = ctx
+        self.query = query
+        self.query_args = query_args
+        self.submitted = time.perf_counter()
+        self.started: Optional[float] = None
+        self.result: Optional[list] = None
+        self.mutated: set = set()
+        self.error: Optional[BaseException] = None
+        self.done = threading.Event()
+
+
+class _Lane:
+    """One shard set's queue + leader flag."""
+
+    __slots__ = ("key", "mutex", "queue", "leader")
+
+    def __init__(self, key):
+        self.key = key
+        self.mutex = threading.Lock()
+        self.queue: deque = deque()
+        self.leader = False
+
+
+class WriteBatcher:
+    """Leader/follower group commit, one lane per shard set.
+
+    *metrics*, when given, receives per-shard lock-wait observations
+    (``record_shard_wait``) and feeds the occupancy counters surfaced
+    by the ``_wal_stats`` pseudo-query.
+    """
+
+    def __init__(self, db, *, window: int = 8, sharded: bool = True,
+                 metrics=None):
+        self.db = db
+        self.window = max(1, int(window))
+        self.metrics = metrics
+        shards = getattr(db, "shards", None)
+        self.sharded = bool(sharded and shards)
+        self._all_shards = frozenset(shards) if shards else frozenset()
+        self._lanes: dict = {}
+        self._lanes_mutex = threading.Lock()
+        # occupancy accounting for _wal_stats
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._batched_writes = 0
+        self._max_batch = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def submit(self, ctx, query, query_args, timing=None,
+               run_direct=None) -> tuple[list, set]:
+        """Queue one write and block until it commits or fails.
+
+        Returns ``(result_tuples, mutated_table_names)``; re-raises the
+        write's own error.  *run_direct* is the fallback executor for
+        the full-exclusion lane (the server's seed write path, fsync
+        deferred to the batch).
+        """
+        item = _WriteItem(ctx, query, query_args)
+        key = self._all_shards
+        if self.sharded:
+            found = shards_for(ctx.db, query, query_args)
+            if found:  # empty set (system-only footprint) → every shard
+                key = found
+        lane = self._lane(key)
+        with lane.mutex:
+            lane.queue.append(item)
+            lead = not lane.leader
+            if lead:
+                lane.leader = True
+        if lead:
+            self._lead(lane, run_direct)
+        else:
+            item.done.wait()
+        if timing is not None and item.started is not None:
+            timing["lock_wait_s"] = item.started - item.submitted
+        if item.error is not None:
+            raise item.error
+        return item.result if item.result is not None else [], item.mutated
+
+    def occupancy(self) -> dict:
+        """Batch-window counters for ``_wal_stats``."""
+        with self._stats_lock:
+            batches = self._batches
+            writes = self._batched_writes
+            return {
+                "batches": batches,
+                "batched_writes": writes,
+                "mean_batch_size": (writes / batches) if batches else 0.0,
+                "max_batch_size": self._max_batch,
+                "window": self.window,
+                "lanes": len(self._lanes),
+            }
+
+    # -- leader protocol ------------------------------------------------------
+
+    def _lane(self, key) -> _Lane:
+        with self._lanes_mutex:
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = self._lanes[key] = _Lane(key)
+            return lane
+
+    def _lead(self, lane: _Lane, run_direct) -> None:
+        """Drain the lane in windows until its queue is empty."""
+        while True:
+            with lane.mutex:
+                batch = []
+                while lane.queue and len(batch) < self.window:
+                    batch.append(lane.queue.popleft())
+                if not batch:
+                    lane.leader = False
+                    return
+            try:
+                self._run_batch(lane, batch, run_direct)
+            except BaseException as exc:
+                # injected crash / torn write: the "process" died
+                # mid-batch — every write still queued behind this
+                # leader dies with it (their submitting threads must
+                # not wait on a leader that no longer exists), then
+                # release leadership so a post-recovery submit can
+                # still make progress, and propagate
+                with lane.mutex:
+                    dead = list(lane.queue)
+                    lane.queue.clear()
+                    lane.leader = False
+                for item in dead:
+                    if item.error is None and item.result is None:
+                        item.error = exc
+                    item.done.set()
+                raise
+
+    def _run_batch(self, lane: _Lane, batch: list, run_direct) -> None:
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_writes += len(batch)
+            self._max_batch = max(self._max_batch, len(batch))
+        journal = batch[0].ctx.journal
+        fatal: Optional[BaseException] = None
+        # backends with their own op log (walstore) bracket the window
+        # so their apply-then-append honours batch boundaries too
+        batch_begin = getattr(self.db, "batch_begin", None)
+        if batch_begin is not None:
+            batch_begin()
+        try:
+            if self.sharded:
+                self._run_batch_sharded(lane, batch)
+            else:
+                self._run_batch_global(batch, run_direct)
+        except BaseException as exc:
+            fatal = exc
+        finally:
+            if batch_begin is not None:
+                if fatal is None:
+                    self.db.batch_commit()
+                else:
+                    self.db.batch_abort()
+            if fatal is None and journal is not None:
+                try:
+                    # ONE fsync covers every write in the window; the
+                    # journal.batch_flush fault point fires here, so an
+                    # injected crash must still release the followers
+                    journal.sync()
+                except BaseException as exc:
+                    fatal = exc
+            for item in batch:
+                if fatal is not None and item.error is None \
+                        and item.result is None:
+                    item.error = fatal
+                item.done.set()
+            db = self.db
+            if fatal is None and getattr(db, "mvcc_enabled", False) \
+                    and db._mv_pressure >= db.mv_gc_threshold:
+                # GC takes every shard; run it with none held
+                db.gc_versions()
+        if fatal is not None:
+            raise fatal
+
+    def _run_batch_sharded(self, lane: _Lane, batch: list) -> None:
+        """Hold the lane's shard locks once; each item is its own txn."""
+        db = self.db
+        locks = [(name, db._shard_locks[name]) for name in sorted(lane.key)]
+        held = []
+        try:
+            for name, lock in locks:
+                waited = time.perf_counter()
+                lock.acquire_exclusive()
+                held.append(lock)
+                if self.metrics is not None:
+                    self.metrics.record_shard_wait(
+                        name, time.perf_counter() - waited)
+            # the paper's backend round trip is paid once per group
+            # commit, not once per write — that is the batching win
+            delay = getattr(db, "sim_backend_latency", 0.0)
+            if delay:
+                time.sleep(delay)
+            for item in batch:
+                self._run_item(item, lane.key)
+        finally:
+            for lock in reversed(held):
+                lock.release_exclusive()
+
+    def _run_item(self, item: _WriteItem, shards) -> None:
+        """Execute one write in its own shard transaction.
+
+        The commit hook appends the journal entry inside the engine's
+        in-order publication gate with ``fsync=False`` — entries land
+        in exact commit-seq order, durability comes from the batch's
+        single ``sync()``.
+        """
+        ctx = item.ctx
+        db = ctx.db
+
+        def commit_hook(txn):
+            if ctx.journal is not None:
+                ctx.journal.record(
+                    ctx.now, ctx.caller or "unauthenticated",
+                    item.query.name,
+                    tuple(str(a) for a in item.query_args),
+                    client=ctx.client, commit_seq=txn.seq,
+                    bindings=txn.bindings, fsync=False)
+
+        def abort_hook(txn):
+            if ctx.journal is not None:
+                ctx.journal.record(
+                    ctx.now, ctx.caller or "unauthenticated",
+                    "_aborted", (), client=ctx.client,
+                    commit_seq=txn.seq, bindings=txn.bindings,
+                    fsync=False)
+
+        item.started = time.perf_counter()
+        try:
+            with db.shard_txn(sorted(shards), commit_hook=commit_hook,
+                              abort_hook=abort_hook):
+                result = item.query.handler(ctx, item.query_args)
+                if not isinstance(result, list):
+                    result = list(result)
+                txn = db._active_txn()
+                item.mutated = set(txn.mutated) if txn is not None else set()
+                item.result = result
+        except MoiraError as exc:
+            item.error = exc
+        except Exception as exc:
+            item.error = exc
+
+    def _run_batch_global(self, batch: list, run_direct) -> None:
+        """Full-exclusion fallback (unsharded db / sharding disabled).
+
+        Each write still takes the exclusive lock itself — one commit
+        seq per write, as the seed — but the window shares one fsync.
+        """
+        for item in batch:
+            item.started = time.perf_counter()
+            try:
+                item.result, item.mutated = run_direct(
+                    item.ctx, item.query, item.query_args, fsync=False)
+            except MoiraError as exc:
+                item.error = exc
+            except Exception as exc:
+                item.error = exc

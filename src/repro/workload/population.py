@@ -70,6 +70,34 @@ class PopulationSpec:
     # fraction of users whose pobox is SMTP (off-hub) rather than POP
     smtp_fraction: float = 0.03
 
+    @classmethod
+    def design_point(cls, users: int, *,
+                     seed: int = 1988) -> "PopulationSpec":
+        """A deployment scaled self-consistently to *users*.
+
+        The E15 write-storm bench runs this at 100k users — an order
+        of magnitude past the paper's campus — so the dependent knobs
+        must scale with it or the load (and the registration storm on
+        top) hits capacity walls: every homedir takes ``def_quota``
+        (300) blocks of a 400k-block NFS partition, every POP mailbox
+        takes one of 8000 serverhost slots, and the storm registers
+        another ``unregistered_users`` on top of the bulk load.  Each
+        count keeps ~33% headroom above the combined demand.
+        """
+        total = users + max(1_000, users // 10)
+        per_partition = 400_000 // 300      # homedirs per NFS partition
+        return cls(
+            users=users,
+            unregistered_users=max(1_000, users // 10),
+            nfs_servers=max(20, -(-total * 4 // (per_partition * 3))),
+            pop_servers=max(2, -(-total // 6_000)),
+            zephyr_servers=max(3, users // 20_000),
+            clusters=max(12, users // 2_500),
+            printers=max(40, users // 1_000),
+            maillists=max(150, users // 200),
+            seed=seed,
+        )
+
 
 @dataclass
 class PopulationHandles:
