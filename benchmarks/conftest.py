@@ -26,6 +26,7 @@ BENCH_ROBUSTNESS_JSON = RESULTS_DIR / "BENCH_robustness.json"
 BENCH_REPLICATION_JSON = RESULTS_DIR / "BENCH_replication.json"
 BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 BENCH_WRITES_JSON = RESULTS_DIR / "BENCH_writes.json"
+BENCH_SCALE_JSON = RESULTS_DIR / "BENCH_scale.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

@@ -86,6 +86,14 @@ class DeploymentConfig:
     # writes with disjoint shard footprints may commit concurrently
     write_batch: int = 8
     write_shards: bool = True
+    # million-scale knobs (docs/DATABASE.md): uid-range sub-shard count
+    # for the users writer shard (0/1 = one users lock, the classic
+    # shape; memory backend only), and the population builder's mode —
+    # parallel staged build with bulk loads vs the per-row serial
+    # oracle discipline (byte-identical worlds either way)
+    user_subshards: int = 0
+    parallel_build: bool = True
+    build_workers: Optional[int] = None  # None = auto (min(4, cpus))
 
 
 class AthenaDeployment:
@@ -98,7 +106,8 @@ class AthenaDeployment:
         self.network = Network(seed=self.config.population.seed,
                                faults=self.faults)
         if self.config.backend == "memory":
-            self.db = build_database()
+            self.db = build_database(
+                user_subshards=self.config.user_subshards)
         else:
             from repro.db.backend import create_backend
             self.db = create_backend(self.config.backend,
@@ -117,7 +126,9 @@ class AthenaDeployment:
 
         # the synthetic campus
         self.handles = load_population(self.db, self.config.population,
-                                       now=self.clock.now())
+                                       now=self.clock.now(),
+                                       parallel=self.config.parallel_build,
+                                       workers=self.config.build_workers)
 
         # simulated infrastructure hosts + the services living on them
         self.hosts: dict[str, SimulatedHost] = {}
@@ -337,3 +348,22 @@ class AthenaDeployment:
     def run_hours(self, hours: float) -> int:
         """Advance simulated time, firing cron (and so the DCM)."""
         return self.cron.run_for(int(hours * 3600))
+
+    def compact_wal(self, *, force: bool = False) -> dict:
+        """Compact the journal, bounded by replica applied-seq pins.
+
+        Each replica pins everything past what it has applied, so the
+        default compaction only folds records every replica has seen —
+        feeds never find a hole.  ``force=True`` ignores the pins: a
+        replica still below the resulting floor detects it on its next
+        pull and resyncs from a snapshot (docs/REPLICATION.md).
+        """
+        if self.journal is None:
+            raise ValueError("deployment journals no changes")
+        from repro.db.recovery import SUPERSEDABLE_QUERIES
+        pins = ()
+        if self.replica_cluster is not None:
+            pins = tuple(r.applied_seq
+                         for r in self.replica_cluster.replicas)
+        return self.journal.compact(supersedable=SUPERSEDABLE_QUERIES,
+                                    pins=pins, force=force)

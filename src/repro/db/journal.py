@@ -151,11 +151,20 @@ class Journal:
     _last_fsync: float = field(default=0.0, repr=False, compare=False)
     # first seq of the active segment (0 = start one at the next append)
     _segment_first: int = field(default=0, repr=False, compare=False)
+    # highest seq ever dropped by compact() — a mid-log hole boundary.
+    # A replica tailing from below the floor would silently skip
+    # dropped records, so tail() refuses and forces a snapshot resync.
+    # Derived again at load() from mid-log seq gaps (journal seqs are
+    # otherwise contiguous: every record() assigns one).
+    _compact_floor: int = field(default=0, repr=False, compare=False)
     # observability (the `_wal_stats` pseudo-query)
     _stat_appends: int = field(default=0, repr=False, compare=False)
     _stat_fsyncs: int = field(default=0, repr=False, compare=False)
     _stat_batch_flushes: int = field(default=0, repr=False,
                                      compare=False)
+    _stat_compactions: int = field(default=0, repr=False, compare=False)
+    _stat_compacted_away: int = field(default=0, repr=False,
+                                      compare=False)
 
     def record(self, when: int, who: str, query: str,
                args: tuple[str, ...], client: str = "", *,
@@ -300,6 +309,16 @@ class Journal:
             segments = (self.segment_files()
                         if (self.path is not None
                             and self.rotate_segments) else [])
+            wal_bytes = 0
+            if self.path is not None:
+                if self._fh is not None:
+                    self._fh.flush()
+                base = Path(str(self.path))
+                if base.exists():
+                    wal_bytes += base.stat().st_size
+                for _first, part in segments:
+                    if part.exists():
+                        wal_bytes += part.stat().st_size
             fsyncs = self._stat_fsyncs
             return {
                 "appends": self._stat_appends,
@@ -314,8 +333,13 @@ class Journal:
                 "oldest_seq": (self.entries[0].seq if self.entries
                                else self._next_seq),
                 "segment_count": len(segments),
+                "segments": len(segments),
                 "oldest_segment_seq": (segments[0][0] if segments
                                        else 0),
+                "wal_bytes": wal_bytes,
+                "compactions": self._stat_compactions,
+                "compacted_away": self._stat_compacted_away,
+                "compact_floor": self._compact_floor,
             }
 
     # -- queries over the log ----------------------------------------------
@@ -356,7 +380,10 @@ class Journal:
             oldest = (self.entries[0].seq if self.entries
                       else self._next_seq)
             current = self._next_seq - 1
-            if after_seq + 1 < oldest:
+            if after_seq + 1 < oldest or after_seq < self._compact_floor:
+                # predates the retained log, or lands below a compaction
+                # hole: the retained suffix would silently skip dropped
+                # records, so the caller must snapshot-resync instead
                 return oldest, current, None
             lo = bisect_left(self.entries, after_seq + 1,
                              key=lambda e: e.seq)
@@ -400,6 +427,106 @@ class Journal:
             execute(entry.query, entry.args, entry.who)
             count += 1
         return count
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, *, supersedable: Optional[dict] = None,
+                pins: tuple = (), force: bool = False) -> dict:
+        """Fold superseded records out of the retained log.
+
+        *supersedable* maps query name -> index of the argument that
+        keys the record (``recovery.SUPERSEDABLE_QUERIES``).  An entry
+        of a whitelisted query is dropped when a later entry of the
+        same query with the same key follows it with no *barrier* in
+        between — a barrier being any entry of a non-whitelisted query
+        (its replay may read fields the dropped record wrote) or any
+        entry carrying bindings (its id/string allocations must
+        survive).  ``_aborted`` markers are transparent: they execute
+        nothing, only re-apply their own bindings, so they neither
+        supersede nor shield anything — and they are always kept.
+
+        *pins* are replica ``applied_seq`` watermarks: entries above
+        ``min(pins)`` are never dropped, so a feeding replica's next
+        :meth:`tail` finds a contiguous suffix.  ``force=True`` ignores
+        the pins; a replica left below the resulting ``compact_floor``
+        then gets ``None`` from :meth:`tail` and resyncs from a
+        snapshot instead of silently losing the hole.
+
+        Safe to call at any commit boundary (it takes the journal
+        mutex, like every append); rewrites the durable file(s) when
+        anything was dropped.  Returns ``{"dropped", "ceiling",
+        "floor", "retained"}``.
+        """
+        supersedable = dict(supersedable or {})
+        with self._lock:
+            ceiling = self._next_seq - 1
+            if not force:
+                for pin in pins:
+                    ceiling = min(ceiling, int(pin))
+            dropped: set = set()
+            pending: dict = {}
+            for entry in self.entries:
+                if entry.query == "_aborted":
+                    continue
+                key_arg = supersedable.get(entry.query)
+                if (key_arg is None or entry.bindings
+                        or key_arg >= len(entry.args)):
+                    pending.clear()     # barrier
+                    continue
+                key = (entry.query, entry.args[key_arg])
+                prev = pending.get(key)
+                if prev is not None and prev.seq <= ceiling:
+                    dropped.add(prev.seq)
+                pending[key] = entry
+            self._stat_compactions += 1
+            if dropped:
+                self.entries = [e for e in self.entries
+                                if e.seq not in dropped]
+                self._compact_floor = max(self._compact_floor,
+                                          max(dropped))
+                self._stat_compacted_away += len(dropped)
+                if self.path is not None:
+                    self._rewrite_locked()
+            return {"dropped": len(dropped), "ceiling": ceiling,
+                    "floor": self._compact_floor,
+                    "retained": len(self.entries)}
+
+    def _rewrite_locked(self) -> None:
+        """Rewrite the durable log to exactly the retained entries.
+
+        Segmented mode folds everything into one fresh segment (the
+        next append then opens a new active segment at ``_next_seq``);
+        monolithic mode rewrites the file atomically, like truncate.
+        """
+        if self._fh is not None:
+            self._sync_locked()
+            self._fh.close()
+            self._fh = None
+        if self.rotate_segments:
+            old = [p for _, p in self.segment_files()]
+            self._segment_first = 0
+            fresh = None
+            if self.entries:
+                fresh = self._segment_path(self.entries[0].seq)
+                tmp = Path(str(fresh) + ".tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for entry in self.entries:
+                        fh.write(entry.to_line() + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, fresh)
+            for part in old:
+                if fresh is not None and part == fresh:
+                    continue
+                part.unlink()
+        else:
+            tmp = Path(str(self.path) + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for entry in self.entries:
+                    fh.write(entry.to_line() + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
 
     # -- checkpoint / truncate ---------------------------------------------
 
@@ -515,6 +642,14 @@ class Journal:
         journal._next_seq = (entries[-1].seq + 1) if entries else 1
         journal._when_monotonic = all(
             a.when <= b.when for a, b in zip(entries, entries[1:]))
+        # re-derive the compaction floor: record() assigns contiguous
+        # seqs, so any mid-log gap is a compaction hole — a tail() from
+        # below the last hole must resync, even across a restart
+        floor = 0
+        for a, b in zip(entries, entries[1:]):
+            if b.seq > a.seq + 1:
+                floor = b.seq - 1
+        journal._compact_floor = floor
         return journal
 
     def __len__(self) -> int:

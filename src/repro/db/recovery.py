@@ -39,7 +39,7 @@ from repro.errors import (
 from repro.sim.clock import Clock
 
 __all__ = ["checkpoint", "recover", "replay_wal", "apply_bindings",
-           "RecoveryResult", "CHECKPOINT_META"]
+           "RecoveryResult", "CHECKPOINT_META", "SUPERSEDABLE_QUERIES"]
 
 # Written beside the per-relation dumps: the WAL sequence number the
 # snapshot covers.  Replay starts strictly after it.
@@ -49,6 +49,20 @@ CHECKPOINT_META = "_wal_checkpoint"
 # already contains its effect (crash between mrbackup and truncate).
 TOLERATED_REPLAY_ERRORS = frozenset({MR_EXISTS, MR_NOT_UNIQUE,
                                      MR_IN_USE, MR_NO_MATCH})
+
+# WAL-compaction supersede whitelist (Journal.compact): query name ->
+# index of the argument that keys the record.  A query belongs here
+# only if (a) it writes a fixed field set addressed by that key, and a
+# later call with the same key rewrites every one of those fields
+# (audit columns included), and (b) no journaled query's replay
+# *behaviour* reads any of those fields.  ``update_user_status`` is
+# deliberately absent: ``register_user`` checks status ==
+# REGISTERABLE, so dropping a superseded status write could flip a
+# replayed registration into a tolerated conflict and silently diverge.
+SUPERSEDABLE_QUERIES = {
+    "update_user_shell": 0,
+    "update_finger_by_login": 0,
+}
 
 
 @dataclass

@@ -56,6 +56,12 @@ def shards_for(db, query, args) -> Optional[frozenset]:
     under full exclusion: the database is unsharded, the footprint is
     undeclared, or it names a table outside every shard.  System tables
     (values/strings) are shard-free and ignored.
+
+    On a partitioned shard (users sub-shards), a query carrying a
+    ``shard_key`` resolves to the single bucket lock its target row
+    lives in; an unresolvable key — or no ``shard_key`` at all — keeps
+    the logical name, which expands to the umbrella (every bucket) at
+    lock time.
     """
     shards = getattr(db, "shards", None)
     if not shards:
@@ -77,6 +83,24 @@ def shards_for(db, query, args) -> Optional[frozenset]:
                 continue
             return None
         out.add(shard)
+    partitions = getattr(db, "_partitions", None)
+    shard_key = getattr(query, "shard_key", None)
+    if partitions and shard_key is not None:
+        routed = set()
+        for shard in out:
+            part = partitions.get(shard)
+            if part is None:
+                routed.add(shard)
+                continue
+            try:
+                value = shard_key(db, args)
+            except Exception:
+                value = None
+            if value is None:
+                routed.add(shard)       # umbrella
+            else:
+                routed.add(part.lock_name(part.bucket(value)))
+        out = routed
     return frozenset(out)
 
 
@@ -268,7 +292,10 @@ class WriteBatcher:
     def _run_batch_sharded(self, lane: _Lane, batch: list) -> None:
         """Hold the lane's shard locks once; each item is its own txn."""
         db = self.db
-        locks = [(name, db._shard_locks[name]) for name in sorted(lane.key)]
+        # lane keys may hold logical names and/or bucket locks; expand
+        # to sorted physical names here, exactly as shard_txn would
+        names = db.expand_shards(lane.key)
+        locks = [(name, db._shard_locks[name]) for name in names]
         held = []
         try:
             for name, lock in locks:

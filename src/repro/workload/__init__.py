@@ -8,9 +8,13 @@ same relations the production bulk registration used.
 """
 
 from repro.workload.population import (
+    LISTS_PARTITION,
+    USERS_PARTITION,
+    PopulationHandles,
     PopulationSpec,
     load_population,
     random_names,
 )
 
-__all__ = ["PopulationSpec", "load_population", "random_names"]
+__all__ = ["PopulationSpec", "PopulationHandles", "load_population",
+           "random_names", "USERS_PARTITION", "LISTS_PARTITION"]
