@@ -30,7 +30,10 @@ Results land in ``benchmarks/results/E13.txt`` and
 ``benchmarks/results/BENCH_replication.json``.
 
 Env knobs (CI smoke uses tiny values): E13_CLIENTS, E13_REQUESTS,
-E13_LATENCY, E13_WORKERS, E13_REPLICAS, E13_MIN_SPEEDUP.
+E13_LATENCY, E13_WORKERS, E13_REPLICAS, E13_MIN_SPEEDUP.  E13_TCP=1
+runs both modes over real sockets (every node behind a
+:class:`~repro.protocol.transport.TcpServerTransport`; routers dial
+TCP) — the failover-suite shape of the same gate.
 """
 
 from __future__ import annotations
@@ -60,6 +63,7 @@ LATENCY = float(os.environ.get("E13_LATENCY", "0.010"))
 WORKERS = int(os.environ.get("E13_WORKERS", "4"))
 REPLICAS = int(os.environ.get("E13_REPLICAS", "3"))
 MIN_SPEEDUP = float(os.environ.get("E13_MIN_SPEEDUP", "2.5"))
+TCP = os.environ.get("E13_TCP", "0") not in ("", "0")
 
 BENCH_MACHINES = 64
 
@@ -73,7 +77,8 @@ def _build_world(replicas: int) -> AthenaDeployment:
         population=PopulationSpec(**POPULATION),
         server_workers=WORKERS,
         replicas=replicas,
-        replica_workers=WORKERS))
+        replica_workers=WORKERS,
+        replica_tcp=TCP))
     direct = d.direct_client()
     for k in range(BENCH_MACHINES):
         direct.query("add_machine", f"BENCH{k}.MIT.EDU", "VAX")
@@ -96,14 +101,23 @@ def _run_mode(replicas: int) -> tuple[float, list[str], dict]:
     Returns (requests/sec, per-client row digests, routing stats).
     """
     d = _build_world(replicas)
+    primary_transport = None
     if replicas:
         routers = [d.replica_cluster.replica_set(pooled=True, seed=i)
                    for i in range(CLIENTS)]
     else:
         from repro.client.lib import MoiraClient, ReplicaSet
-        routers = [ReplicaSet(MoiraClient(dispatcher=d.server,
-                                          pooled=True).connect())
-                   for _ in range(CLIENTS)]
+        if TCP:
+            from repro.protocol.transport import TcpServerTransport
+            primary_transport = TcpServerTransport(d.server,
+                                                   port=0).start()
+            routers = [ReplicaSet(MoiraClient(
+                tcp_address=primary_transport.address).connect())
+                for _ in range(CLIENTS)]
+        else:
+            routers = [ReplicaSet(MoiraClient(dispatcher=d.server,
+                                              pooled=True).connect())
+                       for _ in range(CLIENTS)]
     plans = [_read_plan(i) for i in range(CLIENTS)]
     digests = [hashlib.sha256() for _ in range(CLIENTS)]
     errors: list[Exception] = []
@@ -147,6 +161,8 @@ def _run_mode(replicas: int) -> tuple[float, list[str], dict]:
         router.close()
     if d.replica_cluster is not None:
         d.replica_cluster.stop()
+    if primary_transport is not None:
+        primary_transport.stop()
     d.server.shutdown()
     assert not errors, errors[:3]
     rps = CLIENTS * REQUESTS / elapsed
@@ -200,7 +216,8 @@ def test_e13_replication_scaleout():
         "E13: horizontal read scale-out "
         f"({CLIENTS} clients x {REQUESTS} reads, "
         f"backend latency {LATENCY * 1000:.2f} ms, "
-        f"{WORKERS} workers/pool, {REPLICAS} replicas)",
+        f"{WORKERS} workers/pool, {REPLICAS} replicas, "
+        f"transport {'tcp' if TCP else 'inproc'})",
         f"{'mode':<16}{'rps':>10}{'replica':>9}{'primary':>9}",
     ]
     base_rps, base_digests, base_stats = _run_mode(0)
@@ -235,6 +252,7 @@ def test_e13_replication_scaleout():
         "sim_backend_latency_s": LATENCY,
         "workers_per_pool": WORKERS,
         "replicas": REPLICAS,
+        "transport": "tcp" if TCP else "inproc",
         "primary_only_rps": round(base_rps, 1),
         "replicated_rps": round(repl_rps, 1),
         "speedup": round(speedup, 2),

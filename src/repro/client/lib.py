@@ -28,6 +28,7 @@ from repro.errors import (
     MR_ABORTED,
     MR_ALREADY_CONNECTED,
     MR_BUSY,
+    MR_FENCED,
     MR_MORE_DATA,
     MR_NOT_CONNECTED,
 )
@@ -289,6 +290,10 @@ class _ReplicaSlot:
 # "this is the answer": route around and (on repeat offense) eject
 _ROUTE_AROUND = frozenset({MR_BUSY, MR_ABORTED, MR_NOT_CONNECTED})
 
+# primary-side codes that trigger a failover probe sweep: the write
+# target is fenced (a newer primary owns the epoch) or gone
+_FAILOVER = frozenset({MR_FENCED, MR_ABORTED, MR_NOT_CONNECTED})
+
 
 class ReplicaSet:
     """Client-side replica router: reads load-balance across read-only
@@ -310,6 +315,17 @@ class ReplicaSet:
       backoff shape as :class:`repro.dcm.retry.RetryPolicy`: per-slot
       exponential backoff with seeded jitter until the breaker
       threshold, then one probe per cooldown window.
+    * **Write failover**: when the primary answers ``MR_FENCED`` (a
+      newer primary owns the cluster epoch) or its connection dies, the
+      router sweeps ``_repl_status`` across every endpoint and
+      re-points writes at whichever answers ``role=primary`` with the
+      highest epoch.  A *fenced* write is auto-retried there — the old
+      primary provably refused it before running any handler.  A write
+      that died mid-connection is **not** auto-retried (it may have
+      committed before the ack was lost); the router re-points and
+      re-raises, and the caller verifies-then-retries.  ``min_seq``
+      tokens survive the switch because promotion continues the WAL
+      sequence numbering.
 
     Single-session object, like :class:`MoiraClient`; not thread-safe.
     """
@@ -336,6 +352,7 @@ class ReplicaSet:
         #                         replicas were configured
         self.ejections = 0
         self.probes = 0
+        self.failovers = 0      # times writes were re-pointed
 
     # -- routing -------------------------------------------------------------
 
@@ -348,8 +365,19 @@ class ReplicaSet:
             return self._read(name, [str(a) for a in args])
         # mutations, pseudo-queries, unknown handles: the primary owns
         # them (unknown names get its authoritative MR_NO_HANDLE)
-        rows = self.primary.query(name, *args)
-        if query is not None and query.side_effects:
+        mutation = query is not None and query.side_effects
+        try:
+            rows = self.primary.query(name, *args)
+        except MoiraError as exc:
+            if exc.code not in _FAILOVER or not self._failover():
+                raise
+            if mutation and exc.code != MR_FENCED:
+                # connection died mid-write: it may have committed.
+                # Writes are re-pointed, but re-running is the caller's
+                # call (verify, then retry) — at-least-once hazard.
+                raise
+            rows = self.primary.query(name, *args)
+        if mutation:
             self.writes += 1
             self._refresh_token()
         return rows
@@ -377,6 +405,58 @@ class ReplicaSet:
                 return
             if seq > self.min_seq:
                 self.min_seq = seq
+
+    # -- write failover ------------------------------------------------------
+
+    def _failover(self) -> bool:
+        """Probe every endpoint; re-point writes at the live primary.
+
+        Returns True when a writable primary was found (possibly the
+        original one, recovered after a reconnect).  The old primary's
+        client is kept as an ordinary replica slot — once healed back
+        into the cluster it serves reads again.
+        """
+        candidates = [(None, self.primary)] + \
+            [(slot, slot.client) for slot in self._slots]
+        best_slot, best, best_epoch = None, None, -1
+        for slot, client in candidates:
+            probed = self._probe(client)
+            if probed is None:
+                continue
+            role, epoch = probed
+            if role == "primary" and epoch > best_epoch:
+                best_slot, best, best_epoch = slot, client, epoch
+        if best is None:
+            return False
+        if best is not self.primary:
+            demoted = self.primary
+            self.primary = best
+            best_slot.client = demoted
+            best_slot.consecutive_failures = 0
+            best_slot.next_attempt_at = 0.0
+            self.failovers += 1
+        return True
+
+    @staticmethod
+    def _probe(client: MoiraClient) -> Optional[tuple[str, int]]:
+        """One endpoint's (role, epoch) via ``_repl_status``; None if
+        unreachable, journal-less, or answering garbage."""
+        if client._conn is None:
+            code = client.mr_connect()
+            if code not in (0, MR_ALREADY_CONNECTED):
+                return None
+        try:
+            status = client.query("_repl_status")
+        except MoiraError:
+            return None
+        if not status or not status[0]:
+            return None
+        row = status[0]
+        try:
+            epoch = int(row[3]) if len(row) > 3 else 0
+        except ValueError:
+            epoch = 0
+        return row[0], epoch
 
     def _read(self, name: str, args: list[str]) -> list[tuple[str, ...]]:
         now = self._time()
@@ -434,6 +514,7 @@ class ReplicaSet:
         """Zero the routing counters (benchmark warmup hygiene)."""
         self.reads_replica = self.reads_primary = self.writes = 0
         self.fallthroughs = self.ejections = self.probes = 0
+        self.failovers = 0
 
     def stats(self) -> dict:
         """Routing counters, for tests and benchmark reports."""
@@ -443,6 +524,7 @@ class ReplicaSet:
                 "fallthroughs": self.fallthroughs,
                 "ejections": self.ejections,
                 "probes": self.probes,
+                "failovers": self.failovers,
                 "min_seq": self.min_seq}
 
     def close(self) -> None:

@@ -72,6 +72,7 @@ class DeploymentConfig:
     replica_workers: int = 0  # worker pool per replica (0 = inline)
     staleness_budget: float = 0.25  # max wait for read-your-writes, s
     replica_poll_interval: float = 0.005  # pump thread tail cadence, s
+    replica_tcp: bool = False  # real sockets: feeds + clients dial TCP
     # WAL write-path knobs (defaults = seed: fsync every append,
     # one monolithic file)
     wal_segments: bool = False
@@ -182,7 +183,8 @@ class AthenaDeployment:
                 workers=self.config.replica_workers,
                 staleness_budget=self.config.staleness_budget,
                 poll_interval=self.config.replica_poll_interval,
-                faults=self.faults)
+                faults=self.faults,
+                tcp=self.config.replica_tcp)
 
     # -- construction helpers --------------------------------------------------
 

@@ -37,6 +37,16 @@ Two write-path knobs added for the replication tier:
   watermark) instead of rewriting the entire remaining log, and a
   restarted primary serving ``_repl_tail`` reads never rescan
   checkpoint-covered history.
+
+Failover fencing (the cluster *epoch*): every journal carries a
+monotonic ``epoch`` — WAL ownership.  A promoted replica's journal
+starts at ``old epoch + 1`` (stamped durably as a ``{"_hdr":"epoch"}``
+header line, restored by :meth:`load`), and :meth:`fence` marks the
+old primary's journal as superseded: subsequent :meth:`sync` calls
+(the group-commit durability point) and fsync'ing :meth:`record` calls
+raise ``MR_FENCED`` — a *retryable* refusal, so in-flight write-batch
+lanes fail cleanly and the client router re-routes to the new primary.
+Epoch 1 writes no header, keeping seed WAL files byte-identical.
 """
 
 from __future__ import annotations
@@ -50,9 +60,14 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro.errors import MR_FENCED, MoiraError
 from repro.sim.faults import FaultInjector, TornWrite
 
 __all__ = ["Journal", "JournalEntry"]
+
+# Durable epoch header: one JSON line {"_hdr": "epoch", "epoch": N}.
+# Parsed (max wins) and skipped by load(); never a JournalEntry.
+_HDR_PREFIX = '{"_hdr"'
 
 
 @dataclass(frozen=True)
@@ -136,12 +151,17 @@ class Journal:
     # Store the log as wal.<first_seq> segment files; truncate() then
     # unlinks covered segments instead of rewriting one monolithic file.
     rotate_segments: bool = False
+    # Cluster epoch — WAL ownership.  Bumped (never lowered) at
+    # promotion; epoch 1 is the seed and writes no header line.
+    epoch: int = 1
     # True when load() hit a torn/malformed tail and truncated there
     torn_tail: bool = field(default=False, compare=False)
     # worker-pool threads journal concurrently; the mutex keeps the
-    # in-memory order and the mirrored file lines consistent
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False, compare=False)
+    # in-memory order and the mirrored file lines consistent.
+    # Reentrant so a fault callback firing inside record()/sync() may
+    # itself fence or inspect the journal (the chaos harness does).
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
     _fh: object = field(default=None, repr=False, compare=False)
     _next_seq: int = field(default=1, repr=False, compare=False)
     # entries arrive in mutation order; `when` is normally nondecreasing
@@ -149,6 +169,11 @@ class Journal:
     _when_monotonic: bool = field(default=True, repr=False, compare=False)
     _unsynced: int = field(default=0, repr=False, compare=False)
     _last_fsync: float = field(default=0.0, repr=False, compare=False)
+    # epoch that fenced this journal (0 = unfenced; > epoch = refuse
+    # appends and syncs with MR_FENCED)
+    _fenced_epoch: int = field(default=0, repr=False, compare=False)
+    # epoch last stamped as a header on the open handle (0 = none)
+    _header_epoch: int = field(default=0, repr=False, compare=False)
     # first seq of the active segment (0 = start one at the next append)
     _segment_first: int = field(default=0, repr=False, compare=False)
     # highest seq ever dropped by compact() — a mid-log hole boundary.
@@ -183,8 +208,17 @@ class Journal:
         :class:`~repro.sim.faults.TornWrite` leaves a partial record on
         disk), and ``journal.appended`` fires after the fsync (a crash
         here is the "after append #N" boundary — the record is durable).
+
+        A fenced journal (a newer epoch owns the cluster) refuses the
+        append with ``MR_FENCED`` — checked only on the fsync'ing path;
+        ``fsync=False`` calls run inside the engine's commit gate, where
+        the group-commit :meth:`sync` is the clean refusal point.
         """
         with self._lock:
+            if fsync and self._fenced_epoch > self.epoch:
+                raise MoiraError(
+                    MR_FENCED,
+                    f"epoch {self.epoch} fenced by {self._fenced_epoch}")
             if self.faults is not None:
                 self.faults.fire("journal.record", query=query, who=who,
                                  seq=self._next_seq)
@@ -223,6 +257,10 @@ class Journal:
                 out.append((int(suffix), p))
         return sorted(out)
 
+    def _header_line(self) -> str:
+        return json.dumps({"_hdr": "epoch", "epoch": self.epoch},
+                          separators=(",", ":"))
+
     def _file(self):
         if self._fh is None:
             if self.rotate_segments:
@@ -232,6 +270,15 @@ class Journal:
             else:
                 target = self.path
             self._fh = open(target, "a", encoding="utf-8")
+            # stamp WAL ownership at the top of every fresh handle so
+            # a checkpoint unlinking the original segment can't lose
+            # the epoch; duplicates are fine (load takes the max).
+            # Epoch 1 stays silent — seed WAL files are byte-identical.
+            self._header_epoch = 0
+            if self.epoch > 1:
+                self._fh.write(self._header_line() + "\n")
+                self._fh.flush()
+                self._header_epoch = self.epoch
         return self._fh
 
     def _fsync_due(self) -> bool:
@@ -286,8 +333,16 @@ class Journal:
         ``journal.batch_flush`` fires before the fsync with the number
         of deferred appends it would cover (a crash here loses the
         whole un-fsync'd window, the batch-boundary recovery case).
+
+        Raises ``MR_FENCED`` when a newer epoch has fenced this
+        journal: the in-flight group-commit window fails retryably
+        before anything is declared durable.
         """
         with self._lock:
+            if self._fenced_epoch > self.epoch:
+                raise MoiraError(
+                    MR_FENCED,
+                    f"epoch {self.epoch} fenced by {self._fenced_epoch}")
             if self.faults is not None:
                 self.faults.fire("journal.batch_flush",
                                  pending=self._unsynced,
@@ -302,6 +357,68 @@ class Journal:
                 self._sync_locked()
                 self._fh.close()
                 self._fh = None
+
+    # -- epoch / fencing ---------------------------------------------------
+
+    def set_epoch(self, epoch: int) -> None:
+        """Claim WAL ownership at *epoch* (monotonic; durable).
+
+        A promoted replica's fresh journal calls this with the fenced
+        cluster epoch + 1 before accepting writes.  When a path is
+        configured the ``{"_hdr":"epoch"}`` header is fsync'd so the
+        claim survives a crash; owning an epoch at or above a pending
+        fence lifts the fence (the journal *is* the new primary's).
+        """
+        with self._lock:
+            if epoch < self.epoch:
+                raise ValueError(
+                    f"epoch may not go backwards: {self.epoch} -> {epoch}")
+            self.epoch = int(epoch)
+            if self._fenced_epoch and self.epoch >= self._fenced_epoch:
+                self._fenced_epoch = 0
+            if self.path is not None and self.epoch > 1:
+                fh = self._file()   # fresh handles self-stamp
+                if self._header_epoch != self.epoch:
+                    fh.write(self._header_line() + "\n")
+                    fh.flush()
+                    self._header_epoch = self.epoch
+                os.fsync(fh.fileno())
+
+    def fence(self, epoch: int) -> bool:
+        """Fence this journal below *epoch* (a newer primary owns the
+        cluster).  Subsequent :meth:`sync` and fsync'ing :meth:`record`
+        calls raise ``MR_FENCED``.  Returns True when the fence took
+        effect (False: this journal already owns *epoch* or newer).
+        """
+        with self._lock:
+            if self.faults is not None:
+                self.faults.fire("journal.fence", epoch=epoch,
+                                 owned=self.epoch)
+            if epoch <= self.epoch:
+                return False
+            self._fenced_epoch = max(self._fenced_epoch, int(epoch))
+            return True
+
+    @property
+    def fenced(self) -> bool:
+        """True when a newer epoch has fenced this journal."""
+        return self._fenced_epoch > self.epoch
+
+    @property
+    def fenced_by(self) -> int:
+        """The epoch that fenced this journal (0 = unfenced)."""
+        return self._fenced_epoch
+
+    def advance_to(self, seq: int) -> None:
+        """Seed sequence numbering past *seq*.
+
+        Promotion continues the old primary's numbering on the new
+        journal (first fresh entry gets ``applied_seq + 1``) so
+        read-your-writes ``min_seq`` tokens stay valid across the
+        switch.  Never moves backwards.
+        """
+        with self._lock:
+            self._next_seq = max(self._next_seq, int(seq) + 1)
 
     def stats(self) -> dict:
         """WAL observability counters (the ``_wal_stats`` rows)."""
@@ -340,6 +457,8 @@ class Journal:
                 "compactions": self._stat_compactions,
                 "compacted_away": self._stat_compacted_away,
                 "compact_floor": self._compact_floor,
+                "epoch": self.epoch,
+                "fenced_by": self._fenced_epoch,
             }
 
     # -- queries over the log ----------------------------------------------
@@ -510,6 +629,8 @@ class Journal:
                 fresh = self._segment_path(self.entries[0].seq)
                 tmp = Path(str(fresh) + ".tmp")
                 with open(tmp, "w", encoding="utf-8") as fh:
+                    if self.epoch > 1:
+                        fh.write(self._header_line() + "\n")
                     for entry in self.entries:
                         fh.write(entry.to_line() + "\n")
                     fh.flush()
@@ -522,6 +643,8 @@ class Journal:
         else:
             tmp = Path(str(self.path) + ".tmp")
             with open(tmp, "w", encoding="utf-8") as fh:
+                if self.epoch > 1:
+                    fh.write(self._header_line() + "\n")
                 for entry in self.entries:
                     fh.write(entry.to_line() + "\n")
                 fh.flush()
@@ -551,6 +674,8 @@ class Journal:
                 else:
                     tmp = Path(str(self.path) + ".tmp")
                     with open(tmp, "w", encoding="utf-8") as fh:
+                        if self.epoch > 1:
+                            fh.write(self._header_line() + "\n")
                         for entry in self.entries:
                             fh.write(entry.to_line() + "\n")
                         fh.flush()
@@ -574,6 +699,8 @@ class Journal:
                         if first <= e.seq <= last_covered]
                 tmp = Path(str(path) + ".tmp")
                 with open(tmp, "w", encoding="utf-8") as fh:
+                    if self.epoch > 1:
+                        fh.write(self._header_line() + "\n")
                     for entry in keep:
                         fh.write(entry.to_line() + "\n")
                     fh.flush()
@@ -616,8 +743,23 @@ class Journal:
             part_start = len(entries)
             with open(part, encoding="utf-8") as fh:
                 for line in fh:
-                    if not line.strip():
+                    stripped = line.strip()
+                    if not stripped:
                         continue
+                    if stripped.startswith(_HDR_PREFIX):
+                        # epoch ownership header: max wins (a handle
+                        # reopen or rewrite may have stamped it twice)
+                        try:
+                            hdr = json.loads(stripped)
+                            journal.epoch = max(journal.epoch,
+                                                int(hdr["epoch"]))
+                            continue
+                        except (ValueError, KeyError, TypeError):
+                            if strict:
+                                raise ValueError(
+                                    f"malformed journal header: {stripped!r}")
+                            journal.torn_tail = torn = True
+                            break
                     try:
                         entry = JournalEntry.from_line(line)
                     except ValueError:
@@ -633,6 +775,8 @@ class Journal:
                 # segment that a future load will not stop short of
                 tmp = Path(str(part) + ".tmp")
                 with open(tmp, "w", encoding="utf-8") as fh:
+                    if journal.epoch > 1:
+                        fh.write(journal._header_line() + "\n")
                     for entry in entries[part_start:]:
                         fh.write(entry.to_line() + "\n")
                     fh.flush()

@@ -166,6 +166,11 @@ def recover(directory: Union[str, Path], *,
     Give either *journal* (already loaded) or *wal_path* (loaded here,
     tolerating a torn tail).  *db* defaults to a fresh schema database.
     Returns a :class:`RecoveryResult` whose ``db`` is ready to serve.
+
+    Cluster-epoch WAL headers (``{"_hdr": "epoch", ...}``) survive this
+    path untouched: :meth:`Journal.load` adopts the highest stamped
+    epoch, so a recovered node resumes knowing which failover
+    generation its WAL belonged to.
     """
     if db is None:
         from repro.db.schema import build_database

@@ -290,6 +290,10 @@ MOIRA_ERRORS = ErrorTable(
         ("MR_HALF_REGISTERED", "Account is half registered"),
         # Graceful degradation (load shedding; retryable)
         ("MR_BUSY", "Server busy; try again later"),
+        # Failover fencing: a newer epoch owns the cluster; retry
+        # against the promoted primary (appended at the end so every
+        # earlier com_err offset is unchanged)
+        ("MR_FENCED", "Write fenced: a newer primary owns the cluster epoch"),
     ],
 )
 

@@ -159,6 +159,20 @@ class KDC:
             raise MoiraError(KRB_BAD_PASSWORD, principal)
         return CredentialCache(principal=principal)
 
+    def kinit_keytab(self, principal: str, key: bytes) -> CredentialCache:
+        """Keytab login: authenticate with a raw service key.
+
+        How a daemon (the replication feed puller, authenticating as
+        the ``repl`` service principal) gets credentials — no password,
+        just the srvtab key handed out by :meth:`add_service`.
+        """
+        stored = self._keys.get(principal)
+        if stored is None:
+            raise MoiraError(KRB_UNKNOWN_PRINCIPAL, principal)
+        if not hmac.compare_digest(stored, key):
+            raise MoiraError(KRB_BAD_PASSWORD, principal)
+        return CredentialCache(principal=principal)
+
     def get_service_ticket(self, cache: CredentialCache, service: str,
                            lifetime: int = DEFAULT_LIFETIME) -> Ticket:
         """Issue (and cache) a ticket for *service*."""

@@ -308,22 +308,48 @@ class TcpServerTransport:
         self._flush_set: set[socket.socket] = set()
         self._kill_set: set[socket.socket] = set()
         self._async = callable(getattr(dispatcher, "submit_frame", None))
+        self._stopped = False
 
     # -- lifecycle ----------------------------------------------------------
 
+    @property
+    def port(self) -> int:
+        """The bound TCP port.
+
+        With ``port=0`` (ephemeral bind — what parallel chaos tests use
+        so topologies never collide) the kernel-assigned port is
+        readable here from construction on; :meth:`start` never has to
+        race the bind.
+        """
+        return self.address[1]
+
     def start(self) -> "TcpServerTransport":
         """Run the accept/serve loop in a daemon thread."""
-        self._thread = threading.Thread(target=self._serve, daemon=True,
-                                        name="moira-server")
-        self._thread.start()
+        if self._stopped:
+            raise RuntimeError("transport already stopped")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._serve, daemon=True,
+                name=f"moira-server:{self.port}")
+            self._thread.start()
         return self
 
     def stop(self) -> None:
-        """Stop serving and close every socket."""
+        """Stop serving, join the serve thread, close every socket.
+
+        Idempotent: chaos teardown paths (a scenario's ``finally``, the
+        cluster's ``stop``, and an explicit kill step) may all call it;
+        only the first does the work, the rest return immediately —
+        never a double-close of the wakeup pipe or listener.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self._stop.set()
         self._wake()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            self._thread = None
         for sock in list(self._conn_state):
             self._drop(sock)
         self._selector.close()

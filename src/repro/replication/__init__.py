@@ -3,14 +3,21 @@
 This tier is a reproduction *extension* (the paper runs Moira as a
 single process); see ``docs/REPLICATION.md``.  The primary-side feed
 lives in :mod:`repro.replication.feed`, the replica apply loop and
-serving stack in :mod:`repro.replication.replica`, and in-process
-cluster wiring for tests/benchmarks in
-:mod:`repro.replication.topology`.
+serving stack in :mod:`repro.replication.replica`, cluster wiring
+(in-process or real TCP) for tests/benchmarks in
+:mod:`repro.replication.topology`, and epoch-fenced promotion in
+:mod:`repro.replication.failover`.
 """
 
-from repro.replication.feed import REPL_QUERIES, serve_repl_query
+from repro.replication.failover import FailoverCoordinator, PromotionRecord
+from repro.replication.feed import (
+    REPL_QUERIES,
+    REPL_SERVICE_PRINCIPAL,
+    serve_repl_query,
+)
 from repro.replication.replica import ReplicaServer
 from repro.replication.topology import ReplicaCluster
 
-__all__ = ["REPL_QUERIES", "serve_repl_query", "ReplicaServer",
-           "ReplicaCluster"]
+__all__ = ["REPL_QUERIES", "REPL_SERVICE_PRINCIPAL", "serve_repl_query",
+           "ReplicaServer", "ReplicaCluster", "FailoverCoordinator",
+           "PromotionRecord"]

@@ -1,0 +1,202 @@
+"""Fenced failover: promote a replica, fence the old primary.
+
+The paper's Moira has exactly one server; §5.9's answer to it dying is
+"restore the backup and replay the journal".  This module is the
+scaled-out version of that answer: when the primary dies (or is
+partitioned away), an operator — or the chaos harness standing in for
+one — promotes a replica, and the *epoch* machinery makes the switch
+safe instead of hopeful:
+
+1. **Catch up.**  The candidate pulls whatever the feed still serves,
+   then salvages the dead primary's durable WAL directly
+   (:meth:`ReplicaServer.catch_up_from_wal`, the shared-storage model):
+   every group commit the old primary acknowledged was fsync'd first,
+   so *zero acknowledged writes are lost* — the same replay discipline
+   recovery uses, torn tail scrubbed and all.
+2. **Fence.**  The cluster epoch bumps to ``max(seen) + 1`` and the old
+   primary's journal is fenced below it: its in-flight group-commit
+   windows fail with ``MR_FENCED`` (retryable), later write admissions
+   are refused before any handler runs, and its feed — should it come
+   back as a zombie — is refused by every replica that followed the
+   promotion (the ``_note_epoch`` split-brain guard).
+3. **Promote.**  The candidate's serving wrapper flips to a full
+   primary over a fresh journal that *owns* the new epoch durably (WAL
+   header line) and continues the sequence numbering at
+   ``applied_seq + 1`` — read-your-writes ``min_seq`` tokens issued
+   before the failover stay valid after it.
+4. **Re-point.**  Surviving replicas retarget their feed at the new
+   primary; one that was *ahead* of it (it applied entries the
+   candidate never saw fsync'd) hits the ordinary rewind check and
+   resyncs.  The old primary can later :meth:`heal` back in as an
+   ordinary replica — bootstrapped by snapshot, its unacknowledged
+   extra state discarded.
+
+`ReplicaSet` (client side) closes the loop: a write failing with
+``MR_FENCED`` or a dead connection triggers a `_repl_status` probe
+sweep; whichever endpoint answers ``role=primary`` with the highest
+epoch becomes the router's new write target.
+
+Fault points: ``failover.fence`` (via ``journal.fence``) and
+``failover.promote`` fire inside the respective steps so the chaos
+suite can kill the coordinator mid-failover too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.db.journal import Journal
+from repro.replication.replica import ReplicaServer
+from repro.server.moira_server import MoiraServer
+from repro.sim.faults import FaultInjector
+
+__all__ = ["FailoverCoordinator", "PromotionRecord"]
+
+
+@dataclass
+class PromotionRecord:
+    """What one promotion did — the E17 measurement unit."""
+    promoted: str                 # name of the new primary
+    epoch: int                    # the epoch it now owns
+    salvaged_entries: int = 0     # applied straight from the old WAL
+    fed_entries: int = 0          # applied via a final feed pull
+    fenced_old_primary: bool = False
+    retargeted: list[str] = field(default_factory=list)
+    catch_up_s: float = 0.0
+    fence_s: float = 0.0
+    promote_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.catch_up_s + self.fence_s + self.promote_s
+
+
+class FailoverCoordinator:
+    """Orchestrates promotion across one primary + N replicas.
+
+    Holds direct references to the node objects (the simulation's
+    stand-in for an operator with root on every box and access to the
+    shared WAL volume).  ``primary_wal`` is the old primary's durable
+    WAL path — the shared-storage salvage source; None skips salvage
+    (feed-only catch-up).
+    """
+
+    def __init__(self, primary: MoiraServer,
+                 replicas: Sequence[ReplicaServer], *,
+                 primary_wal=None, primary_name: str = "primary",
+                 faults: Optional[FaultInjector] = None):
+        self.primary = primary
+        self.primary_name = primary_name
+        self.replicas = list(replicas)
+        self.primary_wal = primary_wal
+        self.faults = faults
+        self.promotions: list[PromotionRecord] = []
+
+    def cluster_epoch(self) -> int:
+        """The highest epoch any known node has seen or owns."""
+        epoch = self.primary.journal.epoch
+        for replica in self.replicas:
+            epoch = max(epoch, replica.epoch)
+            if replica.role == "primary":
+                epoch = max(epoch, replica.server.journal.epoch)
+        return epoch
+
+    def promote(self, candidate: ReplicaServer, *,
+                journal: Optional[Journal] = None,
+                feed_factory: Optional[Callable] = None,
+                credentials=None,
+                catch_up_feed: bool = True) -> PromotionRecord:
+        """Fence the old primary and promote *candidate*.
+
+        *journal* becomes the new primary's WAL (default: in-memory);
+        *feed_factory* (a zero-arg callable producing a connection to
+        the *candidate*) re-points every surviving replica, with
+        *credentials* refreshing their feed identity if given.
+        ``catch_up_feed=False`` skips the best-effort final pull
+        (pointless when the primary is known dead).
+        """
+        record = PromotionRecord(promoted=candidate.name, epoch=0)
+        started = time.perf_counter()
+        if catch_up_feed:
+            try:
+                record.fed_entries = candidate.step()
+            except (Exception,):
+                pass    # primary dead or partitioned: the WAL has it
+        if self.primary_wal is not None:
+            try:
+                record.salvaged_entries = candidate.catch_up_from_wal(
+                    self.primary_wal)
+            except FileNotFoundError:
+                pass    # never journaled durably; nothing to salvage
+        record.catch_up_s = time.perf_counter() - started
+
+        new_epoch = self.cluster_epoch() + 1
+        started = time.perf_counter()
+        try:
+            record.fenced_old_primary = self.primary.journal.fence(
+                new_epoch)
+        except Exception:
+            record.fenced_old_primary = False
+        record.fence_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        record.epoch = candidate.promote(epoch=new_epoch, journal=journal)
+        record.promote_s = time.perf_counter() - started
+
+        if feed_factory is not None:
+            for replica in self.replicas:
+                if replica is candidate or replica.role == "primary":
+                    continue
+                replica.retarget(feed_factory, credentials=credentials)
+                record.retargeted.append(replica.name)
+        self._mark_endpoints(candidate.name)
+        self.promotions.append(record)
+        return record
+
+    def heal(self, feed_factory: Callable, *, name: str = "healed",
+             credentials=None, kdc=None,
+             **replica_kwargs) -> ReplicaServer:
+        """Bring a node back as an ordinary replica of the new primary.
+
+        Used for the old (fenced) primary after its machine returns: a
+        fresh :class:`ReplicaServer` bootstraps from the promoted
+        primary's snapshot — any unacknowledged state the old process
+        had beyond the salvage point is discarded, which is exactly the
+        contract (it was never acknowledged).
+        """
+        replica = ReplicaServer(
+            self._any_clock(), feed_factory=feed_factory, kdc=kdc,
+            name=name, feed_credentials=credentials, faults=self.faults,
+            **replica_kwargs)
+        replica.sync_snapshot()
+        self.replicas.append(replica)
+        self._mark_endpoints(self._current_primary_name())
+        return replica
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _any_clock(self):
+        return (self.replicas[0].clock if self.replicas
+                else self.primary.clock)
+
+    def _current_primary_name(self) -> str:
+        for replica in self.replicas:
+            if replica.role == "primary":
+                return replica.name
+        return self.primary_name
+
+    def _mark_endpoints(self, primary_name: str) -> None:
+        """Refresh every node's endpoint-role map after a transition."""
+        servers = [self.primary] + [r.server for r in self.replicas]
+        for server in servers:
+            for name, (address, _role) in list(
+                    server.repl_endpoints.items()):
+                if name == primary_name:
+                    role = "primary"
+                elif name == self.primary_name:
+                    role = "fenced"
+                else:
+                    role = "replica"
+                server.repl_endpoints[name] = (address, role)

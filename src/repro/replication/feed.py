@@ -6,15 +6,20 @@ dispatched by :meth:`MoiraServer._do_query` ahead of the registry lookup
 (the same slot the ``_list_users`` / ``_query_stats`` diagnostics use):
 
 ``_repl_status``
-    One tuple ``(role, current_seq, versions_json)``: the WAL
+    One tuple ``(role, current_seq, versions_json, epoch)``: the WAL
     high-water mark paired with the per-table data-version vector
     (PR 1's ``Database.versions()``), captured atomically under the
-    shared lock.  Clients use ``current_seq`` as the read-your-writes
-    session token; replicas compare version vectors for freshness
-    accounting.
+    shared lock, plus the cluster epoch (WAL ownership).  Clients use
+    ``current_seq`` as the read-your-writes session token and
+    ``role``/``epoch`` to find the current primary after a failover;
+    replicas compare version vectors for freshness accounting.  After
+    the status tuple come ``(_endpoint, name, address, role)`` rows —
+    the feed topology as this node knows it — so an operator can see
+    cluster state from any node.
 
 ``_repl_snapshot``
-    The bootstrap: ``(_meta, watermark_seq, versions_json)`` followed by
+    The bootstrap: ``(_meta, watermark_seq, versions_json, epoch)``
+    followed by
     one ``(table, row_line)`` tuple per row, the row encoded exactly as
     an :func:`repro.db.backup.mrbackup` dump line (checkpoint format).
     The whole stream is produced under one shared-lock hold, so the
@@ -22,15 +27,20 @@ dispatched by :meth:`MoiraServer._do_query` ahead of the registry lookup
     strictly after it.
 
 ``_repl_tail <after_seq> [limit]``
-    The incremental feed: ``(_meta, current_seq)`` then one tuple per
+    The incremental feed: ``(_meta, current_seq, epoch)`` then one
+    tuple per
     journal entry with ``seq > after_seq``.  When *after_seq* predates
     the retained log (a checkpoint truncated past a slow replica) the
     reply is a single ``(_resync, oldest, current)`` tuple instead —
     the replica must fall back to ``_repl_snapshot``.
 
-Like the other ``_``-prefixed diagnostics these bypass per-query access
-checks; the simulated deployment is a trusted enclave.  A real one
-would put the feed behind a Kerberos service principal.
+``_repl_status`` is an open freshness probe, like ``_query_stats``.
+The *data-bearing* feed pulls — ``_repl_snapshot`` and ``_repl_tail``
+— are behind the simulated Kerberos whenever the server has a KDC:
+the caller must have authenticated as the ``repl`` service principal
+(``REPL_SERVICE_PRINCIPAL``; replicas kinit from its srvtab), and an
+unauthenticated or wrong-principal pull answers ``MR_PERM``.  A server
+built without a KDC (unit-test enclaves) leaves the feed open.
 """
 
 from __future__ import annotations
@@ -46,20 +56,27 @@ from repro.errors import (
     MR_INTERNAL,
     MR_MORE_DATA,
     MR_NO_HANDLE,
+    MR_PERM,
 )
 from repro.protocol.wire import encode_reply
 
 if TYPE_CHECKING:    # pragma: no cover
     from repro.server.moira_server import MoiraServer
 
-__all__ = ["REPL_QUERIES", "META_ROW", "RESYNC_ROW", "serve_repl_query",
+__all__ = ["REPL_QUERIES", "META_ROW", "RESYNC_ROW", "ENDPOINT_ROW",
+           "REPL_SERVICE_PRINCIPAL", "serve_repl_query",
            "entry_to_tuple", "entry_from_tuple"]
 
 REPL_QUERIES = ("_repl_status", "_repl_snapshot", "_repl_tail")
 
+# the service principal the feed authenticates as — every replica
+# kinits from this principal's srvtab before pulling
+REPL_SERVICE_PRINCIPAL = "repl"
+
 # sentinel first-field values inside the feed streams
 META_ROW = "_meta"
 RESYNC_ROW = "_resync"
+ENDPOINT_ROW = "_endpoint"
 
 
 def entry_to_tuple(entry: JournalEntry) -> tuple[str, ...]:
@@ -109,15 +126,31 @@ def versions_json(versions: dict) -> str:
 
 
 def serve_repl_query(server: "MoiraServer", name: str,
-                     args: Sequence[str]) -> Iterator[bytes]:
-    """Serve one `_repl_*` pseudo-query; yields encoded reply frames."""
+                     args: Sequence[str],
+                     principal: str = "") -> Iterator[bytes]:
+    """Serve one `_repl_*` pseudo-query; yields encoded reply frames.
+
+    *principal* is the connection's authenticated Kerberos identity
+    ("" = unauthenticated).  On a server with a KDC, the data-bearing
+    pulls (`_repl_snapshot`/`_repl_tail`) require the ``repl`` service
+    principal and answer ``MR_PERM`` to anyone else; `_repl_status`
+    stays open (a freshness/topology probe, like `_query_stats`).
+    """
     if server.journal is None:
         raise MoiraError(MR_INTERNAL, "replication feed needs a journal")
     if name == "_repl_status":
         return _status(server)
-    if name == "_repl_snapshot":
-        return _snapshot(server)
-    if name == "_repl_tail":
+    if name in ("_repl_snapshot", "_repl_tail"):
+        if server.kdc is not None:
+            wanted = getattr(server, "repl_principal",
+                             REPL_SERVICE_PRINCIPAL)
+            if principal != wanted:
+                raise MoiraError(
+                    MR_PERM,
+                    f"{name} requires the {wanted!r} service principal "
+                    f"(got {principal or 'unauthenticated'!r})")
+        if name == "_repl_snapshot":
+            return _snapshot(server)
         return _tail(server, args)
     raise MoiraError(MR_NO_HANDLE, name)
 
@@ -127,7 +160,12 @@ def _status(server: "MoiraServer") -> Iterator[bytes]:
         seq = server.journal.current_seq()
         versions = server.db.versions()
     yield encode_reply(MR_MORE_DATA,
-                       ("primary", str(seq), versions_json(versions)))
+                       (server.role, str(seq), versions_json(versions),
+                        str(server.journal.epoch)))
+    for row in sorted(getattr(server, "repl_endpoints", {}).items()):
+        name, (address, role) = row
+        yield encode_reply(MR_MORE_DATA,
+                           (ENDPOINT_ROW, name, address, role))
     yield encode_reply(0)
 
 
@@ -140,7 +178,8 @@ def _snapshot(server: "MoiraServer") -> Iterator[bytes]:
         watermark = server.journal.current_seq()
         yield encode_reply(MR_MORE_DATA,
                            (META_ROW, str(watermark),
-                            versions_json(db.versions())))
+                            versions_json(db.versions()),
+                            str(server.journal.epoch)))
         for name in sorted(db.tables):
             table = db.tables[name]
             for row in table.rows:
@@ -167,7 +206,8 @@ def _tail(server: "MoiraServer", args: Sequence[str]) -> Iterator[bytes]:
                            (RESYNC_ROW, str(oldest), str(current)))
         yield encode_reply(0)
         return
-    yield encode_reply(MR_MORE_DATA, (META_ROW, str(current)))
+    yield encode_reply(MR_MORE_DATA, (META_ROW, str(current),
+                                      str(server.journal.epoch)))
     if limit > 0:
         entries = entries[:limit]
     for entry in entries:

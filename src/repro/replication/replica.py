@@ -33,6 +33,26 @@ this replica triggers a full resync, and a primary that *rewound* below
 our watermark (machine crash inside a group-commit window losing the
 un-fsync'd batch) is detected the same way and also resyncs — the
 replica never serves state the primary no longer has.
+
+Failover additions:
+
+* **Feed authentication** — given *feed_credentials* (a credential
+  cache kinit'd as the ``repl`` service principal, normally from its
+  srvtab via ``KDC.kinit_keytab``), every fresh feed connection sends
+  an authenticator before the first pull; a primary with a KDC answers
+  ``MR_PERM`` to anyone else.
+* **Epoch tracking** — the feed's meta rows carry the cluster epoch;
+  the replica records the highest epoch it has seen and *refuses* a
+  feed from a lower epoch with ``MR_FENCED`` (the split-brain guard: a
+  fenced ex-primary can never feed a replica that followed the
+  promotion).
+* **Promotion** — :meth:`promote` flips this node to primary: the pump
+  stops, a fresh journal claims ``epoch + 1`` and continues the seq
+  numbering at ``applied_seq + 1`` (read-your-writes tokens stay
+  valid), and the serving wrapper starts accepting writes and serving
+  the feed itself.  :meth:`catch_up_from_wal` first salvages committed
+  entries straight from the dead primary's durable WAL (the
+  shared-storage model), so no fsync'd-acknowledged write is lost.
 """
 
 from __future__ import annotations
@@ -43,24 +63,33 @@ import time
 from typing import Callable, Iterator, Optional
 
 from repro.db.backup import _split_escaped, unescape_field
+from repro.db.journal import Journal
 from repro.db.recovery import TOLERATED_REPLAY_ERRORS
 from repro.db.schema import build_database
 from repro.errors import (
     MoiraError,
     MR_ARGS,
     MR_BUSY,
+    MR_FENCED,
     MR_INTERNAL,
     MR_MORE_DATA,
     MR_PERM,
 )
 from repro.protocol.transport import ClientConnection
-from repro.protocol.wire import MajorRequest, encode_reply
+from repro.protocol.wire import (
+    MajorRequest,
+    encode_reply,
+    pack_authenticator,
+)
 from repro.replication.feed import (
     META_ROW,
     RESYNC_ROW,
     entry_from_tuple,
 )
-from repro.server.moira_server import MoiraServer
+from repro.server.moira_server import (
+    MOIRA_SERVICE_PRINCIPAL,
+    MoiraServer,
+)
 from repro.sim.clock import Clock
 from repro.sim.faults import FaultInjector
 
@@ -85,12 +114,33 @@ class ReplicaMoiraServer(MoiraServer):
                          workers=workers, faults=faults)
         self.replica = replica
 
+    @property
+    def role(self) -> str:
+        if self.replica.role == "primary":
+            return "fenced" if self.journal.fenced else "primary"
+        return "replica"
+
+    def repl_stat_rows(self) -> list[tuple[str, str]]:
+        if self.replica.role == "primary":
+            return super().repl_stat_rows()
+        rows = [("_repl.role", "replica"),
+                ("_repl.epoch", str(self.replica.epoch)),
+                ("_repl.applied_seq", str(self.replica.applied_seq))]
+        for name, (address, role) in sorted(self.repl_endpoints.items()):
+            rows.append((f"_repl.endpoint.{name}", f"{address} {role}"))
+        return rows
+
     def _do_query(self, conn, args) -> Iterator[bytes]:
-        if args:
+        # a promoted replica IS the primary: every gate below falls
+        # away and the inherited server serves writes and the feed
+        # from its own (new-epoch) journal
+        if args and self.replica.role != "primary":
             name = args[0]
             if name == "_repl_status":
                 yield encode_reply(MR_MORE_DATA,
                                    self.replica.status_tuple())
+                for row in self._endpoint_rows():
+                    yield encode_reply(MR_MORE_DATA, row)
                 yield encode_reply(0)
                 return
             if name == "_repl_read":
@@ -104,6 +154,12 @@ class ReplicaMoiraServer(MoiraServer):
                     f"read-only replica: {name} mutates; "
                     f"send writes to the primary")
         yield from super()._do_query(conn, args)
+
+    def _endpoint_rows(self) -> list[tuple[str, ...]]:
+        from repro.replication.feed import ENDPOINT_ROW
+        return [(ENDPOINT_ROW, name, address, role)
+                for name, (address, role)
+                in sorted(self.repl_endpoints.items())]
 
     def _repl_read(self, conn, args) -> Iterator[bytes]:
         if len(args) < 2:
@@ -138,10 +194,22 @@ class ReplicaServer:
         staleness_budget: float = 0.25,
         poll_interval: float = 0.005,
         faults: Optional[FaultInjector] = None,
+        feed_credentials=None,
+        feed_service: str = MOIRA_SERVICE_PRINCIPAL,
     ):
         self.name = name
         self.clock = clock
+        self.kdc = kdc
         self.faults = faults
+        # this node's cluster role and the highest epoch seen on the
+        # feed; promote() flips the role and claims a fresh epoch
+        self.role = "replica"
+        self.epoch = 0
+        # credential cache authenticating feed pulls (the `repl`
+        # service principal, kinit'd from its srvtab); None = the
+        # primary runs without a KDC and the feed is open
+        self._feed_credentials = feed_credentials
+        self._feed_service = feed_service
         self.staleness_budget = staleness_budget
         self.poll_interval = poll_interval
         self.db = build_database()
@@ -171,8 +239,34 @@ class ReplicaServer:
 
     def _connection(self) -> ClientConnection:
         if self._feed is None:
-            self._feed = self._feed_factory()
+            conn = self._feed_factory()
+            try:
+                self._authenticate_feed(conn)
+            except BaseException:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+                raise
+            self._feed = conn
         return self._feed
+
+    def _authenticate_feed(self, conn: ClientConnection) -> None:
+        """Authenticate a fresh feed connection as the repl principal."""
+        if self._feed_credentials is None or self.kdc is None:
+            return
+        if self.faults is not None:
+            self.faults.fire("repl.feed_auth", replica=self.name,
+                             principal=self._feed_credentials.principal)
+        ticket = self.kdc.get_service_ticket(self._feed_credentials,
+                                             self._feed_service)
+        auth = self.kdc.make_authenticator(ticket, self.clock.now())
+        replies = conn.call(
+            MajorRequest.AUTHENTICATE,
+            [f"repl-{self.name}".encode(), pack_authenticator(auth)])
+        if replies[-1].code != 0:
+            raise MoiraError(replies[-1].code,
+                             f"feed authentication for {self.name}")
 
     def _drop_feed(self) -> None:
         if self._feed is not None:
@@ -215,6 +309,9 @@ class ReplicaServer:
             raise MoiraError(MR_INTERNAL, "malformed snapshot stream")
         watermark = int(rows[0][1])
         versions = json.loads(rows[0][2])
+        # epoch guard BEFORE wiping anything: a stale-epoch feed must
+        # not cost us our (newer) state
+        self._note_epoch(rows[0][3] if len(rows[0]) > 3 else "")
         by_table: dict[str, list[str]] = {}
         for fields in rows[1:]:
             if len(fields) != 2:
@@ -279,6 +376,7 @@ class ReplicaServer:
             return 0
         if meta[0] != META_ROW:
             raise MoiraError(MR_INTERNAL, "malformed tail stream")
+        self._note_epoch(meta[2] if len(meta) > 2 else "")
         primary_seq = int(meta[1])
         if primary_seq < self.applied_seq:
             # the primary rewound below our watermark (it crashed and
@@ -360,6 +458,95 @@ class ReplicaServer:
                 self.applied_seq = seq
             self._seq_cv.notify_all()
 
+    def _note_epoch(self, epoch_field: str) -> None:
+        """Track the highest cluster epoch seen; refuse a stale feed.
+
+        The split-brain guard: once this replica has followed epoch N,
+        a fenced ex-primary still announcing epoch < N can never feed
+        it again — the pull fails with ``MR_FENCED`` instead of
+        applying (or worse, resyncing from) superseded state.
+        """
+        if not epoch_field:
+            return
+        seen = int(epoch_field)
+        if seen < self.epoch:
+            self._drop_feed()
+            raise MoiraError(
+                MR_FENCED,
+                f"feed announces stale epoch {seen}; "
+                f"{self.name} has seen {self.epoch}")
+        if seen > self.epoch:
+            # New epoch = new primary = fresh MVCC commit counter.  The
+            # commit-order oracle only holds within one primary's
+            # lifetime; seq idempotence still guards re-delivery.
+            self._applied_commit_seq = 0
+        self.epoch = seen
+
+    # -- failover ------------------------------------------------------------
+
+    def retarget(self, feed_factory: FeedFactory, *,
+                 credentials=None) -> None:
+        """Point the feed at a different primary (post-promotion).
+
+        The next pull reconnects through the new factory; a replica
+        *ahead* of the new primary is caught by the ordinary rewind
+        check and resyncs from its snapshot.
+        """
+        with self._pull_lock:
+            self._feed_factory = feed_factory
+            if credentials is not None:
+                self._feed_credentials = credentials
+            self._drop_feed()
+
+    def catch_up_from_wal(self, path) -> int:
+        """Salvage committed entries from a dead primary's durable WAL.
+
+        The shared-storage half of promotion: every entry the old
+        primary fsync'd (group commits it acknowledged) is readable
+        from its WAL file even though the process is gone.  Applies
+        everything past our watermark; a torn final record (death
+        mid-append) is scrubbed by ``Journal.load`` exactly as in
+        recovery.  Returns the number of entries applied.
+        """
+        salvaged = Journal.load(path)
+        entries = salvaged.after_seq(self.applied_seq)
+        if entries and entries[0].seq > self.applied_seq + 1:
+            raise MoiraError(
+                MR_INTERNAL,
+                f"WAL gap: salvage starts at {entries[0].seq}, "
+                f"replica applied {self.applied_seq}")
+        with self._pull_lock:
+            return self._apply(entries)
+
+    def promote(self, *, epoch: Optional[int] = None,
+                journal: Optional[Journal] = None) -> int:
+        """Become the primary.  Returns the epoch this node now owns.
+
+        The pump stops, the feed drops, and the serving wrapper —
+        which until now rejected mutations and proxied `_repl_status`
+        — flips to the full inherited server over a *journal* claiming
+        *epoch* (default: one past the highest epoch seen) with seq
+        numbering continued at ``applied_seq + 1``.  Callers fence the
+        old primary's journal with the same epoch; in-flight writes
+        there fail retryably and the client router re-routes here.
+        """
+        if self.role == "primary":
+            return self.server.journal.epoch
+        self.stop_pump()
+        new_epoch = epoch if epoch is not None else max(self.epoch, 1) + 1
+        new_journal = journal if journal is not None else Journal()
+        with self._pull_lock:
+            if self.faults is not None:
+                self.faults.fire("failover.promote", replica=self.name,
+                                 epoch=new_epoch, seq=self.applied_seq)
+            new_journal.advance_to(self.applied_seq)
+            if new_epoch > new_journal.epoch:
+                new_journal.set_epoch(new_epoch)
+            self.server.journal = new_journal
+            self.epoch = new_journal.epoch
+            self.role = "primary"
+        return self.epoch
+
     # -- freshness ----------------------------------------------------------
 
     def wait_for_seq(self, min_seq: int,
@@ -390,10 +577,11 @@ class ReplicaServer:
                 self._seq_cv.wait(min(remaining, 0.005))
         return True
 
-    def status_tuple(self) -> tuple[str, str, str]:
-        return ("replica", str(self.applied_seq),
+    def status_tuple(self) -> tuple[str, str, str, str]:
+        return (self.role, str(self.applied_seq),
                 json.dumps(self.primary_versions, sort_keys=True,
-                           separators=(",", ":")))
+                           separators=(",", ":")),
+                str(self.epoch))
 
     # -- the pump thread ----------------------------------------------------
 
@@ -416,11 +604,15 @@ class ReplicaServer:
             except (MoiraError, OSError):
                 pass    # connection already dropped; retried next tick
 
-    def stop(self) -> None:
-        """Stop the pump and the serving worker pool (idempotent)."""
+    def stop_pump(self) -> None:
+        """Stop the pump thread and drop the feed; keep serving."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
         self._drop_feed()
+
+    def stop(self) -> None:
+        """Stop the pump and the serving worker pool (idempotent)."""
+        self.stop_pump()
         self.server.shutdown()

@@ -51,6 +51,7 @@ from repro.errors import (
     MoiraError,
     MR_ARGS,
     MR_BUSY,
+    MR_FENCED,
     MR_INTERNAL,
     MR_MORE_DATA,
     MR_NO_HANDLE,
@@ -203,6 +204,27 @@ class MoiraServer:
         self._lock = threading.Lock()
         if kdc is not None and not kdc.principal_exists(service_principal):
             kdc.add_service(service_principal)
+        # replication-feed identity: pulls must authenticate as this
+        # service principal when a KDC is present (replicas kinit from
+        # its srvtab); registered here so the srvtab exists before any
+        # replica attaches
+        from repro.replication.feed import REPL_SERVICE_PRINCIPAL
+        self.repl_principal = REPL_SERVICE_PRINCIPAL
+        if kdc is not None and not kdc.principal_exists(self.repl_principal):
+            kdc.add_service(self.repl_principal)
+        # feed topology as this node knows it: name -> (address, role),
+        # maintained by ReplicaCluster / FailoverCoordinator and served
+        # as _endpoint rows by _repl_status and _query_stats
+        self.repl_endpoints: dict[str, tuple[str, str]] = {}
+
+    @property
+    def role(self) -> str:
+        """This node's cluster role: ``primary`` or ``fenced``.
+
+        A replica's serving wrapper overrides this; on a plain server
+        the role is primary unless a newer epoch fenced our journal.
+        """
+        return "fenced" if self.journal.fenced else "primary"
 
     def shutdown(self) -> None:
         """Stop the worker pool (idempotent; inline mode is a no-op)."""
@@ -379,15 +401,24 @@ class MoiraServer:
             yield from self._wal_stats()
             return
         if name == "_repl_read":
-            # the replica router's freshness wrapper — on the primary
-            # the session token is trivially satisfied, so just unwrap
+            # the replica router's freshness wrapper — on a live
+            # primary the session token is trivially satisfied, so just
+            # unwrap.  A *fenced* primary is frozen at fence time and
+            # must not serve stale reads as authoritative: answer
+            # MR_BUSY (retryable) so the router routes around it.
             if len(query_args) < 2:
                 raise MoiraError(MR_ARGS, "_repl_read wants min_seq, query")
+            if self.journal.fenced:
+                raise MoiraError(
+                    MR_BUSY,
+                    f"fenced at seq {self.journal.current_seq()}; "
+                    "not authoritative")
             yield from self._do_query(conn, query_args[1:])
             return
         if name.startswith("_repl_"):
             from repro.replication.feed import serve_repl_query
-            yield from serve_repl_query(self, name, query_args)
+            yield from serve_repl_query(self, name, query_args,
+                                        principal=conn.principal)
             return
         query = get_query(name)
         if query is None:
@@ -463,6 +494,13 @@ class MoiraServer:
         *timing*, when given, receives ``lock_wait_s``.
         """
         self._check_argc(query, query_args)
+        if self.journal is not None and self.journal.fenced:
+            # a newer epoch owns the cluster: refuse before the handler
+            # mutates anything — the client router re-routes on MR_FENCED
+            raise MoiraError(
+                MR_FENCED,
+                f"epoch {self.journal.epoch} fenced by "
+                f"{self.journal.fenced_by}")
         if self._write_batcher is not None and ctx.db is self.db:
             return self._write_batcher.submit(
                 ctx, query, query_args, timing=timing,
@@ -673,7 +711,22 @@ class MoiraServer:
                 for key, value in sorted(mvcc_stats().items()):
                     yield encode_reply(MR_MORE_DATA,
                                        ("_mvcc." + key, str(value)))
+            # cluster topology rides along too: the same role/epoch/
+            # endpoint rows _repl_status serves, visible from any node
+            for row in self.repl_stat_rows():
+                yield encode_reply(MR_MORE_DATA, row)
         yield encode_reply(0)
+
+    def repl_stat_rows(self) -> list[tuple[str, str]]:
+        """``_repl.*`` topology rows for `_query_stats`: this node's
+        role, cluster epoch, and the feed endpoints it knows about."""
+        rows = [("_repl.role", self.role),
+                ("_repl.epoch", str(self.journal.epoch))]
+        if self.journal.fenced_by:
+            rows.append(("_repl.fenced_by", str(self.journal.fenced_by)))
+        for name, (address, role) in sorted(self.repl_endpoints.items()):
+            rows.append((f"_repl.endpoint.{name}", f"{address} {role}"))
+        return rows
 
     def _dcm_stats(self) -> Iterator[bytes]:
         """The ``_dcm_stats`` pseudo-query: the server's degradation

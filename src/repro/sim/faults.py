@@ -6,7 +6,10 @@ server crashes ... survives clean Moira crashes") is only testable if
 failures can be provoked *on purpose*, at exact protocol boundaries,
 reproducibly.  This module provides that: components expose **named
 injection points** (``journal.appended``, ``update.execute``,
-``daemon.step``, ``net.deliver``, ``server.frame``, ...) and call
+``daemon.step``, ``net.deliver``, ``server.frame``, the replication
+tier's ``repl.snapshot``/``repl.tail``/``repl.apply``/
+``repl.feed_auth``, and the failover path's ``journal.fence`` and
+``failover.promote``) and call
 :meth:`FaultInjector.fire` as execution passes through them; tests and
 benchmarks arm faults against those points.
 

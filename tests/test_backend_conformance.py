@@ -305,7 +305,9 @@ class TestReplicationFeedOnSqlite:
     def _drain(self, server, query):
         from repro.protocol.wire import MajorRequest, encode_request
         conn = server.open_connection("repl-test")
-        server._connections[conn].principal = "root"
+        # feed pulls now require the repl service principal (the
+        # primary was built with a KDC, so the auth gate is armed)
+        server._connections[conn].principal = "repl"
         frame = encode_request(MajorRequest.QUERY, query)[4:]
         replies = server.handle_frame(conn, frame)
         server.close_connection(conn)

@@ -125,8 +125,9 @@ class TestSnapshotAndTail:
         replica = make_replica(primary)
         replica.step()
         assert replica.primary_versions == primary.db.versions()
-        role, seq, _versions = replica.status_tuple()
+        role, seq, _versions, epoch = replica.status_tuple()
         assert (role, seq) == ("replica", str(replica.applied_seq))
+        assert epoch == str(replica.epoch)
 
 
 class TestReadOnlyServing:
