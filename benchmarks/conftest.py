@@ -28,6 +28,7 @@ BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 BENCH_WRITES_JSON = RESULTS_DIR / "BENCH_writes.json"
 BENCH_SCALE_JSON = RESULTS_DIR / "BENCH_scale.json"
 BENCH_FAILOVER_JSON = RESULTS_DIR / "BENCH_failover.json"
+BENCH_FRESHNESS_JSON = RESULTS_DIR / "BENCH_freshness.json"
 
 
 def write_result(exp_id: str, lines: list[str]) -> Path:

@@ -95,6 +95,15 @@ class DeploymentConfig:
     user_subshards: int = 0
     parallel_build: bool = True
     build_workers: Optional[int] = None  # None = auto (min(4, cpus))
+    # CDC push pipeline (docs/DCM_PIPELINE.md): consume the WAL as a
+    # change stream and converge managed hosts per-mutation instead of
+    # per-cron-cycle.  Needs journal_changes=True.
+    cdc: bool = False
+    cdc_source: str = "journal"  # "journal" (in-process) or "replica"
+    cdc_debounce_seconds: int = 0  # wait this long for more mutations
+    cdc_max_coalesce: int = 256  # converge early past this many
+    cdc_pump_seconds: int = 1  # cron pacing of the extractor pump
+    cdc_cursor_path: Optional[Union[str, Path]] = None  # durable token
 
 
 class AthenaDeployment:
@@ -185,6 +194,54 @@ class AthenaDeployment:
                 poll_interval=self.config.replica_poll_interval,
                 faults=self.faults,
                 tcp=self.config.replica_tcp)
+
+        # the CDC push pipeline (docs/DCM_PIPELINE.md): WAL-as-change-
+        # stream extraction driving sub-second host convergence; the
+        # cron DCM above stays intact as the byte-identity oracle
+        self.cdc = None
+        if self.config.cdc:
+            self.cdc = self._build_cdc()
+
+    def _build_cdc(self):
+        from repro.dcm.cdc import (
+            CdcExtractor,
+            JournalChangeSource,
+            ReplicaChangeSource,
+        )
+        if self.journal is None:
+            raise ValueError("cdc=True needs journal_changes=True")
+        if self.config.cdc_source == "replica":
+            if self.replica_cluster is None:
+                raise ValueError("cdc_source='replica' needs replicas>0")
+            replica = self.replica_cluster.replicas[0]
+            source = ReplicaChangeSource(replica)
+            extract_db = replica.db
+        elif self.config.cdc_source == "journal":
+            source = JournalChangeSource(self.journal)
+            extract_db = None
+        else:
+            raise ValueError(
+                f"unknown cdc_source {self.config.cdc_source!r}")
+        cdc = CdcExtractor(
+            self.dcm, source, self.clock,
+            journal=self.journal,
+            cursor_path=self.config.cdc_cursor_path,
+            debounce_seconds=self.config.cdc_debounce_seconds,
+            max_coalesce=self.config.cdc_max_coalesce,
+            extract_db=extract_db)
+        self.server.cdc_stats = cdc.stats_tuples
+        # the pump rides cron like the DCM does; has_work keeps idle
+        # ticks to a flag check (the commit listener sets the flag)
+        self.cron.add(
+            "cdc", max(1, self.config.cdc_pump_seconds),
+            lambda when: cdc.pump(when) if cdc.has_work else None)
+        return cdc
+
+    def pump_cdc(self) -> dict:
+        """One explicit extractor round (tests; event-driven callers)."""
+        if self.cdc is None:
+            raise ValueError("deployment has no CDC pipeline (cdc=True)")
+        return self.cdc.pump()
 
     # -- construction helpers --------------------------------------------------
 
@@ -356,9 +413,12 @@ class AthenaDeployment:
 
         Each replica pins everything past what it has applied, so the
         default compaction only folds records every replica has seen —
-        feeds never find a hole.  ``force=True`` ignores the pins: a
-        replica still below the resulting floor detects it on its next
-        pull and resyncs from a snapshot (docs/REPLICATION.md).
+        feeds never find a hole.  Registered CDC cursors pin the same
+        way (inside ``Journal.compact`` itself).  ``force=True``
+        ignores all pins: a replica still below the resulting floor
+        detects it on its next pull and resyncs from a snapshot
+        (docs/REPLICATION.md); a CDC extractor resets its cursor and
+        reconverges every service (docs/DCM_PIPELINE.md).
         """
         if self.journal is None:
             raise ValueError("deployment journals no changes")

@@ -182,6 +182,17 @@ class Journal:
     # Derived again at load() from mid-log seq gaps (journal seqs are
     # otherwise contiguous: every record() assigns one).
     _compact_floor: int = field(default=0, repr=False, compare=False)
+    # named CDC consumer cursors (consumer name -> durably-processed
+    # seq).  compact() treats them as pins — same discipline as replica
+    # applied_seq watermarks — so a CDC extractor's next tail() finds a
+    # contiguous suffix unless compaction was forced past it.
+    _cursors: dict = field(default_factory=dict, repr=False,
+                           compare=False)
+    # notify-only commit hooks: called as fn(entry) at the end of
+    # record(), while the journal mutex is held.  Listeners must be
+    # cheap (set a flag, bump a counter) — never pump work inline.
+    _commit_listeners: list = field(default_factory=list, repr=False,
+                                    compare=False)
     # observability (the `_wal_stats` pseudo-query)
     _stat_appends: int = field(default=0, repr=False, compare=False)
     _stat_fsyncs: int = field(default=0, repr=False, compare=False)
@@ -237,7 +248,48 @@ class Journal:
             if self.faults is not None:
                 self.faults.fire("journal.appended", query=query,
                                  who=who, seq=entry.seq)
+            for listener in self._commit_listeners:
+                try:
+                    listener(entry)
+                except Exception:
+                    pass    # a broken consumer must not fail the commit
         return entry
+
+    # -- CDC consumers -------------------------------------------------------
+
+    def add_commit_listener(self, fn: Callable) -> None:
+        """Register a notify-only hook called as ``fn(entry)`` after
+        every successful append (under the journal mutex — keep it
+        cheap; the CDC extractor uses it to flag pending work, never to
+        pump inline)."""
+        with self._lock:
+            self._commit_listeners.append(fn)
+
+    def remove_commit_listener(self, fn: Callable) -> None:
+        with self._lock:
+            if fn in self._commit_listeners:
+                self._commit_listeners.remove(fn)
+
+    def set_cursor(self, name: str, seq: int) -> None:
+        """Register/advance the named CDC consumer's cursor.
+
+        :meth:`compact` treats every registered cursor as a pin, so
+        entries the consumer has not durably processed are never folded
+        away (unless ``force=True``, after which the consumer's next
+        :meth:`tail` returns ``None`` and it must resync).
+        """
+        with self._lock:
+            self._cursors[name] = int(seq)
+
+    def clear_cursor(self, name: str) -> None:
+        """Drop the named consumer's pin (consumer decommissioned)."""
+        with self._lock:
+            self._cursors.pop(name, None)
+
+    def cursors(self) -> dict:
+        """Registered CDC consumer cursors ``{name: seq}`` (a copy)."""
+        with self._lock:
+            return dict(self._cursors)
 
     # -- the durable tail --------------------------------------------------
 
@@ -457,6 +509,7 @@ class Journal:
                 "compactions": self._stat_compactions,
                 "compacted_away": self._stat_compacted_away,
                 "compact_floor": self._compact_floor,
+                "cursors": dict(self._cursors),
                 "epoch": self.epoch,
                 "fenced_by": self._fenced_epoch,
             }
@@ -566,10 +619,13 @@ class Journal:
 
         *pins* are replica ``applied_seq`` watermarks: entries above
         ``min(pins)`` are never dropped, so a feeding replica's next
-        :meth:`tail` finds a contiguous suffix.  ``force=True`` ignores
-        the pins; a replica left below the resulting ``compact_floor``
-        then gets ``None`` from :meth:`tail` and resyncs from a
-        snapshot instead of silently losing the hole.
+        :meth:`tail` finds a contiguous suffix.  Registered CDC
+        consumer cursors (:meth:`set_cursor`) pin with the same
+        discipline, automatically.  ``force=True`` ignores both; a
+        replica or extractor left below the resulting
+        ``compact_floor`` then gets ``None`` from :meth:`tail` and
+        resyncs (snapshot / full-reconverge) instead of silently
+        losing the hole.
 
         Safe to call at any commit boundary (it takes the journal
         mutex, like every append); rewrites the durable file(s) when
@@ -581,6 +637,8 @@ class Journal:
             ceiling = self._next_seq - 1
             if not force:
                 for pin in pins:
+                    ceiling = min(ceiling, int(pin))
+                for pin in self._cursors.values():
                     ceiling = min(ceiling, int(pin))
             dropped: set = set()
             pending: dict = {}

@@ -117,6 +117,10 @@ class DCMReport:
     budget_deferred: int = 0       # per-cycle retry budget exhausted
     breaker_open_hosts: list[tuple[str, str]] = field(
         default_factory=list)
+    # (what, origin journal seq) per hard failure — the commit a stuck
+    # consumer is attributable to (0 = no journal / unknown origin)
+    hard_failure_origins: list[tuple[str, int]] = field(
+        default_factory=list)
     log: list[str] = field(default_factory=list)
 
 
@@ -157,6 +161,7 @@ class DCM:
         self.clock = clock
         self.network = network or Network()
         self.moira_host = moira_host
+        self.journal = journal
         self.client = DirectClient(db, clock, journal=journal,
                                    caller="root", client="dcm")
         self.locks = lock_manager or LockManager()
@@ -180,6 +185,15 @@ class DCM:
         self._generated: dict[str, GeneratorResult] = {}
         # service -> data-version vector of its inputs at generation time
         self._gen_versions: dict[str, dict[str, int]] = {}
+        # service -> id() of the database the vector was read from.
+        # Version counters are per-database-instance (an extraction
+        # replica's differ from the primary's), so a recorded vector is
+        # only comparable against the same instance — anything else is
+        # treated as "no recorded vector" and regenerates fully.
+        self._gen_db: dict[str, int] = {}
+        # service -> journal watermark at generation time (hard-error
+        # origin attribution; 0 = no journal)
+        self._gen_seq: dict[str, int] = {}
         self.runs = 0
         # cumulative counters across all invocations (for reporting)
         self.total_generations = 0
@@ -311,17 +325,18 @@ class DCM:
                                                          ctx, vector)
                 except Exception as exc:  # a generator hard error
                     message = f"generator failed: {exc!r}"
+                    origin = self._origin_seq()
                     report.generation_errors.append((name, message))
+                    report.hard_failure_origins.append((name, origin))
                     self._set_service_flags(
                         name, inprogress=0, dfgen=service["dfgen"],
                         dfcheck=service["dfcheck"], harderror=1,
                         errmsg=message)
                     service["harderror"] = 1
-                    self._notify_hard_error(name, message)
+                    self._notify_hard_error(name, message,
+                                            origin_seq=origin)
                     return
-                self._generated[name] = result
-                if vector is not None:
-                    self._gen_versions[name] = vector
+                self._record_generation(name, result, vector, self.db)
                 report.generations += 1
                 if incremental:
                     report.generations_incremental += 1
@@ -343,20 +358,51 @@ class DCM:
         """Exact version-vector comparison, falling back to the modtime
         scan when no vector was recorded (fresh DCM over an old
         database, or the legacy pipeline)."""
-        recorded = self._gen_versions.get(service["name"])
+        recorded = self._recorded_vector(service["name"], self.db)
         if vector is not None and recorded is not None:
             return vector != recorded
         return generator.changed_since(self.db, service["dfgen"])
+
+    def _recorded_vector(self, name: str,
+                         db: Database) -> Optional[dict[str, int]]:
+        """The vector recorded for *name*, but only when it was read
+        from *db* — version counters from another database instance
+        (primary vs extraction replica) are incomparable."""
+        if self._gen_db.get(name) != id(db):
+            return None
+        return self._gen_versions.get(name)
+
+    def _record_generation(self, name: str, result: GeneratorResult,
+                           vector: Optional[dict[str, int]],
+                           db: Database,
+                           origin_seq: Optional[int] = None) -> None:
+        """Remember a generation: result, input vector (tagged with its
+        source database), and the journal watermark for attribution."""
+        self._generated[name] = result
+        if vector is not None:
+            self._gen_versions[name] = vector
+            self._gen_db[name] = id(db)
+        else:
+            self._gen_versions.pop(name, None)
+            self._gen_db.pop(name, None)
+        self._gen_seq[name] = (self._origin_seq() if origin_seq is None
+                               else origin_seq)
+
+    def _origin_seq(self) -> int:
+        """The journal watermark right now (0 without a journal)."""
+        return (self.journal.current_seq()
+                if self.journal is not None else 0)
 
     def _generate(self, generator, name: str, ctx: GenContext,
                   vector: Optional[dict[str, int]]
                   ) -> tuple[GeneratorResult, bool]:
         """Run a generator, incrementally when it knows how."""
         previous = self._generated.get(name)
-        recorded = self._gen_versions.get(name)
+        recorded = self._recorded_vector(name, ctx.db)
         if previous is not None and recorded is not None and \
                 vector is not None and not self.always_regenerate:
-            changes = self._collect_changes(generator, recorded, vector)
+            changes = self._collect_changes(generator, recorded, vector,
+                                            ctx.db)
             patched = generator.generate_incremental(ctx, previous,
                                                      changes)
             if patched is not None:
@@ -364,15 +410,17 @@ class DCM:
         return generator.generate(ctx), False
 
     def _collect_changes(self, generator, recorded: dict[str, int],
-                         vector: dict[str, int]):
+                         vector: dict[str, int],
+                         db: Optional[Database] = None):
         """Changed dependency tables -> their changed-row logs (None
         where a log is unavailable or has overflowed)."""
         changes = {}
+        source = db if db is not None else self.db
         for table_name, version in vector.items():
             old = recorded.get(table_name)
             if old == version:
                 continue
-            table = self.db.table(table_name)
+            table = source.table(table_name)
             log = getattr(table, "changes_since", None)
             changes[table_name] = (log(old) if callable(log)
                                    and old is not None else None)
@@ -444,10 +492,11 @@ class DCM:
             else:
                 ctx = cycle_ctx.for_service(hosts)
             result = generator.generate(ctx)
-            self._generated[name] = result
-            if cycle_versions is not None:
-                self._gen_versions[name] = generator.vector_for(
-                    cycle_versions)
+            self._record_generation(
+                name, result,
+                (generator.vector_for(cycle_versions)
+                 if cycle_versions is not None else None),
+                self.db)
             if not service["dfgen"]:
                 self._set_service_flags(name, inprogress=0, dfgen=now,
                                         dfcheck=now)
@@ -625,14 +674,18 @@ class DCM:
                 if first_hard is None:
                     first_hard = slot
             report.log.extend(slot.log)
+        origin = self._gen_seq.get(name, 0)
         for slot in slots:
             if slot.hard:
+                report.hard_failure_origins.append(
+                    (f"{name}/{slot.machine}", origin))
                 self._notify_hard_error(f"{name}/{slot.machine}",
-                                        slot.message)
+                                        slot.message, origin_seq=origin)
                 if self.mail_notify is not None:
                     self.mail_notify(
                         "moira-maintainers",
-                        f"{name}/{slot.machine}: {slot.message}")
+                        f"{name}/{slot.machine}: "
+                        f"{self._attributed(slot.message, origin)}")
         if first_hard is not None and service["type"] == "REPLICAT" \
                 and not service.get("harderror"):
             # "no more updates will be attempted to hosts supporting
@@ -715,12 +768,18 @@ class DCM:
             return
         # hard failure
         report.hard_failures += 1
+        origin = self._gen_seq.get(name, 0)
+        report.hard_failure_origins.append(
+            (f"{name}/{machine_name}", origin))
         self._apply_host_outcome(service, machine_name, host_row,
                                  outcome, now, report.log)
-        self._notify_hard_error(f"{name}/{machine_name}", message)
+        self._notify_hard_error(f"{name}/{machine_name}", message,
+                                origin_seq=origin)
         if self.mail_notify is not None:
-            self.mail_notify("moira-maintainers",
-                             f"{name}/{machine_name}: {message}")
+            self.mail_notify(
+                "moira-maintainers",
+                f"{name}/{machine_name}: "
+                f"{self._attributed(message, origin)}")
         if service["type"] == "REPLICAT":
             # "no more updates will be attempted to hosts supporting
             # this service"
@@ -746,10 +805,241 @@ class DCM:
             str(host_row["ltt"] if ltt is None else ltt),
             str(host_row["lts"] if lts is None else lts))
 
-    def _notify_hard_error(self, what: str, message: str) -> None:
-        """Hard errors zephyr class MOIRA instance DCM (§5.7.1)."""
+    @staticmethod
+    def _attributed(message: str, origin_seq: int) -> str:
+        """Stamp the originating journal seq onto an error message so a
+        stuck consumer is attributable to a specific committed write,
+        not just a wall-clock time."""
+        if origin_seq:
+            return f"{message} [origin seq {origin_seq}]"
+        return message
+
+    def _notify_hard_error(self, what: str, message: str, *,
+                           origin_seq: int = 0) -> None:
+        """Hard errors zephyr class MOIRA instance DCM (§5.7.1), carrying
+        the originating journal seq when one is known."""
         if self.zephyr_notify is not None:
-            self.zephyr_notify("MOIRA", "DCM", f"{what}: {message}")
+            self.zephyr_notify(
+                "MOIRA", "DCM",
+                f"{what}: {self._attributed(message, origin_seq)}")
+
+    # -- CDC-driven convergence ------------------------------------------------------
+
+    def converge_service(self, name: str, now: int, *,
+                         origin_seq: int = 0,
+                         extract_db: Optional[Database] = None) -> dict:
+        """Regenerate one service *now* and push only what changed.
+
+        The CDC extractor's entry point: no interval check — the caller
+        already knows a committed write dirtied this service.  Extraction
+        may run against *extract_db* (a dedicated extraction replica);
+        bookkeeping always writes through the primary.  Hosts converged
+        to the previous generation receive a delta payload (only the
+        files whose bytes changed — the §5.8 install path applies tar
+        members individually, so the rest of the host tree is
+        untouched); stale or overridden hosts get the full payload.  A
+        host whose delta is empty is marked converged without a push —
+        a coalesced push.
+
+        Returns a counter dict; ``status`` is one of ``converged``,
+        ``no_change``, ``skipped``, ``locked``, or ``harderror``, and
+        ``retry`` asks the extractor to keep the service queued (soft
+        failures / governor deferrals — the backoff machinery owns the
+        pacing).
+        """
+        out = {"service": name, "status": "converged", "reason": "",
+               "generated": False, "incremental": False,
+               "pushes": 0, "delta_pushes": 0, "full_pushes": 0,
+               "marked_converged": 0, "soft_failures": 0,
+               "hard_failures": 0, "deferred": 0, "bytes": 0,
+               "files_changed": 0, "origin_seq": origin_seq,
+               "retry": False, "log": []}
+
+        def skipped(reason: str) -> dict:
+            out["status"] = "skipped"
+            out["reason"] = reason
+            return out
+
+        rows = self.db.table("servers").select({"name": name})
+        if not rows:
+            return skipped("unknown service")
+        service = dict(rows[0])
+        generator = get_generator(name)
+        if generator is None:
+            return skipped("no generator")
+        if not service["enable"]:
+            return skipped("disabled")
+        if service["harderror"]:
+            return skipped("harderror")
+        if not self.db.get_value("dcm_enable"):
+            return skipped("dcm_enable is 0")
+        db = extract_db if extract_db is not None else self.db
+        try:
+            with self.locks.held(f"service:{name}", LockMode.EXCLUSIVE):
+                return self._converge_locked(service, generator, db, now,
+                                             origin_seq, out)
+        except LockHeld:
+            out["status"] = "locked"
+            out["retry"] = True
+            out["log"].append(f"cdc: {name}: locked, will retry")
+            return out
+
+    def _converge_locked(self, service: dict, generator, db: Database,
+                         now: int, origin_seq: int, out: dict) -> dict:
+        name = service["name"]
+        versions = getattr(db, "versions", None)
+        vector = (generator.vector_for(versions())
+                  if callable(versions) else None)
+        recorded = self._recorded_vector(name, db)
+        previous = self._generated.get(name)
+        if previous is not None and vector is not None and \
+                recorded is not None and vector == recorded and \
+                not self._any_override(name):
+            out["status"] = "no_change"
+            out["reason"] = "version vector unchanged"
+            return out
+        prev_dfgen = service["dfgen"]
+        hosts = self.db.table("serverhosts").select({"service": name})
+        ctx = GenContext(db, now, hosts=hosts)
+        try:
+            result, incremental = self._generate(generator, name, ctx,
+                                                 vector)
+        except Exception as exc:
+            message = f"generator failed: {exc!r}"
+            self._set_service_flags(name, inprogress=0,
+                                    dfgen=service["dfgen"],
+                                    dfcheck=service["dfcheck"],
+                                    harderror=1, errmsg=message)
+            self._notify_hard_error(name, message, origin_seq=origin_seq)
+            out["status"] = "harderror"
+            out["reason"] = message
+            return out
+        self._record_generation(name, result, vector, db,
+                                origin_seq=origin_seq)
+        out["generated"] = True
+        out["incremental"] = incremental
+
+        # classify hosts: fresh (converged to the previous generation,
+        # delta-eligible) vs stale (full payload)
+        pushes: list[tuple[dict, str, dict, bool]] = []
+        marks: list[tuple[dict, str]] = []
+        changed_files: set[str] = set()
+        for row in hosts:
+            if not row["enable"] or row["hosterror"]:
+                continue
+            machine = self.db.table("machine").select(
+                {"mach_id": row["mach_id"]})
+            if not machine:
+                continue
+            machine_name = machine[0]["name"]
+            host_row = dict(row)
+            fresh = (prev_dfgen and previous is not None
+                     and host_row["success"]
+                     and host_row["lts"] >= prev_dfgen
+                     and not host_row["override"])
+            if fresh:
+                delta = result.delta_for(machine_name, previous)
+                if not delta:
+                    marks.append((host_row, machine_name))
+                    continue
+                changed_files.update(delta)
+                pushes.append((host_row, machine_name, delta, True))
+            else:
+                full = result.payload_for(machine_name)
+                changed_files.update(full)
+                pushes.append((host_row, machine_name, full, False))
+        out["files_changed"] = len(changed_files)
+        if not pushes:
+            # new bytes reached no host (content-identical regeneration):
+            # keep dfgen where it is so every converged host stays
+            # converged and the next cron cycle stays a no-op
+            out["status"] = "no_change"
+            out["reason"] = "content unchanged"
+            return out
+
+        self._set_service_flags(name, inprogress=0, dfgen=now,
+                                dfcheck=now)
+        service["dfgen"] = service["dfcheck"] = now
+        for host_row, machine_name in marks:
+            self._set_host_flags(name, machine_name, host_row,
+                                 inprogress=0, success=1, override=0,
+                                 ltt=now, lts=now, hosterror=0,
+                                 errmsg="")
+            out["marked_converged"] += 1
+            out["log"].append(
+                f"cdc: {name}/{machine_name}: unchanged, "
+                "marked converged")
+        for host_row, machine_name, files, is_delta in pushes:
+            if service.get("harderror"):
+                break   # replicated service poisoned mid-loop
+            ok, _reason = self.governor.admit(name, machine_name, now)
+            if not ok:
+                out["deferred"] += 1
+                out["retry"] = True
+                out["log"].append(
+                    f"cdc: {name}/{machine_name}: deferred by governor")
+                continue
+            try:
+                with self.locks.held(f"host:{name}/{machine_name}",
+                                     LockMode.EXCLUSIVE):
+                    self._set_host_flags(name, machine_name, host_row,
+                                         inprogress=1)
+                    outcome = self._push_files(service, machine_name,
+                                               files, now)
+                    hard = self._apply_host_outcome(
+                        service, machine_name, host_row, outcome, now,
+                        out["log"])
+                    if outcome.ok:
+                        out["pushes"] += 1
+                        out["delta_pushes" if is_delta
+                            else "full_pushes"] += 1
+                        out["bytes"] += outcome.bytes_sent
+                    elif hard:
+                        out["hard_failures"] += 1
+                        message = (outcome.message
+                                   or error_message(outcome.error))
+                        self._notify_hard_error(f"{name}/{machine_name}",
+                                                message,
+                                                origin_seq=origin_seq)
+                        if self.mail_notify is not None:
+                            self.mail_notify(
+                                "moira-maintainers",
+                                f"{name}/{machine_name}: "
+                                f"{self._attributed(message, origin_seq)}")
+                        if service["type"] == "REPLICAT":
+                            self._set_service_flags(
+                                name, inprogress=0,
+                                dfgen=service["dfgen"],
+                                dfcheck=service["dfcheck"],
+                                harderror=1, errmsg=message)
+                            service["harderror"] = 1
+                    else:
+                        out["soft_failures"] += 1
+                        out["retry"] = True
+            except LockHeld:
+                out["retry"] = True
+                out["log"].append(
+                    f"cdc: {name}/{machine_name}: locked, will retry")
+        if service.get("harderror"):
+            out["status"] = "harderror"
+            out["reason"] = service.get("errmsg", "hard failure")
+        self.total_propagations += out["pushes"]
+        self.total_bytes += out["bytes"]
+        return out
+
+    def _push_files(self, service: dict, machine_name: str,
+                    files: dict[str, bytes], now: int):
+        """One push of an explicit file set (full or delta payload)."""
+        binding = self.binding_for(service["name"], machine_name)
+        if binding is None:
+            return UpdateResult(UpdateOutcome.SOFT_FAILURE,
+                                message="no binding for host")
+        payload = build_payload(files, mtime=now)
+        script = default_script(files, binding.post_command or None)
+        return push_update(
+            host=binding.host, daemon=binding.daemon,
+            network=self.network, target=service["target_file"],
+            payload=payload, script=script, faults=self.faults)
 
     # -- observability ---------------------------------------------------------------
 

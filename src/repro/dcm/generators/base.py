@@ -33,6 +33,7 @@ __all__ = [
     "GeneratorResult",
     "register_generator",
     "get_generator",
+    "all_generators",
     "make_tar",
 ]
 
@@ -66,6 +67,28 @@ class GeneratorResult:
         one set of files and then ... propagate to several targets")."""
         upper = machine.upper()
         return upper if upper in self.host_files else "*"
+
+    def delta_for(self, machine: str,
+                  previous: Optional["GeneratorResult"]
+                  ) -> dict[str, bytes]:
+        """The files *machine* must receive to get from *previous* to
+        this result — the CDC push payload.
+
+        Install scripts extract and install tar members individually,
+        so a payload carrying only the changed files leaves the rest of
+        the host's tree intact.  With no *previous* (or for a machine
+        whose previous payload is unknown) the full payload is the
+        delta.  Deleted files cannot be expressed (the update protocol
+        only installs members); generators keep file *sets* stable
+        across runs, so a vanished name only happens on a service
+        redefinition — callers fall back to a full push if they care.
+        """
+        mine = self.payload_for(machine)
+        if previous is None:
+            return mine
+        old = previous.payload_for(machine)
+        return {name: data for name, data in mine.items()
+                if old.get(name) != data}
 
     def total_bytes(self) -> int:
         """Total size of every produced file."""
@@ -303,3 +326,9 @@ def register_generator(gen: Generator) -> Generator:
 def get_generator(service: str) -> Optional[Generator]:
     """The generator for *service*, or None."""
     return _GENERATORS.get(service.upper())
+
+
+def all_generators() -> dict[str, Generator]:
+    """Every registered generator by service name (a copy) — the CDC
+    extractor derives its table -> dirty-services map from this."""
+    return dict(_GENERATORS)

@@ -187,6 +187,9 @@ class MoiraServer:
         # provider of per-target DCM retry/breaker rows for _dcm_stats
         # (wired by the deployment to DCM.dcm_stats_tuples)
         self.dcm_stats = dcm_stats
+        # provider of CDC freshness rows for _dcm_stats (wired by the
+        # deployment to CdcExtractor.stats_tuples when cdc=True)
+        self.cdc_stats: Optional[Callable[[], list]] = None
         # write path: group-committed batching over sharded writer
         # locks (write_batch=0 restores the seed's one-write-one-fsync
         # exclusive path; write_shards=False keeps batching but runs
@@ -730,9 +733,13 @@ class MoiraServer:
 
     def _dcm_stats(self) -> Iterator[bytes]:
         """The ``_dcm_stats`` pseudo-query: the server's degradation
-        counters followed by the DCM's per-target retry/breaker rows
-        (service, machine, breaker state, attempts, successes, soft,
-        hard, breaker_opens, consecutive_soft)."""
+        counters, the DCM's per-target retry/breaker rows (service,
+        machine, breaker state, attempts, successes, soft, hard,
+        breaker_opens, consecutive_soft), then — when the CDC pipeline
+        is wired — the extractor's freshness rows (``_cdc`` counters:
+        cursor, cursor_lag, debounce_occupancy, pushes_coalesced...
+        and per-service ``_cdc.service`` rows carrying
+        last_converged_seq; docs/DCM_PIPELINE.md)."""
         yield encode_reply(MR_MORE_DATA,
                            ("_server", "requests_shed",
                             str(self.stats.requests_shed)))
@@ -741,6 +748,9 @@ class MoiraServer:
                             str(self.stats.deadlines_expired)))
         if self.dcm_stats is not None:
             for t in self.dcm_stats():
+                yield encode_reply(MR_MORE_DATA, tuple(t))
+        if self.cdc_stats is not None:
+            for t in self.cdc_stats():
                 yield encode_reply(MR_MORE_DATA, tuple(t))
         yield encode_reply(0)
 
